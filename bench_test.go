@@ -1,0 +1,481 @@
+// Benchmarks mirroring the evaluation: one testing.B family per table or
+// figure in DESIGN.md §2. The cmd/p2drm-bench harness prints the
+// paper-style tables; these expose the same operations to `go test
+// -bench` for profiling and regression tracking.
+package p2drm_test
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"p2drm/internal/baseline"
+	"p2drm/internal/core"
+	"p2drm/internal/cryptox/dlkem"
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+	"p2drm/internal/linkage"
+	"p2drm/internal/rel"
+	"p2drm/internal/revocation"
+	"p2drm/internal/smartcard"
+	"p2drm/internal/workload"
+)
+
+var benchNow = time.Date(2004, 9, 1, 12, 0, 0, 0, time.UTC)
+
+func benchClock() time.Time { return benchNow }
+
+var benchTemplate = rel.MustParse(`
+grant play count 1000000;
+grant transfer;
+delegate allow;
+`)
+
+// ---- shared fixtures (built once; RSA keygen dominates setup) ----
+
+var (
+	fixOnce   sync.Once
+	fixSigner *rsablind.Signer
+	fixSK     *schnorr.PrivateKey
+)
+
+func fixtures(b *testing.B) (*rsablind.Signer, *schnorr.PrivateKey) {
+	b.Helper()
+	fixOnce.Do(func() {
+		key, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+		if fixSigner, err = rsablind.NewSigner(key); err != nil {
+			panic(err)
+		}
+		if fixSK, err = schnorr.GenerateKey(schnorr.Group768(), rand.Reader); err != nil {
+			panic(err)
+		}
+	})
+	return fixSigner, fixSK
+}
+
+var (
+	sysOnce  sync.Once
+	benchSys *core.System
+)
+
+func labSystem(b *testing.B) *core.System {
+	b.Helper()
+	sysOnce.Do(func() {
+		sys, err := core.NewSystem(core.Options{
+			Group: schnorr.Group768(), RSABits: 1024, DenomKeyBits: 1024,
+			Clock: benchClock,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := sys.Provider.AddContent("bench-song", "Bench", 1, benchTemplate,
+			bytes.Repeat([]byte("x"), 4096)); err != nil {
+			panic(err)
+		}
+		benchSys = sys
+	})
+	return benchSys
+}
+
+// ---- T1: crypto primitives ----
+
+func BenchmarkT1_RSAFDHSign(b *testing.B) {
+	signer, _ := fixtures(b)
+	msg := []byte("message")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signer.Sign(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1_BlindPipeline(b *testing.B) {
+	signer, _ := fixtures(b)
+	msg := []byte("serial")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blinded, st, err := rsablind.Blind(signer.Public(), msg, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs, err := signer.SignBlinded(blinded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rsablind.Unblind(signer.Public(), st, bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1_SchnorrProve(b *testing.B) {
+	_, sk := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Prove([]byte("ctx"), rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1_SchnorrVerify(b *testing.B) {
+	_, sk := fixtures(b)
+	proof, _ := sk.Prove([]byte("ctx"), rand.Reader)
+	g := schnorr.Group768()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := schnorr.VerifyProof(g, sk.Y, []byte("ctx"), proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1_KEMEncap(b *testing.B) {
+	_, sk := fixtures(b)
+	g := schnorr.Group768()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dlkem.Encap(g, sk.Y, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1_KEMDecap(b *testing.B) {
+	_, sk := fixtures(b)
+	g := schnorr.Group768()
+	ct, _, _ := dlkem.Encap(g, sk.Y, rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dlkem.Decap(g, sk.X, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- T2: protocol operations ----
+
+func BenchmarkT2_PurchaseP2DRM(b *testing.B) {
+	sys := labSystem(b)
+	u, err := sys.NewUser(fmt.Sprintf("buyer-%d", time.Now().UnixNano()), int64(b.N)*4+100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Purchase(u, "bench-song"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT2_TransferP2DRM(b *testing.B) {
+	sys := labSystem(b)
+	from, err := sys.NewUser(fmt.Sprintf("from-%d", time.Now().UnixNano()), int64(b.N)*4+100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	to, err := sys.NewUser(fmt.Sprintf("to-%d", time.Now().UnixNano()), 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lics := make([]*license.Personalized, b.N)
+	for i := range lics {
+		lic, err := sys.Purchase(from, "bench-song")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lics[i] = lic
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Transfer(from, lics[i], to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT2_PlayDevice(b *testing.B) {
+	sys := labSystem(b)
+	u, err := sys.NewUser(fmt.Sprintf("player-%d", time.Now().UnixNano()), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lic, err := sys.Purchase(u, "bench-song")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, _, err := sys.NewDevice(fmt.Sprintf("dev-%d", time.Now().UnixNano()), "audio", "EU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := sys.Play(u, dev, lic, &sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT2_PurchaseBaseline(b *testing.B) {
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, _ := kvstore.Open("")
+	bp, err := baseline.New(key, st, benchClock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bp.AddContent("bench-song", 1, benchTemplate, []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := bp.Register("alice", int64(b.N)+100, 1024); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.Purchase("alice", "bench-song"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- T3: provider throughput ----
+
+func BenchmarkT3_ConcurrentPurchases(b *testing.B) {
+	sys := labSystem(b)
+	var ctr int64
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		ctr++
+		name := fmt.Sprintf("par-%d-%d", time.Now().UnixNano(), ctr)
+		mu.Unlock()
+		u, err := sys.NewUser(name, 1<<30)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			if _, err := sys.Purchase(u, "bench-song"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// ---- T4: revocation scaling ----
+
+func benchRevocationList(b *testing.B, size int) (*revocation.List, []license.Serial) {
+	b.Helper()
+	st, _ := kvstore.Open("")
+	list, err := revocation.Open(st, uint64(size))
+	if err != nil {
+		b.Fatal(err)
+	}
+	serials := make([]license.Serial, size)
+	for i := range serials {
+		s, err := license.NewSerial()
+		if err != nil {
+			b.Fatal(err)
+		}
+		serials[i] = s
+	}
+	if err := list.AddBatch(serials); err != nil {
+		b.Fatal(err)
+	}
+	return list, serials
+}
+
+func BenchmarkT4_RevocationContains(b *testing.B) {
+	for _, size := range []int{1_000, 10_000, 100_000} {
+		list, serials := benchRevocationList(b, size)
+		miss, _ := license.NewSerial()
+		b.Run(fmt.Sprintf("hit_n%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !list.Contains(serials[i%size]) {
+					b.Fatal("false negative")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("miss_n%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if list.Contains(miss) {
+					b.Fatal("false positive on fixed probe")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkT4_MerkleProof(b *testing.B) {
+	signer, _ := fixtures(b)
+	list, serials := benchRevocationList(b, 10_000)
+	snap, tree, err := list.Snapshot(signer, benchNow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := revocation.ProveRevoked(tree, serials[i%len(serials)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := revocation.VerifyRevoked(snap, serials[i%len(serials)], proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- T5: smartcard-constrained play ----
+
+func BenchmarkT5_CardProofWithDelay(b *testing.B) {
+	for _, delay := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond} {
+		b.Run(fmt.Sprintf("delay_%s", delay), func(b *testing.B) {
+			card, err := smartcard.NewRandom(schnorr.Group768())
+			if err != nil {
+				b.Fatal(err)
+			}
+			card.Pseudonym(0) // derive outside the timed loop
+			card.SetOpDelay(delay)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := card.Prove(0, []byte("challenge")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- F1: linkage attack cost ----
+
+func BenchmarkF1_LinkageAttack(b *testing.B) {
+	sys, err := core.NewSystem(core.Options{
+		Group: schnorr.Group768(), RSABits: 1024, DenomKeyBits: 1024, Clock: benchClock,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.Config{
+		Users: 8, Contents: 3, PriceCredits: 1,
+		Purchases: 40, TransferFraction: 0.3, PurchasesPerPseudonym: 2, Seed: 1,
+	}
+	if err := workload.Populate(sys, cfg); err != nil {
+		b.Fatal(err)
+	}
+	res, err := workload.Run(sys, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := linkage.Attack(res.Events, sys.Provider.DenomPublic)
+		linkage.Evaluate(res.Events, c, res.Truth)
+	}
+}
+
+// ---- F2: license codec ----
+
+func BenchmarkF2_LicenseMarshal(b *testing.B) {
+	sys := labSystem(b)
+	u, err := sys.NewUser(fmt.Sprintf("codec-%d", time.Now().UnixNano()), 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lic, err := sys.Purchase(u, "bench-song")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := lic.Marshal()
+		if _, err := license.UnmarshalPersonalized(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- F3: domain member wrap (KEM re-targeting) ----
+
+func BenchmarkF3_KeyRewrap(b *testing.B) {
+	g := schnorr.Group768()
+	card, err := smartcard.NewRandom(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, _ := card.Pseudonym(0)
+	member, _ := card.Pseudonym(1)
+	key := make([]byte, 32)
+	rand.Read(key)
+	kw, err := license.WrapKey(g, ps.EncY(), key, []byte("label"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unwrapped, err := card.UnwrapContentKey(0, kw, []byte("label"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := license.WrapKey(g, member.EncY(), unwrapped, []byte("member")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- A1: blinding ablation ----
+
+func BenchmarkA1_ExchangeBlinded(b *testing.B) {
+	benchExchange(b, false)
+}
+
+func BenchmarkA1_ExchangeClearSerial(b *testing.B) {
+	benchExchange(b, true)
+}
+
+func benchExchange(b *testing.B, disableBlinding bool) {
+	b.Helper()
+	sys, err := core.NewSystem(core.Options{
+		Group: schnorr.Group768(), RSABits: 1024, DenomKeyBits: 1024,
+		Clock: benchClock, DisableBlinding: disableBlinding,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Provider.AddContent("bench-song", "Bench", 1, benchTemplate, []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	u, err := sys.NewUser("alice", int64(b.N)*4+100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lics := make([]*license.Personalized, b.N)
+	for i := range lics {
+		lic, err := sys.Purchase(u, "bench-song")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lics[i] = lic
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Exchange(u, lics[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

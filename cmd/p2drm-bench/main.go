@@ -1,0 +1,50 @@
+// Command p2drm-bench regenerates the evaluation tables (DESIGN.md §2 /
+// EXPERIMENTS.md).
+//
+//	p2drm-bench               run every experiment with lab parameters
+//	p2drm-bench -full         include production-parameter sweeps (slower)
+//	p2drm-bench -only T4,F1   run a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"p2drm/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		full = flag.Bool("full", false, "production-parameter sweeps (adds minutes)")
+		only = flag.String("only", "", "comma-separated experiment IDs (e.g. T1,F1)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	ran := 0
+	for _, r := range bench.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		log.Printf("running %s ...", r.ID)
+		table, err := r.Run(!*full)
+		if err != nil {
+			log.Fatalf("%s: %v", r.ID, err)
+		}
+		fmt.Println(table.Render())
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("no experiments matched -only=%q", *only)
+	}
+	_ = os.Stdout
+}

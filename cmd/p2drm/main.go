@@ -1,0 +1,469 @@
+// Command p2drm is the user-side CLI: a smartcard wallet plus the client
+// half of every P2DRM protocol, speaking to a p2drmd daemon.
+//
+// Local state (card seed, wallet, pseudonym bookkeeping) lives in -home.
+//
+//	p2drm -home ~/.p2drm init alice            create card + bank account
+//	p2drm catalog                              list items
+//	p2drm buy song-blue                        anonymous purchase
+//	p2drm wallet                               list held licenses
+//	p2drm play <serial-prefix> -o out.bin      compliant playback
+//	p2drm exchange <serial-prefix> -o tok.anon retire license → bearer token
+//	p2drm redeem tok.anon                      bearer token → new license
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"p2drm/internal/cryptox/kdf"
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/device"
+	"p2drm/internal/httpapi"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+	"p2drm/internal/provider"
+	"p2drm/internal/smartcard"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		server = flag.String("server", "http://127.0.0.1:8474", "p2drmd base URL")
+		home   = flag.String("home", ".p2drm", "local wallet directory")
+		out    = flag.String("o", "", "output file (play/exchange)")
+		lab    = flag.Bool("lab", false, "laboratory group parameters (must match the daemon)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: p2drm [flags] init|catalog|buy|wallet|play|exchange|redeem ...")
+	}
+
+	group := schnorr.Group2048()
+	if *lab {
+		group = schnorr.Group768()
+	}
+	w := &wallet{
+		home:   *home,
+		client: httpapi.NewClient(*server, group),
+		group:  group,
+	}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "init":
+		err = w.cmdInit(args)
+	case "catalog":
+		err = w.cmdCatalog()
+	case "buy":
+		err = w.cmdBuy(args)
+	case "wallet":
+		err = w.cmdWallet()
+	case "play":
+		err = w.cmdPlay(args, *out)
+	case "exchange":
+		err = w.cmdExchange(args, *out)
+	case "redeem":
+		err = w.cmdRedeem(args)
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		log.Fatalf("p2drm: %v", err)
+	}
+}
+
+// wallet is the CLI's local state.
+type wallet struct {
+	home   string
+	client *httpapi.Client
+	group  *schnorr.Group
+
+	store *kvstore.Store
+	card  *smartcard.Card
+}
+
+func (w *wallet) open() error {
+	if w.store != nil {
+		return nil
+	}
+	st, err := kvstore.Open(w.home)
+	if err != nil {
+		return err
+	}
+	w.store = st
+	seed, ok := st.Get([]byte("card-seed"))
+	if !ok {
+		return fmt.Errorf("wallet not initialised; run: p2drm init <account>")
+	}
+	var s [kdf.SeedLen]byte
+	copy(s[:], seed)
+	w.card = smartcard.New(w.group, s)
+	return nil
+}
+
+func (w *wallet) account() (string, error) {
+	acct, ok := w.store.Get([]byte("bank-account"))
+	if !ok {
+		return "", fmt.Errorf("no bank account recorded; re-run init")
+	}
+	return string(acct), nil
+}
+
+// nextPseudonym allocates a fresh pseudonym index, persisted.
+func (w *wallet) nextPseudonym() (uint32, error) {
+	var idx uint32
+	if raw, ok := w.store.Get([]byte("next-pseudonym")); ok && len(raw) == 4 {
+		idx = binary.BigEndian.Uint32(raw)
+	}
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], idx+1)
+	if err := w.store.Put([]byte("next-pseudonym"), buf[:]); err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+func (w *wallet) cmdInit(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: p2drm init <bank-account-name>")
+	}
+	st, err := kvstore.Open(w.home)
+	if err != nil {
+		return err
+	}
+	w.store = st
+	if st.Has([]byte("card-seed")) {
+		return fmt.Errorf("wallet already initialised in %s", w.home)
+	}
+	seed := make([]byte, kdf.SeedLen)
+	if _, err := rand.Read(seed); err != nil {
+		return err
+	}
+	if err := st.Put([]byte("card-seed"), seed); err != nil {
+		return err
+	}
+	if err := st.Put([]byte("bank-account"), []byte(args[0])); err != nil {
+		return err
+	}
+	// Try to open the account at the daemon's demo bank (ignore "exists").
+	if err := w.client.CreateAccount(args[0], 50); err != nil &&
+		!strings.Contains(err.Error(), "exists") {
+		log.Printf("warning: bank account: %v", err)
+	}
+	log.Printf("wallet initialised in %s (account %q)", w.home, args[0])
+	return nil
+}
+
+func (w *wallet) cmdCatalog() error {
+	items, err := w.client.Catalog()
+	if err != nil {
+		return err
+	}
+	for _, it := range items {
+		fmt.Printf("%-12s %-28s %3d credits\n", it.ID, it.Title, it.PriceCredits)
+	}
+	return nil
+}
+
+// licKey namespaces stored licenses.
+func licKey(serial license.Serial) []byte { return []byte("lic:" + serial.String()) }
+
+func (w *wallet) cmdBuy(args []string) error {
+	if err := w.open(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: p2drm buy <content-id>")
+	}
+	contentID := license.ContentID(args[0])
+	items, err := w.client.Catalog()
+	if err != nil {
+		return err
+	}
+	var price int64 = -1
+	for _, it := range items {
+		if it.ID == args[0] {
+			price = it.PriceCredits
+		}
+	}
+	if price < 0 {
+		return fmt.Errorf("content %q not in catalog", args[0])
+	}
+	acct, err := w.account()
+	if err != nil {
+		return err
+	}
+	idx, err := w.nextPseudonym()
+	if err != nil {
+		return err
+	}
+	ps, err := w.card.Pseudonym(idx)
+	if err != nil {
+		return err
+	}
+	nonce, err := w.client.Challenge()
+	if err != nil {
+		return err
+	}
+	proof, err := w.card.Prove(idx, provider.RegisterContext(nonce))
+	if err != nil {
+		return err
+	}
+	if err := w.client.Register(ps.SignPublic(w.group), ps.EncPublic(w.group), proof, nonce); err != nil {
+		return err
+	}
+	coins, err := w.client.WithdrawCoins(acct, int(price))
+	if err != nil {
+		return err
+	}
+	lic, err := w.client.Purchase(contentID, ps.SignPublic(w.group), ps.EncPublic(w.group), coins)
+	if err != nil {
+		return err
+	}
+	if err := w.store.Put(licKey(lic.Serial), lic.Marshal()); err != nil {
+		return err
+	}
+	var ib [4]byte
+	binary.BigEndian.PutUint32(ib[:], idx)
+	if err := w.store.Put([]byte("idx:"+lic.Serial.String()), ib[:]); err != nil {
+		return err
+	}
+	log.Printf("bought %s — license %s (pseudonym #%d)", contentID, lic.Serial.String()[:16], idx)
+	return nil
+}
+
+func (w *wallet) cmdWallet() error {
+	if err := w.open(); err != nil {
+		return err
+	}
+	n := 0
+	w.store.PrefixScan([]byte("lic:"), func(k, v []byte) bool {
+		lic, err := license.UnmarshalPersonalized(v)
+		if err != nil {
+			return true
+		}
+		fmt.Printf("%s  %-12s issued %s\n",
+			lic.Serial.String()[:16], lic.ContentID, lic.IssuedAt.Format(time.RFC3339))
+		n++
+		return true
+	})
+	if n == 0 {
+		fmt.Println("(wallet empty)")
+	}
+	return nil
+}
+
+// findLicense resolves a serial prefix to a stored license + pseudonym.
+func (w *wallet) findLicense(prefix string) (*license.Personalized, uint32, error) {
+	var found *license.Personalized
+	w.store.PrefixScan([]byte("lic:"), func(k, v []byte) bool {
+		if strings.HasPrefix(string(k[len("lic:"):]), prefix) {
+			if lic, err := license.UnmarshalPersonalized(v); err == nil {
+				found = lic
+				return false
+			}
+		}
+		return true
+	})
+	if found == nil {
+		return nil, 0, fmt.Errorf("no wallet license matches %q", prefix)
+	}
+	raw, ok := w.store.Get([]byte("idx:" + found.Serial.String()))
+	if !ok || len(raw) != 4 {
+		return nil, 0, fmt.Errorf("pseudonym record missing for %s", found.Serial.String()[:16])
+	}
+	return found, binary.BigEndian.Uint32(raw), nil
+}
+
+func (w *wallet) cmdPlay(args []string, out string) error {
+	if err := w.open(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: p2drm play <serial-prefix> [-o file]")
+	}
+	lic, idx, err := w.findLicense(args[0])
+	if err != nil {
+		return err
+	}
+	blob, err := w.client.Content(lic.ContentID)
+	if err != nil {
+		return err
+	}
+	sf, err := w.client.RevocationFilter()
+	if err != nil {
+		return err
+	}
+	devState, err := kvstore.Open(w.home + "/device")
+	if err != nil {
+		return err
+	}
+	defer devState.Close()
+	provPub, err := w.pinnedProviderKey()
+	if err != nil {
+		return err
+	}
+	dev, err := device.New(device.Config{
+		ID: "cli-device", Class: "audio", Region: "EU",
+		Group: w.group, ProviderPub: provPub, State: devState,
+	})
+	if err != nil {
+		return err
+	}
+	if err := dev.InstallRevocationFilter(sf); err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := dev.Play(w.card, idx, lic, newReader(blob), dst); err != nil {
+		return err
+	}
+	if out != "" {
+		log.Printf("played %s -> %s", lic.ContentID, out)
+	}
+	return nil
+}
+
+func (w *wallet) cmdExchange(args []string, out string) error {
+	if err := w.open(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: p2drm exchange <serial-prefix> -o token-file")
+	}
+	if out == "" {
+		return fmt.Errorf("exchange requires -o <token-file>")
+	}
+	lic, idx, err := w.findLicense(args[0])
+	if err != nil {
+		return err
+	}
+	denomPub, denomID, err := w.client.Denomination(lic.ContentID)
+	if err != nil {
+		return err
+	}
+	serial, err := license.NewSerial()
+	if err != nil {
+		return err
+	}
+	msg := license.AnonymousSigningBytes(serial, denomID)
+	blinded, st, err := rsablind.Blind(denomPub, msg, rand.Reader)
+	if err != nil {
+		return err
+	}
+	nonce, err := w.client.Challenge()
+	if err != nil {
+		return err
+	}
+	proof, err := w.card.Prove(idx, provider.ExchangeContext(nonce, lic.Serial))
+	if err != nil {
+		return err
+	}
+	blindSig, err := w.client.Exchange(lic, proof, nonce, blinded)
+	if err != nil {
+		return err
+	}
+	sig, err := rsablind.Unblind(denomPub, st, blindSig)
+	if err != nil {
+		return err
+	}
+	anon := &license.Anonymous{Serial: serial, Denom: denomID, Sig: sig}
+	if err := os.WriteFile(out, anon.Marshal(), 0o600); err != nil {
+		return err
+	}
+	w.store.Delete(licKey(lic.Serial))
+	w.store.Delete([]byte("idx:" + lic.Serial.String()))
+	log.Printf("exchanged %s for bearer token %s (give this file to the recipient)", lic.Serial.String()[:16], out)
+	return nil
+}
+
+func (w *wallet) cmdRedeem(args []string) error {
+	if err := w.open(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: p2drm redeem <token-file>")
+	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	anon, err := license.UnmarshalAnonymous(raw)
+	if err != nil {
+		return err
+	}
+	idx, err := w.nextPseudonym()
+	if err != nil {
+		return err
+	}
+	ps, err := w.card.Pseudonym(idx)
+	if err != nil {
+		return err
+	}
+	nonce, err := w.client.Challenge()
+	if err != nil {
+		return err
+	}
+	proof, err := w.card.Prove(idx, provider.RegisterContext(nonce))
+	if err != nil {
+		return err
+	}
+	if err := w.client.Register(ps.SignPublic(w.group), ps.EncPublic(w.group), proof, nonce); err != nil {
+		return err
+	}
+	lic, err := w.client.Redeem(anon, ps.SignPublic(w.group), ps.EncPublic(w.group))
+	if err != nil {
+		return err
+	}
+	if err := w.store.Put(licKey(lic.Serial), lic.Marshal()); err != nil {
+		return err
+	}
+	var ib [4]byte
+	binary.BigEndian.PutUint32(ib[:], idx)
+	if err := w.store.Put([]byte("idx:"+lic.Serial.String()), ib[:]); err != nil {
+		return err
+	}
+	log.Printf("redeemed token -> license %s for %s", lic.Serial.String()[:16], lic.ContentID)
+	return nil
+}
+
+// pinnedProviderKey implements trust-on-first-use for the provider's
+// verification key: on first contact the key is fetched and stored; on
+// later runs a changed key is refused (a swapped key would let a rogue
+// server feed the device forged licenses and filters).
+func (w *wallet) pinnedProviderKey() (*rsa.PublicKey, error) {
+	pub, err := w.client.ProviderKey()
+	if err != nil {
+		return nil, err
+	}
+	fetched := append(pub.N.Bytes(), byte(pub.E>>16), byte(pub.E>>8), byte(pub.E))
+	if pinned, ok := w.store.Get([]byte("provider-key")); ok {
+		if string(pinned) != string(fetched) {
+			return nil, fmt.Errorf("provider key changed since first use; refusing")
+		}
+		return pub, nil
+	}
+	if err := w.store.Put([]byte("provider-key"), fetched); err != nil {
+		return nil, err
+	}
+	return pub, nil
+}
+
+func newReader(b []byte) *strings.Reader { return strings.NewReader(string(b)) }

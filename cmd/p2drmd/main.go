@@ -1,0 +1,124 @@
+// Command p2drmd runs the P2DRM content provider (plus a demo bank) as an
+// HTTP daemon.
+//
+// Usage:
+//
+//	p2drmd -addr :8474 -state /var/lib/p2drm -rsa-bits 2048 -seed-demo
+//
+// With -seed-demo the catalog is populated with a few items and a funded
+// demo bank account ("demo", 100 credits), so the p2drm CLI works out of
+// the box.
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/httpapi"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+	"p2drm/internal/payment"
+	"p2drm/internal/provider"
+	"p2drm/internal/rel"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8474", "listen address")
+		stateDir = flag.String("state", "", "state directory (empty = in-memory)")
+		rsaBits  = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
+		lab      = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
+		seedDemo = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
+	)
+	flag.Parse()
+
+	group := schnorr.Group2048()
+	bits := *rsaBits
+	if *lab {
+		group = schnorr.Group768()
+		bits = 1024
+	}
+
+	log.Printf("p2drmd: generating %d-bit keys (group %s)...", bits, group.Name)
+	bankKey, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		log.Fatalf("bank key: %v", err)
+	}
+	provKey, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		log.Fatalf("provider key: %v", err)
+	}
+
+	bankDir, provDir := "", ""
+	if *stateDir != "" {
+		bankDir = *stateDir + "/bank"
+		provDir = *stateDir + "/provider"
+	}
+	spent, err := kvstore.Open(bankDir)
+	if err != nil {
+		log.Fatalf("bank store: %v", err)
+	}
+	bank, err := payment.NewBank(bankKey, spent)
+	if err != nil {
+		log.Fatalf("bank: %v", err)
+	}
+	if err := bank.CreateAccount("provider", 0); err != nil {
+		log.Fatalf("provider account: %v", err)
+	}
+	store, err := kvstore.Open(provDir)
+	if err != nil {
+		log.Fatalf("provider store: %v", err)
+	}
+	prov, err := provider.New(provider.Config{
+		Group:        group,
+		SignerKey:    provKey,
+		DenomKeyBits: bits,
+		Store:        store,
+		Bank:         bank,
+		BankAccount:  "provider",
+		Clock:        time.Now,
+	})
+	if err != nil {
+		log.Fatalf("provider: %v", err)
+	}
+
+	if *seedDemo {
+		template := rel.MustParse(`
+grant play count 25;
+grant transfer;
+delegate allow;
+valid until "2030-01-01T00:00:00Z";
+`)
+		demo := []struct {
+			id    license.ContentID
+			title string
+			price int64
+		}{
+			{"song-blue", "Blue Monday (demo)", 2},
+			{"song-red", "Red Rain (demo)", 3},
+			{"film-grey", "Grey Matter (demo)", 5},
+		}
+		for _, d := range demo {
+			if _, err := prov.AddContent(d.id, d.title, d.price, template,
+				[]byte("demo content payload for "+string(d.id))); err != nil {
+				log.Fatalf("seed %s: %v", d.id, err)
+			}
+			log.Printf("p2drmd: listed %s (%d credits)", d.id, d.price)
+		}
+		if err := bank.CreateAccount("demo", 100); err != nil {
+			log.Fatalf("demo account: %v", err)
+		}
+		log.Printf("p2drmd: demo bank account %q funded with 100 credits", "demo")
+	}
+
+	srv := httpapi.NewServer(prov).WithBank(bank)
+	log.Printf("p2drmd: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

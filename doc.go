@@ -1,0 +1,10 @@
+// Package p2drm is a from-scratch Go reproduction of "Privacy-Preserving
+// Digital Rights Management" (VLDB 2004 / SDM workshop): a DRM system in
+// which users buy, play and transfer protected content anonymously and
+// unlinkably, while the content provider keeps full rights enforcement.
+//
+// The implementation lives under internal/: start at internal/core for
+// the assembled protocols, and see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation. Root-level bench_test.go
+// exposes one testing.B benchmark per evaluation table/figure.
+package p2drm

@@ -1,0 +1,108 @@
+// Domain: a household shares one purchased license across its devices
+// while the provider never learns which devices (or how many) belong to
+// the home — only a Pedersen commitment it can audit for the size cap.
+//
+//	go run ./examples/domain
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"p2drm/internal/core"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/domain"
+	"p2drm/internal/rel"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := core.NewSystem(core.Options{
+		Group: schnorr.Group768(), RSABits: 1024, DenomKeyBits: 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Domain-restricted movie: playable only inside an authorized domain.
+	rights := rel.MustParse("grant play count 100; require domain;")
+	if _, err := sys.Provider.AddContent("movie-1", "Family Movie", 8, rights,
+		[]byte("feature film bits")); err != nil {
+		log.Fatal(err)
+	}
+
+	// The household buys through its domain manager's card.
+	family, err := sys.NewUser("the-family", 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lic, err := sys.Purchase(family, "movie-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, _ := family.PseudonymFor(lic.Serial)
+	mgr, err := domain.NewManager("home-1", sys.Group, sys.Provider.Public(),
+		family.Card, idx, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two certified devices join; the DM verifies their compliance
+	// certificates and issues membership credentials locally.
+	tv, tvCert, err := sys.NewDevice("tv", "video", "EU")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tablet, tabletCert, err := sys.NewDevice("tablet", "video", "EU")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mgr.Join(tvCert, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mgr.Join(tabletCert, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+	tv.JoinedDomain(mgr.ID())
+	tablet.JoinedDomain(mgr.ID())
+	fmt.Printf("domain %q has %d members: %v\n", mgr.ID(), mgr.Size(), mgr.Members())
+
+	// Each member gets the content key re-wrapped to its certified key.
+	item, _ := sys.Provider.Item("movie-1")
+	label := domain.WrapLabel(lic.Serial, lic.ContentID, mgr.ID())
+
+	tvWrap, err := mgr.MemberWrap(lic, "tv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := tv.PlayDomain(lic, tvWrap, mgr.ID(), label, bytes.NewReader(item.Encrypted), &out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tv plays: %q\n", out.String())
+
+	tabletWrap, err := mgr.MemberWrap(lic, "tablet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out.Reset()
+	if err := tablet.PlayDomain(lic, tabletWrap, mgr.ID(), label, bytes.NewReader(item.Encrypted), &out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tablet plays: %q\n", out.String())
+
+	// The provider audits the domain size without learning membership.
+	commitment := mgr.SizeCommitment()
+	audit := mgr.Audit()
+	if err := domain.VerifyAudit(sys.Group, commitment, audit, 4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provider audit: domain size %d ≤ cap 4 verified — member identities never disclosed\n", audit.Count)
+
+	// A device that leaves stops getting wraps.
+	mgr.Leave("tablet")
+	if _, err := mgr.MemberWrap(lic, "tablet"); err != nil {
+		fmt.Printf("after leaving: %v\n", err)
+	}
+}

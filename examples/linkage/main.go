@@ -1,0 +1,72 @@
+// Linkage: run the honest-but-curious provider's linking attack against
+// its own journal and watch privacy degrade as users get lazy with
+// pseudonyms — the system's F1 figure, live.
+//
+//	go run ./examples/linkage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2drm/internal/core"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/linkage"
+	"p2drm/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("linkage attack vs pseudonym reuse (16 users, 96 purchases, 25% transferred)")
+	fmt.Println()
+	fmt.Printf("%-24s %-8s %-10s %s\n", "pseudonym policy", "recall", "precision", "meaning")
+	fmt.Printf("%-24s %-8s %-10s %s\n", "----------------", "------", "---------", "-------")
+
+	for _, cfg := range []struct {
+		label string
+		reuse int
+	}{
+		{"fresh per purchase", 1},
+		{"reused 4 times", 4},
+		{"reused 16 times", 16},
+		{"one pseudonym forever", 1 << 20},
+	} {
+		sys, err := core.NewSystem(core.Options{
+			Group: schnorr.Group768(), RSABits: 1024, DenomKeyBits: 1024,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wcfg := workload.Config{
+			Users: 16, Contents: 4, PriceCredits: 1,
+			Purchases: 96, TransferFraction: 0.25,
+			PurchasesPerPseudonym: cfg.reuse, Seed: 2004,
+		}
+		if err := workload.Populate(sys, wcfg); err != nil {
+			log.Fatal(err)
+		}
+		res, err := workload.Run(sys, wcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clusters := linkage.Attack(res.Events, sys.Provider.DenomPublic)
+		m := linkage.Evaluate(res.Events, clusters, res.Truth)
+
+		meaning := "provider reconstructs nothing"
+		switch {
+		case m.Recall > 0.95:
+			meaning = "provider reconstructs full profiles"
+		case m.Recall > 0.3:
+			meaning = "provider links most of a user's activity"
+		case m.Recall > 0.02:
+			meaning = "only within-pseudonym activity links"
+		}
+		fmt.Printf("%-24s %-8.3f %-10.3f %s\n", cfg.label, m.Recall, m.Precision, meaning)
+	}
+
+	fmt.Println()
+	fmt.Println("identified baseline      1.000    1.000      every event names the account")
+	fmt.Println()
+	fmt.Println("transfers stay unlinkable in every row: blind signatures hide the")
+	fmt.Println("exchange↔redeem correspondence regardless of pseudonym hygiene.")
+}

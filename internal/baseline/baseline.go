@@ -1,0 +1,344 @@
+// Package baseline implements the comparison system for the evaluation:
+// a conventional 2004-era DRM in which every license is bound to the
+// buyer's REAL account identity and every transfer is brokered with both
+// identities in the provider's ledger.
+//
+// Functionally it delivers the same guarantees to the content owner
+// (licenses enforce rights, transfers revoke the source), with none of the
+// privacy machinery: no pseudonyms, no blind signatures, no bearer
+// tokens. The linkage experiments use its journal as the 100 %-linkable
+// reference point, and the latency experiments use it to price P2DRM's
+// privacy overhead.
+package baseline
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2drm/internal/cryptox/envelope"
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+	"p2drm/internal/rel"
+)
+
+// License is an identity-bound license: the provider records exactly who
+// holds it.
+type License struct {
+	Serial    license.Serial
+	ContentID license.ContentID
+	UserID    string
+	Rights    *rel.Rights
+	// WrappedKey is the content key RSA-OAEP-wrapped to the user's key.
+	WrappedKey []byte
+	IssuedAt   time.Time
+	Sig        []byte
+}
+
+// SigningBytes returns the canonical signed form.
+func (l *License) SigningBytes() []byte {
+	var b bytes.Buffer
+	b.WriteString("p2drm/baseline-license/v1")
+	b.Write(l.Serial[:])
+	writeField(&b, []byte(l.ContentID))
+	writeField(&b, []byte(l.UserID))
+	writeField(&b, l.Rights.Canonical())
+	writeField(&b, l.WrappedKey)
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(l.IssuedAt.UTC().Unix()))
+	b.Write(ts[:])
+	return b.Bytes()
+}
+
+func writeField(b *bytes.Buffer, f []byte) {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(f)))
+	b.Write(n[:])
+	b.Write(f)
+}
+
+// Verify checks the provider signature.
+func (l *License) Verify(pub *rsa.PublicKey) error {
+	if l == nil {
+		return errors.New("baseline: nil license")
+	}
+	return rsablind.Verify(pub, l.SigningBytes(), l.Sig)
+}
+
+// Event is a journal record. Unlike the P2DRM journal, it names users.
+type Event struct {
+	Seq       int
+	Type      string // "purchase" | "transfer" | "register"
+	At        time.Time
+	UserID    string
+	PeerID    string // transfer counterparty
+	ContentID license.ContentID
+	Serial    string
+}
+
+// Account is a registered customer with an RSA key pair for key delivery
+// and a card on file (modelled as a balance).
+type Account struct {
+	ID      string
+	Key     *rsa.PrivateKey
+	Balance int64
+}
+
+// item mirrors provider.CatalogItem minimally.
+type item struct {
+	id         license.ContentID
+	price      int64
+	template   *rel.Rights
+	contentKey []byte
+	encrypted  []byte
+}
+
+// Provider is the identified-DRM provider.
+type Provider struct {
+	signer *rsablind.Signer
+	clock  func() time.Time
+
+	mu       sync.Mutex
+	accounts map[string]*Account
+	catalog  map[license.ContentID]*item
+	store    *kvstore.Store
+	events   []Event
+	seq      int
+	revoked  map[license.Serial]bool
+}
+
+// New builds a baseline provider.
+func New(signerKey *rsa.PrivateKey, store *kvstore.Store, clock func() time.Time) (*Provider, error) {
+	signer, err := rsablind.NewSigner(signerKey)
+	if err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, errors.New("baseline: nil store")
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Provider{
+		signer:   signer,
+		clock:    clock,
+		accounts: make(map[string]*Account),
+		catalog:  make(map[license.ContentID]*item),
+		store:    store,
+		revoked:  make(map[license.Serial]bool),
+	}, nil
+}
+
+// Public returns the license verification key.
+func (p *Provider) Public() *rsa.PublicKey { return p.signer.Public() }
+
+func (p *Provider) log(e Event) {
+	p.seq++
+	e.Seq = p.seq
+	e.At = p.clock()
+	p.events = append(p.events, e)
+}
+
+// Events returns a journal copy.
+func (p *Provider) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.events...)
+}
+
+// AddContent lists an item.
+func (p *Provider) AddContent(id license.ContentID, price int64, template *rel.Rights, plaintext []byte) error {
+	if err := template.Validate(); err != nil {
+		return err
+	}
+	key, err := envelope.NewContentKey()
+	if err != nil {
+		return err
+	}
+	var enc bytes.Buffer
+	if err := envelope.EncryptStream(&enc, bytes.NewReader(plaintext), key, int64(len(plaintext)), 0); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.catalog[id]; dup {
+		return fmt.Errorf("baseline: duplicate content %q", id)
+	}
+	p.catalog[id] = &item{id: id, price: price, template: template.Clone(), contentKey: key, encrypted: enc.Bytes()}
+	return nil
+}
+
+// Register opens an identified account. keyBits sizes the user's RSA key
+// (the provider generates and escrows it in this simplified model, as
+// several 2004 deployments did).
+func (p *Provider) Register(userID string, funds int64, keyBits int) (*Account, error) {
+	if userID == "" {
+		return nil, errors.New("baseline: empty user id")
+	}
+	key, err := rsa.GenerateKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	acct := &Account{ID: userID, Key: key, Balance: funds}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.accounts[userID]; dup {
+		return nil, fmt.Errorf("baseline: account %q exists", userID)
+	}
+	p.accounts[userID] = acct
+	p.log(Event{Type: "register", UserID: userID})
+	return acct, nil
+}
+
+// Purchase bills the account and issues an identity-bound license.
+func (p *Provider) Purchase(userID string, contentID license.ContentID) (*License, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	acct, ok := p.accounts[userID]
+	if !ok {
+		return nil, fmt.Errorf("baseline: unknown account %q", userID)
+	}
+	it, ok := p.catalog[contentID]
+	if !ok {
+		return nil, fmt.Errorf("baseline: unknown content %q", contentID)
+	}
+	if acct.Balance < it.price {
+		return nil, errors.New("baseline: insufficient funds")
+	}
+	lic, err := p.issueLocked(it, acct)
+	if err != nil {
+		return nil, err
+	}
+	acct.Balance -= it.price
+	p.log(Event{Type: "purchase", UserID: userID, ContentID: contentID, Serial: lic.Serial.String()})
+	return lic, nil
+}
+
+func (p *Provider) issueLocked(it *item, acct *Account) (*License, error) {
+	serial, err := license.NewSerial()
+	if err != nil {
+		return nil, err
+	}
+	wrapped, err := envelope.WrapKey(&acct.Key.PublicKey, it.contentKey, wrapLabel(serial, it.id))
+	if err != nil {
+		return nil, err
+	}
+	lic := &License{
+		Serial:     serial,
+		ContentID:  it.id,
+		UserID:     acct.ID,
+		Rights:     it.template.Clone(),
+		WrappedKey: wrapped,
+		IssuedAt:   p.clock().UTC().Truncate(time.Second),
+	}
+	sig, err := p.signer.Sign(lic.SigningBytes())
+	if err != nil {
+		return nil, err
+	}
+	lic.Sig = sig
+	if err := p.store.Put([]byte("lic:"+serial.String()), lic.SigningBytes()); err != nil {
+		return nil, err
+	}
+	return lic, nil
+}
+
+func wrapLabel(serial license.Serial, content license.ContentID) []byte {
+	return []byte("baseline/" + serial.String() + "/" + string(content))
+}
+
+// Transfer reassigns a license between named accounts: the provider
+// learns, records and timestamps the giver↔receiver relation — the exact
+// disclosure the P2DRM exchange/redeem pair eliminates.
+func (p *Provider) Transfer(fromUser string, serial license.Serial, toUser string) (*License, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	from, ok := p.accounts[fromUser]
+	if !ok {
+		return nil, fmt.Errorf("baseline: unknown account %q", fromUser)
+	}
+	to, ok := p.accounts[toUser]
+	if !ok {
+		return nil, fmt.Errorf("baseline: unknown account %q", toUser)
+	}
+	if p.revoked[serial] {
+		return nil, errors.New("baseline: license revoked")
+	}
+	raw, ok := p.store.Get([]byte("lic:" + serial.String()))
+	if !ok {
+		return nil, errors.New("baseline: unknown license")
+	}
+	// Confirm the license belongs to fromUser (identity check, not proof
+	// of possession — the account IS the identity here).
+	if !bytes.Contains(raw, []byte(fromUser)) {
+		return nil, errors.New("baseline: license not held by sender")
+	}
+	var it *item
+	for id, cand := range p.catalog {
+		if bytes.Contains(raw, []byte(id)) {
+			it = cand
+			break
+		}
+	}
+	if it == nil {
+		return nil, errors.New("baseline: catalog item missing")
+	}
+	p.revoked[serial] = true
+	lic, err := p.issueLocked(it, to)
+	if err != nil {
+		return nil, err
+	}
+	_ = from
+	p.log(Event{Type: "transfer", UserID: fromUser, PeerID: toUser, ContentID: it.id, Serial: lic.Serial.String()})
+	return lic, nil
+}
+
+// Revoked reports revocation state.
+func (p *Provider) Revoked(serial license.Serial) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.revoked[serial]
+}
+
+// Play decrypts content after verifying the license (the baseline
+// "device": signature + revocation + rights, no card challenge).
+func (p *Provider) Play(acct *Account, lic *License, now time.Time, used map[rel.Action]int64) ([]byte, error) {
+	if err := lic.Verify(p.Public()); err != nil {
+		return nil, err
+	}
+	if lic.UserID != acct.ID {
+		return nil, errors.New("baseline: license belongs to another user")
+	}
+	if p.Revoked(lic.Serial) {
+		return nil, errors.New("baseline: license revoked")
+	}
+	dec := lic.Rights.Evaluate(rel.ActPlay, rel.Context{Now: now, Used: used})
+	if !dec.Allowed {
+		return nil, fmt.Errorf("baseline: %s", dec.Reason)
+	}
+	key, err := envelope.UnwrapKey(acct.Key, lic.WrappedKey, wrapLabel(lic.Serial, lic.ContentID))
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	it := p.catalog[lic.ContentID]
+	p.mu.Unlock()
+	var out bytes.Buffer
+	if err := envelope.DecryptStream(&out, bytes.NewReader(it.encrypted), key); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Fingerprint gives a stable per-user hash, used when comparing journals
+// to P2DRM pseudonym fingerprints.
+func Fingerprint(userID string) string {
+	h := sha256.Sum256([]byte("baseline-user|" + userID))
+	return fmt.Sprintf("%x", h[:16])
+}

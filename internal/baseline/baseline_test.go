@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+	"testing"
+	"time"
+
+	"p2drm/internal/kvstore"
+
+	"p2drm/internal/rel"
+)
+
+var (
+	keyOnce sync.Once
+	sKey    *rsa.PrivateKey
+)
+
+var fixedNow = time.Date(2004, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func newProvider(t *testing.T) *Provider {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		sKey, err = rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+	})
+	st, _ := kvstore.Open("")
+	p, err := New(sKey, st, func() time.Time { return fixedNow })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddContent("song-1", 2, rel.MustParse("grant play count 5; grant transfer;"), []byte("audio")); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPurchaseAndPlay(t *testing.T) {
+	p := newProvider(t)
+	acct, err := p.Register("alice@example.com", 10, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lic, err := p.Purchase("alice@example.com", "song-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lic.UserID != "alice@example.com" {
+		t.Error("license not identity-bound")
+	}
+	if acct.Balance != 8 {
+		t.Errorf("balance = %d", acct.Balance)
+	}
+	out, err := p.Play(acct, lic, fixedNow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte("audio")) {
+		t.Error("content mismatch")
+	}
+}
+
+func TestPlayEnforcement(t *testing.T) {
+	p := newProvider(t)
+	alice, _ := p.Register("alice", 10, 1024)
+	bob, _ := p.Register("bob", 10, 1024)
+	lic, _ := p.Purchase("alice", "song-1")
+
+	// Bob cannot play Alice's license even with the file.
+	if _, err := p.Play(bob, lic, fixedNow, nil); err == nil {
+		t.Error("cross-user playback allowed")
+	}
+	// Count exhaustion.
+	if _, err := p.Play(alice, lic, fixedNow, map[rel.Action]int64{rel.ActPlay: 5}); err == nil {
+		t.Error("exhausted license played")
+	}
+	// Tampered license.
+	bad := *lic
+	bad.Rights = rel.MustParse("grant play;")
+	if _, err := p.Play(alice, &bad, fixedNow, nil); err == nil {
+		t.Error("tampered license played")
+	}
+}
+
+func TestTransferRevealsIdentitiesAndRevokes(t *testing.T) {
+	p := newProvider(t)
+	alice, _ := p.Register("alice", 10, 1024)
+	bob, _ := p.Register("bob", 10, 1024)
+	lic, _ := p.Purchase("alice", "song-1")
+
+	newLic, err := p.Transfer("alice", lic.Serial, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newLic.UserID != "bob" {
+		t.Error("transfer did not rebind identity")
+	}
+	if !p.Revoked(lic.Serial) {
+		t.Error("source license not revoked")
+	}
+	if _, err := p.Play(alice, lic, fixedNow, nil); err == nil {
+		t.Error("revoked license played")
+	}
+	if _, err := p.Play(bob, newLic, fixedNow, nil); err != nil {
+		t.Errorf("recipient cannot play: %v", err)
+	}
+	// The journal names both parties — the privacy leak P2DRM removes.
+	var found bool
+	for _, e := range p.Events() {
+		if e.Type == "transfer" {
+			found = true
+			if e.UserID != "alice" || e.PeerID != "bob" {
+				t.Error("transfer journal does not name both parties")
+			}
+		}
+	}
+	if !found {
+		t.Error("no transfer event journaled")
+	}
+}
+
+func TestTransferGuards(t *testing.T) {
+	p := newProvider(t)
+	p.Register("alice", 10, 1024)
+	p.Register("bob", 10, 1024)
+	lic, _ := p.Purchase("alice", "song-1")
+
+	if _, err := p.Transfer("bob", lic.Serial, "alice"); err == nil {
+		t.Error("non-holder transferred a license")
+	}
+	if _, err := p.Transfer("alice", lic.Serial, "ghost"); err == nil {
+		t.Error("transfer to unknown account")
+	}
+	if _, err := p.Transfer("alice", lic.Serial, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transfer("alice", lic.Serial, "bob"); err == nil {
+		t.Error("revoked license transferred again")
+	}
+}
+
+func TestRegisterAndCatalogGuards(t *testing.T) {
+	p := newProvider(t)
+	if _, err := p.Register("", 0, 1024); err == nil {
+		t.Error("empty user accepted")
+	}
+	p.Register("dup", 0, 1024)
+	if _, err := p.Register("dup", 0, 1024); err == nil {
+		t.Error("duplicate account accepted")
+	}
+	if err := p.AddContent("song-1", 1, rel.MustParse("grant play;"), nil); err == nil {
+		t.Error("duplicate content accepted")
+	}
+	if _, err := p.Purchase("ghost", "song-1"); err == nil {
+		t.Error("unknown account purchased")
+	}
+	if _, err := p.Purchase("dup", "nothing"); err == nil {
+		t.Error("unknown content purchased")
+	}
+	if _, err := p.Purchase("dup", "song-1"); err == nil {
+		t.Error("broke purchase succeeded")
+	}
+}
+
+func TestEveryEventNamesTheUser(t *testing.T) {
+	// The structural privacy difference to P2DRM: every baseline journal
+	// row carries a real identity.
+	p := newProvider(t)
+	p.Register("alice", 10, 1024)
+	p.Register("bob", 10, 1024)
+	lic, _ := p.Purchase("alice", "song-1")
+	p.Transfer("alice", lic.Serial, "bob")
+	for _, e := range p.Events() {
+		if e.UserID == "" {
+			t.Errorf("event %d (%s) has no user identity", e.Seq, e.Type)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "TX",
+		Title:  "Example",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "note text",
+	}
+	out := tab.Render()
+	for _, want := range []string{"TX — Example", "a", "bb", "333", "note: note text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		5 * time.Nanosecond:     "5ns",
+		1500 * time.Nanosecond:  "1.5µs",
+		2500 * time.Microsecond: "2.50ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestTimeOp(t *testing.T) {
+	n := 0
+	d, err := timeOp(5, func() error { n++; return nil })
+	if err != nil || n != 5 || d < 0 {
+		t.Errorf("timeOp: n=%d d=%v err=%v", n, d, err)
+	}
+	if _, err := timeOp(1, func() error { return bytes.ErrTooLarge }); err == nil {
+		t.Error("timeOp swallowed error")
+	}
+}
+
+// TestExperimentsQuick executes every experiment in quick mode: the
+// harness itself is part of the deliverable and must stay runnable.
+func TestExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(true)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", r.ID)
+			}
+			if len(tab.Header) == 0 {
+				t.Fatalf("%s has no header", r.ID)
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Errorf("%s row %d has %d cells, header has %d", r.ID, i, len(row), len(tab.Header))
+				}
+			}
+			t.Logf("\n%s", tab.Render())
+		})
+	}
+}
+
+// TestF1Shape pins the headline result: recall grows with pseudonym
+// reuse — fresh pseudonyms keep the attack near zero, total reuse hands
+// the provider everything.
+func TestF1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long")
+	}
+	tab, err := RunF1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are ordered by reuse 1,2,4,8,16 then the baseline row.
+	first := tab.Rows[0][1]
+	last := tab.Rows[len(tab.Rows)-2][1]
+	if !(first < last) { // lexical compare works: "0.0xx" < "0.yyy"
+		t.Errorf("recall did not grow with reuse: first=%s last=%s", first, last)
+	}
+}
+
+// TestA1Shape pins the ablation: clear serials are fully linkable,
+// blinded ones are not.
+func TestA1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-long")
+	}
+	tab, err := RunA1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("A1 rows = %d", len(tab.Rows))
+	}
+	blinded, clear := tab.Rows[0][1], tab.Rows[1][1]
+	if blinded != "0.000" {
+		t.Errorf("blinded transfer recall = %s, want 0.000", blinded)
+	}
+	if clear != "1.000" {
+		t.Errorf("clear-serial transfer recall = %s, want 1.000", clear)
+	}
+}
+
+func TestRunAllWritesTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "A1"} {
+		if !strings.Contains(buf.String(), id+" — ") {
+			t.Errorf("output missing table %s", id)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := New(100, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewWithEstimates(0, 0.01); err == nil {
+		t.Error("accepted n=0")
+	}
+	for _, fp := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewWithEstimates(100, fp); err == nil {
+			t.Errorf("accepted fp=%v", fp)
+		}
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := NewWithEstimates(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("serial-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains([]byte(fmt.Sprintf("serial-%d", i))) {
+			t.Fatalf("false negative for serial-%d", i)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", f.Count())
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 5000
+	const target = 0.01
+	f, err := NewWithEstimates(n, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f.Add([]byte(fmt.Sprintf("in-%d", i)))
+	}
+	falsePos := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains([]byte(fmt.Sprintf("out-%d", i))) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / probes
+	// Allow 3x headroom over the target: the estimate is asymptotic.
+	if rate > 3*target {
+		t.Errorf("observed FP rate %.4f far above target %.4f", rate, target)
+	}
+	est := f.EstimatedFalsePositiveRate()
+	if est <= 0 || est > 3*target {
+		t.Errorf("estimated FP rate %.4f implausible", est)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f, _ := New(1024, 4)
+	if f.Contains([]byte("anything")) {
+		t.Error("empty filter claims membership")
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Error("empty filter has nonzero FP estimate")
+	}
+}
+
+func TestMarshalRoundtrip(t *testing.T) {
+	f, _ := NewWithEstimates(100, 0.02)
+	for i := 0; i < 100; i++ {
+		f.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	data := f.Marshal()
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.m != f.m || back.k != f.k || back.n != f.n {
+		t.Error("header fields differ after roundtrip")
+	}
+	for i := 0; i < 100; i++ {
+		if !back.Contains([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("false negative after roundtrip: k%d", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if _, err := Unmarshal(make([]byte, 19)); err == nil {
+		t.Error("accepted short header")
+	}
+	f, _ := New(128, 2)
+	data := f.Marshal()
+	if _, err := Unmarshal(data[:len(data)-1]); err == nil {
+		t.Error("accepted truncated body")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, _ := New(1024, 3)
+	b, _ := New(1024, 3)
+	a.Add([]byte("x"))
+	b.Add([]byte("y"))
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Contains([]byte("x")) || !a.Contains([]byte("y")) {
+		t.Error("union lost elements")
+	}
+	c, _ := New(2048, 3)
+	if err := a.Union(c); err == nil {
+		t.Error("union of incompatible filters accepted")
+	}
+	if err := a.Union(nil); err == nil {
+		t.Error("union with nil accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	f, _ := New(777, 5)
+	if f.Bits() != 777 || f.Hashes() != 5 {
+		t.Errorf("accessors: bits=%d hashes=%d", f.Bits(), f.Hashes())
+	}
+}
+
+// Property: anything added is always found (no false negatives, the
+// filter's defining invariant).
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f, _ := NewWithEstimates(2000, 0.05)
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(8))}
+	check := func(key []byte) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: marshal/unmarshal preserves membership answers exactly.
+func TestQuickMarshalPreservesMembership(t *testing.T) {
+	f, _ := NewWithEstimates(500, 0.01)
+	keys := make([][]byte, 0, 50)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		k := make([]byte, 1+r.Intn(20))
+		r.Read(k)
+		keys = append(keys, k)
+		f.Add(k)
+	}
+	back, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		probe := make([]byte, 1+r.Intn(20))
+		r.Read(probe)
+		if f.Contains(probe) != back.Contains(probe) {
+			t.Fatal("membership answer changed after roundtrip")
+		}
+	}
+	for _, k := range keys {
+		if !back.Contains(k) {
+			t.Fatal("added key lost after roundtrip")
+		}
+	}
+}

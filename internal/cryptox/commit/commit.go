@@ -1,0 +1,206 @@
+// Package commit implements Pedersen commitments over the schnorr groups,
+// plus simple hash commitments.
+//
+// The authorized-domain protocol (internal/domain) uses Pedersen
+// commitments so a domain manager can prove facts about its membership
+// (e.g. a size bound) to the content provider without revealing which
+// devices belong to the domain. Pedersen commitments are perfectly hiding —
+// even an unbounded provider learns nothing — and computationally binding
+// under the discrete-log assumption.
+//
+// The second generator H is derived by hashing into the group
+// (hash → square mod P lands in the quadratic-residue subgroup), so no
+// party knows log_G(H); knowing it would break binding.
+package commit
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"p2drm/internal/cryptox/schnorr"
+)
+
+// Params holds the group and the two generators.
+type Params struct {
+	Group *schnorr.Group
+	H     *big.Int // second generator, nothing-up-my-sleeve
+}
+
+// NewParams derives commitment parameters for a group. The derivation is
+// deterministic, so both parties compute identical parameters locally.
+func NewParams(g *schnorr.Group) (*Params, error) {
+	if g == nil {
+		return nil, errors.New("commit: nil group")
+	}
+	h, err := hashToGroup(g, []byte("p2drm/pedersen-h/v1/"+g.Name))
+	if err != nil {
+		return nil, err
+	}
+	return &Params{Group: g, H: h}, nil
+}
+
+// hashToGroup maps a seed to a non-trivial element of the order-Q subgroup
+// by expanding the seed below P and squaring (every square is a QR, and the
+// QR subgroup has order Q for a safe prime).
+func hashToGroup(g *schnorr.Group, seed []byte) (*big.Int, error) {
+	byteLen := (g.P.BitLen() + 7) / 8
+	one := big.NewInt(1)
+	for ctr := byte(0); ctr < 255; ctr++ {
+		buf := make([]byte, 0, byteLen+sha256.Size)
+		block := 0
+		for len(buf) < byteLen {
+			h := sha256.New()
+			h.Write(seed)
+			h.Write([]byte{ctr, byte(block)})
+			buf = h.Sum(buf)
+			block++
+		}
+		v := new(big.Int).SetBytes(buf[:byteLen])
+		v.Mod(v, g.P)
+		v.Mul(v, v)
+		v.Mod(v, g.P)
+		if v.Cmp(one) > 0 && v.Cmp(g.G) != 0 {
+			return v, nil
+		}
+	}
+	return nil, errors.New("commit: hash-to-group failed")
+}
+
+// Commitment is a Pedersen commitment C = G^m * H^r mod P.
+type Commitment struct {
+	C *big.Int
+}
+
+// Opening is the decommitment: the committed value and blinding factor.
+type Opening struct {
+	M *big.Int // committed value, reduced mod Q
+	R *big.Int // blinding factor
+}
+
+// Commit commits to value m with a fresh random blinding factor.
+func (p *Params) Commit(m *big.Int, random io.Reader) (*Commitment, *Opening, error) {
+	r, err := randScalar(p.Group, random)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := p.commitWith(m, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	mr := new(big.Int).Mod(m, p.Group.Q)
+	return c, &Opening{M: mr, R: r}, nil
+}
+
+// CommitBytes commits to arbitrary bytes by first hashing them to a scalar.
+func (p *Params) CommitBytes(data []byte, random io.Reader) (*Commitment, *Opening, error) {
+	return p.Commit(p.ScalarFromBytes(data), random)
+}
+
+// ScalarFromBytes maps bytes to a scalar mod Q (domain-separated hash).
+func (p *Params) ScalarFromBytes(data []byte) *big.Int {
+	h := sha256.New()
+	h.Write([]byte("p2drm/pedersen-scalar/v1"))
+	h.Write(data)
+	v := new(big.Int).SetBytes(h.Sum(nil))
+	return v.Mod(v, p.Group.Q)
+}
+
+func (p *Params) commitWith(m, r *big.Int) (*Commitment, error) {
+	g := p.Group
+	mm := new(big.Int).Mod(m, g.Q)
+	gm := new(big.Int).Exp(g.G, mm, g.P)
+	hr := new(big.Int).Exp(p.H, r, g.P)
+	c := new(big.Int).Mul(gm, hr)
+	c.Mod(c, g.P)
+	return &Commitment{C: c}, nil
+}
+
+// Verify checks that an opening matches a commitment.
+func (p *Params) Verify(c *Commitment, o *Opening) error {
+	if c == nil || c.C == nil || o == nil || o.M == nil || o.R == nil {
+		return errors.New("commit: nil commitment or opening")
+	}
+	want, err := p.commitWith(o.M, o.R)
+	if err != nil {
+		return err
+	}
+	if want.C.Cmp(c.C) != 0 {
+		return errors.New("commit: opening does not match commitment")
+	}
+	return nil
+}
+
+// Add homomorphically combines commitments: Commit(m1+m2, r1+r2).
+// The domain manager uses this to maintain a running committed member
+// count that the provider can audit without seeing individual joins.
+func (p *Params) Add(a, b *Commitment) *Commitment {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, p.Group.P)
+	return &Commitment{C: c}
+}
+
+// AddOpenings combines the matching openings.
+func (p *Params) AddOpenings(a, b *Opening) *Opening {
+	m := new(big.Int).Add(a.M, b.M)
+	m.Mod(m, p.Group.Q)
+	r := new(big.Int).Add(a.R, b.R)
+	r.Mod(r, p.Group.Q)
+	return &Opening{M: m, R: r}
+}
+
+// Bytes encodes the commitment fixed-width.
+func (c *Commitment) Bytes(p *Params) []byte {
+	return p.Group.EncodeElement(c.C)
+}
+
+// ParseCommitment decodes a commitment and rejects out-of-range elements.
+func (p *Params) ParseCommitment(data []byte) (*Commitment, error) {
+	want := (p.Group.P.BitLen() + 7) / 8
+	if len(data) != want {
+		return nil, fmt.Errorf("commit: commitment length %d, want %d", len(data), want)
+	}
+	c := new(big.Int).SetBytes(data)
+	if c.Sign() <= 0 || c.Cmp(p.Group.P) >= 0 {
+		return nil, errors.New("commit: commitment out of range")
+	}
+	return &Commitment{C: c}, nil
+}
+
+// HashCommit is a simple computationally-hiding hash commitment
+// HMAC-SHA256(key=r, value), used where perfect hiding is unnecessary and
+// group arithmetic too costly (e.g. smartcard-side session binding).
+func HashCommit(value, r []byte) [32]byte {
+	m := hmac.New(sha256.New, r)
+	m.Write([]byte("p2drm/hash-commit/v1"))
+	m.Write(value)
+	var out [32]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// HashVerify checks a hash commitment opening in constant time.
+func HashVerify(c [32]byte, value, r []byte) bool {
+	want := HashCommit(value, r)
+	return hmac.Equal(c[:], want[:])
+}
+
+// randScalar draws a uniform scalar in [1, Q-1].
+func randScalar(g *schnorr.Group, random io.Reader) (*big.Int, error) {
+	byteLen := (g.Q.BitLen() + 7) / 8
+	buf := make([]byte, byteLen)
+	topMask := byte(0xff >> (uint(byteLen*8) - uint(g.Q.BitLen())))
+	for {
+		if _, err := io.ReadFull(random, buf); err != nil {
+			return nil, fmt.Errorf("commit: randomness: %w", err)
+		}
+		buf[0] &= topMask
+		x := new(big.Int).SetBytes(buf)
+		if x.Sign() > 0 && x.Cmp(g.Q) < 0 {
+			return x, nil
+		}
+	}
+}

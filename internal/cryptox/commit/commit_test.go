@@ -1,0 +1,189 @@
+package commit
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2drm/internal/cryptox/schnorr"
+)
+
+func testParams(t *testing.T) *Params {
+	t.Helper()
+	p, err := NewParams(schnorr.Group768())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParamsDeterministic(t *testing.T) {
+	a, _ := NewParams(schnorr.Group768())
+	b, _ := NewParams(schnorr.Group768())
+	if a.H.Cmp(b.H) != 0 {
+		t.Error("params derivation not deterministic")
+	}
+	c, _ := NewParams(schnorr.Group2048())
+	if a.H.Cmp(c.H) == 0 {
+		t.Error("different groups share H")
+	}
+}
+
+func TestHInSubgroup(t *testing.T) {
+	p := testParams(t)
+	g := p.Group
+	if new(big.Int).Exp(p.H, g.Q, g.P).Cmp(big.NewInt(1)) != 0 {
+		t.Error("H not in order-Q subgroup")
+	}
+	if p.H.Cmp(g.G) == 0 {
+		t.Error("H equals G (binding broken)")
+	}
+	if p.H.Cmp(big.NewInt(1)) == 0 {
+		t.Error("H is identity")
+	}
+}
+
+func TestCommitVerify(t *testing.T) {
+	p := testParams(t)
+	c, o, err := p.Commit(big.NewInt(12345), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(c, o); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongOpening(t *testing.T) {
+	p := testParams(t)
+	c, o, _ := p.Commit(big.NewInt(5), rand.Reader)
+	badM := &Opening{M: big.NewInt(6), R: o.R}
+	if err := p.Verify(c, badM); err == nil {
+		t.Error("accepted wrong value")
+	}
+	badR := &Opening{M: o.M, R: new(big.Int).Add(o.R, big.NewInt(1))}
+	if err := p.Verify(c, badR); err == nil {
+		t.Error("accepted wrong blinding")
+	}
+	if err := p.Verify(c, nil); err == nil {
+		t.Error("accepted nil opening")
+	}
+	if err := p.Verify(nil, o); err == nil {
+		t.Error("accepted nil commitment")
+	}
+}
+
+func TestHidingCommitmentsDiffer(t *testing.T) {
+	// Same value, fresh randomness: commitments must differ (hiding).
+	p := testParams(t)
+	c1, _, _ := p.Commit(big.NewInt(7), rand.Reader)
+	c2, _, _ := p.Commit(big.NewInt(7), rand.Reader)
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Error("two commitments to same value are equal: not hiding")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	p := testParams(t)
+	c1, o1, _ := p.Commit(big.NewInt(10), rand.Reader)
+	c2, o2, _ := p.Commit(big.NewInt(32), rand.Reader)
+	sum := p.Add(c1, c2)
+	oSum := p.AddOpenings(o1, o2)
+	if oSum.M.Cmp(big.NewInt(42)) != 0 {
+		t.Fatalf("combined value = %v, want 42", oSum.M)
+	}
+	if err := p.Verify(sum, oSum); err != nil {
+		t.Errorf("homomorphic sum does not verify: %v", err)
+	}
+}
+
+func TestCommitBytes(t *testing.T) {
+	p := testParams(t)
+	c, o, err := p.CommitBytes([]byte("device-id-777"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(c, o); err != nil {
+		t.Fatal(err)
+	}
+	if o.M.Cmp(p.ScalarFromBytes([]byte("device-id-777"))) != 0 {
+		t.Error("CommitBytes committed to a different scalar")
+	}
+}
+
+func TestCommitmentCodec(t *testing.T) {
+	p := testParams(t)
+	c, _, _ := p.Commit(big.NewInt(9), rand.Reader)
+	data := c.Bytes(p)
+	back, err := p.ParseCommitment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.C.Cmp(c.C) != 0 {
+		t.Error("codec roundtrip mismatch")
+	}
+	if _, err := p.ParseCommitment(data[:3]); err == nil {
+		t.Error("accepted short encoding")
+	}
+	zero := make([]byte, len(data))
+	if _, err := p.ParseCommitment(zero); err == nil {
+		t.Error("accepted zero commitment")
+	}
+}
+
+func TestHashCommit(t *testing.T) {
+	r := []byte("sixteen-byte-rnd")
+	c := HashCommit([]byte("session-binding"), r)
+	if !HashVerify(c, []byte("session-binding"), r) {
+		t.Error("valid opening rejected")
+	}
+	if HashVerify(c, []byte("other"), r) {
+		t.Error("wrong value accepted")
+	}
+	if HashVerify(c, []byte("session-binding"), []byte("wrong-random")) {
+		t.Error("wrong randomness accepted")
+	}
+}
+
+// Property: commit/verify holds for arbitrary values; openings for a
+// different value never verify.
+func TestQuickCommitBinding(t *testing.T) {
+	p := testParams(t)
+	cfg := &quick.Config{MaxCount: 30, Rand: mrand.New(mrand.NewSource(4))}
+	f := func(v int64, delta uint8) bool {
+		m := big.NewInt(v)
+		c, o, err := p.Commit(m, rand.Reader)
+		if err != nil || p.Verify(c, o) != nil {
+			return false
+		}
+		other := new(big.Int).Add(o.M, big.NewInt(int64(delta%31)+1))
+		other.Mod(other, p.Group.Q)
+		return p.Verify(c, &Opening{M: other, R: o.R}) != nil
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: homomorphic addition matches scalar addition mod Q.
+func TestQuickHomomorphism(t *testing.T) {
+	p := testParams(t)
+	cfg := &quick.Config{MaxCount: 20, Rand: mrand.New(mrand.NewSource(5))}
+	f := func(a, b uint32) bool {
+		ca, oa, err1 := p.Commit(big.NewInt(int64(a)), rand.Reader)
+		cb, ob, err2 := p.Commit(big.NewInt(int64(b)), rand.Reader)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum := p.Add(ca, cb)
+		op := p.AddOpenings(oa, ob)
+		want := new(big.Int).Add(big.NewInt(int64(a)), big.NewInt(int64(b)))
+		want.Mod(want, p.Group.Q)
+		return op.M.Cmp(want) == 0 && p.Verify(sum, op) == nil
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

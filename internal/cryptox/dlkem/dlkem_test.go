@@ -1,0 +1,136 @@
+package dlkem
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2drm/internal/cryptox/schnorr"
+)
+
+func genKey(t *testing.T) *schnorr.PrivateKey {
+	t.Helper()
+	k, err := schnorr.GenerateKey(schnorr.Group768(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestEncapDecapRoundtrip(t *testing.T) {
+	g := schnorr.Group768()
+	k := genKey(t)
+	ct, kek, err := Encap(g, k.Y, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kek) != KEKLen {
+		t.Fatalf("kek length %d", len(kek))
+	}
+	got, err := Decap(g, k.X, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, kek) {
+		t.Error("decap KEK differs from encap KEK")
+	}
+}
+
+func TestDecapWrongKey(t *testing.T) {
+	g := schnorr.Group768()
+	k1, k2 := genKey(t), genKey(t)
+	ct, kek, err := Encap(g, k1.Y, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decap(g, k2.X, ct)
+	if err != nil {
+		t.Fatal(err) // decap succeeds but derives a different key
+	}
+	if bytes.Equal(got, kek) {
+		t.Error("wrong key derived the same KEK")
+	}
+}
+
+func TestEncapFreshness(t *testing.T) {
+	g := schnorr.Group768()
+	k := genKey(t)
+	ct1, kek1, _ := Encap(g, k.Y, rand.Reader)
+	ct2, kek2, _ := Encap(g, k.Y, rand.Reader)
+	if bytes.Equal(ct1, ct2) {
+		t.Error("two encapsulations share a ciphertext")
+	}
+	if bytes.Equal(kek1, kek2) {
+		t.Error("two encapsulations share a KEK")
+	}
+}
+
+func TestEncapRejectsBadRecipient(t *testing.T) {
+	g := schnorr.Group768()
+	bad := []*big.Int{nil, big.NewInt(0), big.NewInt(1), new(big.Int).Sub(g.P, big.NewInt(1))}
+	for i, y := range bad {
+		if _, _, err := Encap(g, y, rand.Reader); err == nil {
+			t.Errorf("bad recipient %d accepted", i)
+		}
+	}
+	if _, _, err := Encap(nil, big.NewInt(4), rand.Reader); err == nil {
+		t.Error("nil group accepted")
+	}
+}
+
+func TestDecapRejectsBadCiphertext(t *testing.T) {
+	g := schnorr.Group768()
+	k := genKey(t)
+	if _, err := Decap(g, k.X, []byte{1, 2, 3}); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+	// An element outside the prime-order subgroup (e.g. P-1, order 2).
+	badElem := g.EncodeElement(new(big.Int).Sub(g.P, big.NewInt(1)))
+	if _, err := Decap(g, k.X, badElem); err == nil {
+		t.Error("small-subgroup ciphertext accepted")
+	}
+	zero := make([]byte, (g.P.BitLen()+7)/8)
+	if _, err := Decap(g, k.X, zero); err == nil {
+		t.Error("zero ciphertext accepted")
+	}
+}
+
+func TestKEKBoundToCiphertext(t *testing.T) {
+	// Mutating the ciphertext must change (or invalidate) the KEK.
+	g := schnorr.Group768()
+	k := genKey(t)
+	ct, kek, _ := Encap(g, k.Y, rand.Reader)
+	// Square the element: stays in the subgroup, so Decap succeeds but
+	// must derive a different key.
+	c := new(big.Int).SetBytes(ct)
+	c.Mul(c, c)
+	c.Mod(c, g.P)
+	got, err := Decap(g, k.X, g.EncodeElement(c))
+	if err == nil && bytes.Equal(got, kek) {
+		t.Error("modified ciphertext derived the original KEK")
+	}
+}
+
+// Property: roundtrip holds for keys derived from arbitrary seeds.
+func TestQuickRoundtrip(t *testing.T) {
+	g := schnorr.Group768()
+	cfg := &quick.Config{MaxCount: 25, Rand: mrand.New(mrand.NewSource(15))}
+	f := func(seed [24]byte) bool {
+		k, err := schnorr.NewPrivateKey(g, seed[:])
+		if err != nil {
+			return false
+		}
+		ct, kek, err := Encap(g, k.Y, rand.Reader)
+		if err != nil {
+			return false
+		}
+		got, err := Decap(g, k.X, ct)
+		return err == nil && bytes.Equal(got, kek)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+package kdf
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// rfc5869Case is a published test vector.
+type rfc5869Case struct {
+	name             string
+	ikm, salt, info  string // hex
+	length           int
+	wantPRK, wantOKM string // hex
+}
+
+var rfc5869Cases = []rfc5869Case{
+	{
+		name:    "RFC5869 A.1 basic",
+		ikm:     "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b",
+		salt:    "000102030405060708090a0b0c",
+		info:    "f0f1f2f3f4f5f6f7f8f9",
+		length:  42,
+		wantPRK: "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5",
+		wantOKM: "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865",
+	},
+	{
+		name: "RFC5869 A.2 longer inputs",
+		ikm: "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f" +
+			"202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f" +
+			"404142434445464748494a4b4c4d4e4f",
+		salt: "606162636465666768696a6b6c6d6e6f707172737475767778797a7b7c7d7e7f" +
+			"808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f" +
+			"a0a1a2a3a4a5a6a7a8a9aaabacadaeaf",
+		info: "b0b1b2b3b4b5b6b7b8b9babbbcbdbebfc0c1c2c3c4c5c6c7c8c9cacbcccdcecf" +
+			"d0d1d2d3d4d5d6d7d8d9dadbdcdddedfe0e1e2e3e4e5e6e7e8e9eaebecedeeef" +
+			"f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff",
+		length:  82,
+		wantPRK: "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244",
+		wantOKM: "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c" +
+			"59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71" +
+			"cc30c58179ec3e87c14c01d5c1f3434f1d87",
+	},
+	{
+		name:    "RFC5869 A.3 zero-length salt/info",
+		ikm:     "0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b",
+		salt:    "",
+		info:    "",
+		length:  42,
+		wantPRK: "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04",
+		wantOKM: "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8",
+	},
+}
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func TestRFC5869Vectors(t *testing.T) {
+	for _, tc := range rfc5869Cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ikm := mustHex(t, tc.ikm)
+			salt := mustHex(t, tc.salt)
+			info := mustHex(t, tc.info)
+			prk := Extract(salt, ikm)
+			if got := hex.EncodeToString(prk); got != tc.wantPRK {
+				t.Errorf("PRK = %s, want %s", got, tc.wantPRK)
+			}
+			okm, err := Expand(prk, info, tc.length)
+			if err != nil {
+				t.Fatalf("Expand: %v", err)
+			}
+			if got := hex.EncodeToString(okm); got != tc.wantOKM {
+				t.Errorf("OKM = %s, want %s", got, tc.wantOKM)
+			}
+		})
+	}
+}
+
+func TestExpandRejectsBadLengths(t *testing.T) {
+	prk := Extract(nil, []byte("ikm"))
+	for _, n := range []int{0, -1, maxExpand + 1} {
+		if _, err := Expand(prk, nil, n); err == nil {
+			t.Errorf("Expand(length=%d) succeeded, want error", n)
+		}
+	}
+	if _, err := Expand(prk, nil, maxExpand); err != nil {
+		t.Errorf("Expand(length=max) failed: %v", err)
+	}
+}
+
+func TestExpandRejectsShortPRK(t *testing.T) {
+	if _, err := Expand([]byte("short"), nil, 32); err == nil {
+		t.Error("Expand accepted short PRK")
+	}
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	a, err := Key([]byte("ikm"), []byte("salt"), []byte("info"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Key([]byte("ikm"), []byte("salt"), []byte("info"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Key is not deterministic")
+	}
+}
+
+func TestKeyDomainSeparation(t *testing.T) {
+	base, _ := Key([]byte("ikm"), []byte("salt"), []byte("info"), 32)
+	variants := [][3][]byte{
+		{[]byte("ikm2"), []byte("salt"), []byte("info")},
+		{[]byte("ikm"), []byte("salt2"), []byte("info")},
+		{[]byte("ikm"), []byte("salt"), []byte("info2")},
+	}
+	for i, v := range variants {
+		got, err := Key(v[0], v[1], v[2], 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(base, got) {
+			t.Errorf("variant %d produced identical key", i)
+		}
+	}
+}
+
+func TestExpandPrefixProperty(t *testing.T) {
+	// HKDF output for a shorter length must be a prefix of a longer one.
+	prk := Extract([]byte("s"), []byte("k"))
+	long, err := Expand(prk, []byte("i"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 31, 32, 33, 64, 99} {
+		short, err := Expand(prk, []byte("i"), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(short, long[:n]) {
+			t.Errorf("Expand(%d) is not a prefix of Expand(100)", n)
+		}
+	}
+}
+
+func TestPseudonymSecretIndependence(t *testing.T) {
+	seed := bytes.Repeat([]byte{7}, SeedLen)
+	seen := make(map[string]uint32)
+	for i := uint32(0); i < 64; i++ {
+		s, err := PseudonymSecret(seed, i, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[string(s)]; dup {
+			t.Fatalf("pseudonym %d collides with %d", i, prev)
+		}
+		seen[string(s)] = i
+	}
+}
+
+func TestPseudonymSecretDeterministic(t *testing.T) {
+	seed := bytes.Repeat([]byte{9}, SeedLen)
+	a, _ := PseudonymSecret(seed, 42, 48)
+	b, _ := PseudonymSecret(seed, 42, 48)
+	if !bytes.Equal(a, b) {
+		t.Error("PseudonymSecret not deterministic")
+	}
+}
+
+func TestPseudonymSecretSeedLength(t *testing.T) {
+	if _, err := PseudonymSecret([]byte("short"), 0, 32); err == nil {
+		t.Error("accepted short seed")
+	}
+}
+
+func TestSubKeyLabels(t *testing.T) {
+	parent := []byte("negotiated secret")
+	enc, err := SubKey(parent, "enc", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac, err := SubKey(parent, "mac", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(enc, mac) {
+		t.Error("different labels produced identical subkeys")
+	}
+	if _, err := SubKey(nil, "enc", 32); err == nil {
+		t.Error("accepted empty parent")
+	}
+}
+
+// Property: Key output length always matches request, and distinct seeds
+// essentially never collide.
+func TestQuickKeyLength(t *testing.T) {
+	f := func(ikm, salt, info []byte, n uint8) bool {
+		length := int(n%64) + 1
+		out, err := Key(ikm, salt, info, length)
+		return err == nil && len(out) == length
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPseudonymNoCollisions(t *testing.T) {
+	f := func(a, b uint32) bool {
+		seed := bytes.Repeat([]byte{3}, SeedLen)
+		sa, err1 := PseudonymSecret(seed, a, 32)
+		sb, err2 := PseudonymSecret(seed, b, 32)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a == b {
+			return bytes.Equal(sa, sb)
+		}
+		return !bytes.Equal(sa, sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package rsablind implements Chaum RSA blind signatures.
+//
+// Blind signatures are the primitive behind both anonymous licenses and
+// anonymous cash in P2DRM: the content provider signs a serial number it
+// never sees, so when the serial is later redeemed the provider can verify
+// its own signature but cannot link redemption back to issuance.
+//
+// The construction is the classic one over a full-domain hash:
+//
+//	requester: m  = FDH(msg)              (hash into Z_N)
+//	           m' = m * r^e mod N          (blind with random r)
+//	signer:    s' = m'^d mod N             (sign the blinded value)
+//	requester: s  = s' * r^-1 mod N        (unblind)
+//	anyone:    s^e == FDH(msg) mod N       (verify)
+//
+// The full-domain hash expands SHA-256 with a counter until the candidate
+// is in [2, N-2], which makes the scheme a standard FDH-RSA instance.
+//
+// Keys used for blind signing must be dedicated: because the signer raises
+// an arbitrary group element to d, a key shared with any other RSA use
+// would become a decryption/signing oracle. The provider therefore holds
+// separate key pairs for license signing, anonymous-serial blinding and
+// cash (see internal/provider).
+package rsablind
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var (
+	// ErrVerification is returned when a signature does not verify.
+	ErrVerification = errors.New("rsablind: verification failed")
+	// ErrBadBlindedValue is returned by the signer for out-of-range input.
+	ErrBadBlindedValue = errors.New("rsablind: blinded value out of range")
+)
+
+var one = big.NewInt(1)
+
+// fdh hashes msg into the multiplicative range [2, N-2] using SHA-256 with
+// an incrementing counter (full-domain hash). It is deterministic in
+// (N, msg).
+func fdh(n *big.Int, msg []byte) *big.Int {
+	byteLen := (n.BitLen() + 7) / 8
+	buf := make([]byte, 0, byteLen+sha256.Size)
+	var ctr uint32
+	for {
+		buf = buf[:0]
+		for len(buf) < byteLen {
+			var block [4]byte
+			binary.BigEndian.PutUint32(block[:], ctr)
+			h := sha256.New()
+			h.Write([]byte("p2drm/fdh/v1"))
+			h.Write(block[:])
+			h.Write(msg)
+			buf = h.Sum(buf)
+			ctr++
+		}
+		c := new(big.Int).SetBytes(buf[:byteLen])
+		c.Mod(c, n)
+		// Reject 0, 1 and N-1 (trivial signatures); retry with next counter.
+		if c.Cmp(one) > 0 {
+			nm1 := new(big.Int).Sub(n, one)
+			if c.Cmp(nm1) != 0 {
+				return c
+			}
+		}
+	}
+}
+
+// State carries the requester's secret blinding factor between Blind and
+// Unblind. It must be kept private and used exactly once.
+type State struct {
+	msg  []byte
+	rInv *big.Int
+}
+
+// Msg returns the message captured at blinding time.
+func (s *State) Msg() []byte { return s.msg }
+
+// Blind hashes msg and blinds it with a fresh random factor, returning the
+// value to send to the signer and the state needed to unblind the result.
+func Blind(pub *rsa.PublicKey, msg []byte, random io.Reader) ([]byte, *State, error) {
+	if pub == nil || pub.N == nil || pub.N.Sign() <= 0 {
+		return nil, nil, errors.New("rsablind: nil or invalid public key")
+	}
+	m := fdh(pub.N, msg)
+	for tries := 0; tries < 64; tries++ {
+		r, err := randomUnit(pub.N, random)
+		if err != nil {
+			return nil, nil, err
+		}
+		rInv := new(big.Int).ModInverse(r, pub.N)
+		if rInv == nil {
+			continue // r not invertible (gcd != 1): astronomically rare, retry
+		}
+		e := big.NewInt(int64(pub.E))
+		re := new(big.Int).Exp(r, e, pub.N)
+		blinded := new(big.Int).Mul(m, re)
+		blinded.Mod(blinded, pub.N)
+		st := &State{msg: append([]byte(nil), msg...), rInv: rInv}
+		return toFixed(blinded, pub.N), st, nil
+	}
+	return nil, nil, errors.New("rsablind: could not find invertible blinding factor")
+}
+
+// Signer holds the private key that signs blinded values.
+type Signer struct {
+	key *rsa.PrivateKey
+}
+
+// NewSigner wraps an RSA private key for blind signing. The key must not
+// be used for any other purpose.
+func NewSigner(key *rsa.PrivateKey) (*Signer, error) {
+	if key == nil {
+		return nil, errors.New("rsablind: nil key")
+	}
+	if err := key.Validate(); err != nil {
+		return nil, fmt.Errorf("rsablind: invalid key: %w", err)
+	}
+	return &Signer{key: key}, nil
+}
+
+// Public returns the signer's public key.
+func (s *Signer) Public() *rsa.PublicKey { return &s.key.PublicKey }
+
+// SignBlinded raises the blinded value to the private exponent. The signer
+// learns nothing about the underlying message.
+func (s *Signer) SignBlinded(blinded []byte) ([]byte, error) {
+	b := new(big.Int).SetBytes(blinded)
+	n := s.key.N
+	if b.Sign() <= 0 || b.Cmp(n) >= 0 {
+		return nil, ErrBadBlindedValue
+	}
+	sig := new(big.Int).Exp(b, s.key.D, n)
+	return toFixed(sig, n), nil
+}
+
+// Unblind removes the blinding factor from the signer's response, yielding
+// a plain FDH-RSA signature over the original message. It verifies the
+// result before returning so a misbehaving signer is detected immediately.
+func Unblind(pub *rsa.PublicKey, st *State, blindedSig []byte) ([]byte, error) {
+	if st == nil || st.rInv == nil {
+		return nil, errors.New("rsablind: nil state")
+	}
+	bs := new(big.Int).SetBytes(blindedSig)
+	if bs.Sign() <= 0 || bs.Cmp(pub.N) >= 0 {
+		return nil, ErrBadBlindedValue
+	}
+	sig := new(big.Int).Mul(bs, st.rInv)
+	sig.Mod(sig, pub.N)
+	out := toFixed(sig, pub.N)
+	if err := Verify(pub, st.msg, out); err != nil {
+		return nil, fmt.Errorf("rsablind: signer returned bad signature: %w", err)
+	}
+	return out, nil
+}
+
+// Verify checks a (possibly unblinded) FDH-RSA signature over msg.
+func Verify(pub *rsa.PublicKey, msg, sig []byte) error {
+	s := new(big.Int).SetBytes(sig)
+	if s.Sign() <= 0 || s.Cmp(pub.N) >= 0 {
+		return ErrVerification
+	}
+	e := big.NewInt(int64(pub.E))
+	m := new(big.Int).Exp(s, e, pub.N)
+	if m.Cmp(fdh(pub.N, msg)) != 0 {
+		return ErrVerification
+	}
+	return nil
+}
+
+// Sign produces a plain (non-blind) FDH-RSA signature with the same
+// verification equation. The provider uses this for license signing where
+// blinding is not required, so one Verify covers both paths.
+func (s *Signer) Sign(msg []byte) ([]byte, error) {
+	m := fdh(s.key.N, msg)
+	sig := new(big.Int).Exp(m, s.key.D, s.key.N)
+	return toFixed(sig, s.key.N), nil
+}
+
+// randomUnit draws a uniform element of [2, N-1).
+func randomUnit(n *big.Int, random io.Reader) (*big.Int, error) {
+	max := new(big.Int).Sub(n, big.NewInt(3)) // [0, n-4]
+	for {
+		r, err := randInt(random, max)
+		if err != nil {
+			return nil, fmt.Errorf("rsablind: randomness: %w", err)
+		}
+		r.Add(r, big.NewInt(2)) // [2, n-2]
+		return r, nil
+	}
+}
+
+// randInt returns a uniform random integer in [0, max]. It mirrors
+// crypto/rand.Int but works with any io.Reader so deterministic tests can
+// inject a seeded source.
+func randInt(random io.Reader, max *big.Int) (*big.Int, error) {
+	if max.Sign() < 0 {
+		return nil, errors.New("rsablind: negative max")
+	}
+	bitLen := max.BitLen()
+	if bitLen == 0 {
+		return new(big.Int), nil
+	}
+	byteLen := (bitLen + 7) / 8
+	buf := make([]byte, byteLen)
+	topMask := byte(0xff >> (uint(byteLen*8) - uint(bitLen)))
+	for {
+		if _, err := io.ReadFull(random, buf); err != nil {
+			return nil, err
+		}
+		buf[0] &= topMask
+		r := new(big.Int).SetBytes(buf)
+		if r.Cmp(max) <= 0 {
+			return r, nil
+		}
+	}
+}
+
+// toFixed encodes v as a fixed-width big-endian slice sized to the modulus,
+// so signatures have a stable length on the wire.
+func toFixed(v, n *big.Int) []byte {
+	byteLen := (n.BitLen() + 7) / 8
+	return v.FillBytes(make([]byte, byteLen))
+}
+
+// SigLen reports the byte length of signatures under pub.
+func SigLen(pub *rsa.PublicKey) int { return (pub.N.BitLen() + 7) / 8 }
+
+// Prehash returns the full-domain hash of msg encoded for the signer —
+// i.e. what Blind would send with the blinding factor fixed to 1. The
+// no-blinding ablation (A1 in DESIGN.md) sends this value so the signer's
+// response verifies as a plain signature over msg while the signer sees
+// the serial in clear.
+func Prehash(pub *rsa.PublicKey, msg []byte) []byte {
+	return toFixed(fdh(pub.N, msg), pub.N)
+}

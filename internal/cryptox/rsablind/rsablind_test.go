@@ -1,0 +1,265 @@
+package rsablind
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"math/big"
+	mrand "math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testKey generates (and caches) a 1024-bit key: small enough to keep the
+// suite fast, large enough to exercise real multi-word arithmetic.
+var (
+	keyOnce sync.Once
+	key     *rsa.PrivateKey
+)
+
+func testSigner(t *testing.T) *Signer {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		key, err = rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+	})
+	s, err := NewSigner(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBlindSignRoundtrip(t *testing.T) {
+	s := testSigner(t)
+	msg := []byte("anonymous license serial 0001")
+
+	blinded, st, err := Blind(s.Public(), msg, rand.Reader)
+	if err != nil {
+		t.Fatalf("Blind: %v", err)
+	}
+	blindSig, err := s.SignBlinded(blinded)
+	if err != nil {
+		t.Fatalf("SignBlinded: %v", err)
+	}
+	sig, err := Unblind(s.Public(), st, blindSig)
+	if err != nil {
+		t.Fatalf("Unblind: %v", err)
+	}
+	if err := Verify(s.Public(), msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestPlainSignVerify(t *testing.T) {
+	s := testSigner(t)
+	msg := []byte("personalized license body")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s.Public(), msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := Verify(s.Public(), []byte("other"), sig); err == nil {
+		t.Error("signature verified for wrong message")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	s := testSigner(t)
+	msg := []byte("m")
+	sig, _ := s.Sign(msg)
+	for _, i := range []int{0, len(sig) / 2, len(sig) - 1} {
+		bad := append([]byte(nil), sig...)
+		bad[i] ^= 0x01
+		if err := Verify(s.Public(), msg, bad); err == nil {
+			t.Errorf("tampered signature (byte %d) verified", i)
+		}
+	}
+}
+
+func TestVerifyRejectsOutOfRange(t *testing.T) {
+	s := testSigner(t)
+	// s >= N
+	tooBig := s.Public().N.Bytes()
+	if err := Verify(s.Public(), []byte("m"), tooBig); err == nil {
+		t.Error("accepted sig == N")
+	}
+	// s == 0
+	if err := Verify(s.Public(), []byte("m"), make([]byte, SigLen(s.Public()))); err == nil {
+		t.Error("accepted zero signature")
+	}
+}
+
+func TestSignBlindedRejectsOutOfRange(t *testing.T) {
+	s := testSigner(t)
+	if _, err := s.SignBlinded(s.Public().N.Bytes()); err == nil {
+		t.Error("signer accepted value == N")
+	}
+	if _, err := s.SignBlinded([]byte{}); err == nil {
+		t.Error("signer accepted empty value")
+	}
+}
+
+func TestUnblindDetectsBadSigner(t *testing.T) {
+	s := testSigner(t)
+	msg := []byte("serial")
+	_, st, err := Blind(s.Public(), msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A malicious signer returns garbage instead of a real signature.
+	garbage := make([]byte, SigLen(s.Public()))
+	garbage[len(garbage)-1] = 7
+	if _, err := Unblind(s.Public(), st, garbage); err == nil {
+		t.Error("Unblind accepted a forged blinded signature")
+	}
+}
+
+// TestBlindnessSignerViewIndependent checks the unlinkability core: the
+// values the signer sees (blinded messages) are different across blindings
+// of the same message, and none equals the raw FDH value.
+func TestBlindnessSignerViewIndependent(t *testing.T) {
+	s := testSigner(t)
+	msg := []byte("the same serial every time")
+	raw := fdh(s.Public().N, msg)
+	seen := make(map[string]bool)
+	for i := 0; i < 16; i++ {
+		blinded, _, err := Blind(s.Public(), msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if new(big.Int).SetBytes(blinded).Cmp(raw) == 0 {
+			t.Fatal("blinded value equals raw hash: blinding is a no-op")
+		}
+		if seen[string(blinded)] {
+			t.Fatal("two independent blindings collided")
+		}
+		seen[string(blinded)] = true
+	}
+}
+
+// TestUnblindedSignaturesIdenticalAcrossBlindings: unblinded signatures are
+// deterministic FDH-RSA signatures, so different blind sessions over the
+// same message converge to the same final signature — meaning the final
+// signature carries no trace of the blinding session (perfect unlinkability
+// of issue vs redeem).
+func TestUnblindedSignaturesIdenticalAcrossBlindings(t *testing.T) {
+	s := testSigner(t)
+	msg := []byte("serial-42")
+	var first []byte
+	for i := 0; i < 4; i++ {
+		blinded, st, err := Blind(s.Public(), msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := s.SignBlinded(blinded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := Unblind(s.Public(), st, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = sig
+		} else if !bytes.Equal(first, sig) {
+			t.Fatal("unblinded signature differs across sessions")
+		}
+	}
+}
+
+func TestFDHProperties(t *testing.T) {
+	s := testSigner(t)
+	n := s.Public().N
+	a := fdh(n, []byte("a"))
+	b := fdh(n, []byte("b"))
+	if a.Cmp(b) == 0 {
+		t.Error("fdh collision on distinct inputs")
+	}
+	if a.Cmp(fdh(n, []byte("a"))) != 0 {
+		t.Error("fdh not deterministic")
+	}
+	if a.Cmp(one) <= 0 || a.Cmp(n) >= 0 {
+		t.Error("fdh out of range")
+	}
+}
+
+func TestSigLen(t *testing.T) {
+	s := testSigner(t)
+	if got, want := SigLen(s.Public()), 128; got != want {
+		t.Errorf("SigLen = %d, want %d", got, want)
+	}
+	sig, _ := s.Sign([]byte("x"))
+	if len(sig) != SigLen(s.Public()) {
+		t.Errorf("signature length %d != SigLen %d", len(sig), SigLen(s.Public()))
+	}
+}
+
+func TestNewSignerRejectsNil(t *testing.T) {
+	if _, err := NewSigner(nil); err == nil {
+		t.Error("NewSigner(nil) succeeded")
+	}
+}
+
+func TestBlindRejectsNilKey(t *testing.T) {
+	if _, _, err := Blind(nil, []byte("m"), rand.Reader); err == nil {
+		t.Error("Blind accepted nil key")
+	}
+}
+
+// Property: for arbitrary messages the whole pipeline verifies, and the
+// signature never verifies against a different message.
+func TestQuickBlindPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow RSA property test")
+	}
+	s := testSigner(t)
+	cfg := &quick.Config{MaxCount: 12, Rand: mrand.New(mrand.NewSource(1))}
+	f := func(msg, other []byte) bool {
+		blinded, st, err := Blind(s.Public(), msg, rand.Reader)
+		if err != nil {
+			return false
+		}
+		bs, err := s.SignBlinded(blinded)
+		if err != nil {
+			return false
+		}
+		sig, err := Unblind(s.Public(), st, bs)
+		if err != nil {
+			return false
+		}
+		if Verify(s.Public(), msg, sig) != nil {
+			return false
+		}
+		if !bytes.Equal(msg, other) && Verify(s.Public(), other, sig) == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandIntUniformBounds(t *testing.T) {
+	max := big.NewInt(1000)
+	for i := 0; i < 200; i++ {
+		v, err := randInt(rand.Reader, max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Sign() < 0 || v.Cmp(max) > 0 {
+			t.Fatalf("randInt out of range: %v", v)
+		}
+	}
+	z, err := randInt(rand.Reader, big.NewInt(0))
+	if err != nil || z.Sign() != 0 {
+		t.Errorf("randInt(0) = %v, %v", z, err)
+	}
+}

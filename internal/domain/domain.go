@@ -1,0 +1,307 @@
+// Package domain implements privacy-preserving authorized domains: the
+// household construct where one purchased license plays on every device
+// in the home, WITHOUT the content provider learning which devices (or
+// how many people) compose the household.
+//
+// The domain manager (DM) is itself a compliant, provider-certified
+// device. The provider's entire view of a domain is: the DM's pseudonym
+// (like any other customer) plus a Pedersen commitment to the member
+// count. The commitment is perfectly hiding, so even an unbounded provider
+// learns nothing from it; at audit time the DM opens it to prove the
+// domain respects the size cap — revealing the count, never the members.
+//
+// Inside the domain, the DM verifies each joining device's compliance
+// certificate and issues a membership credential (a Schnorr signature
+// binding domainID + device identity). Playback of a domain license runs
+// through the DM: it unwraps the content key with its own card and
+// re-wraps it to the member device's certified key.
+package domain
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"p2drm/internal/cryptox/commit"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/device"
+	"p2drm/internal/license"
+	"p2drm/internal/smartcard"
+)
+
+// Errors callers branch on.
+var (
+	ErrDomainFull     = errors.New("domain: member limit reached")
+	ErrAlreadyMember  = errors.New("domain: device already a member")
+	ErrNotMember      = errors.New("domain: device is not a member")
+	ErrBadCertificate = errors.New("domain: device certificate invalid")
+)
+
+// Credential is the DM-issued proof of domain membership.
+type Credential struct {
+	DomainID  string
+	DeviceID  string
+	DevicePub []byte // the member's certified public key
+	Sig       []byte // DM Schnorr signature over SigningBytes
+}
+
+// SigningBytes returns the canonical signed statement.
+func (c *Credential) SigningBytes() []byte {
+	out := []byte("p2drm/domain-cred/v1|")
+	out = append(out, c.DomainID...)
+	out = append(out, '|')
+	out = append(out, c.DeviceID...)
+	out = append(out, '|')
+	out = append(out, c.DevicePub...)
+	return out
+}
+
+// VerifyCredential checks a membership credential against the domain
+// manager's public key.
+func VerifyCredential(g *schnorr.Group, dmPub *big.Int, c *Credential) error {
+	if c == nil {
+		return errors.New("domain: nil credential")
+	}
+	sig, err := schnorr.ParseSignature(g, c.Sig)
+	if err != nil {
+		return fmt.Errorf("domain: credential signature: %w", err)
+	}
+	if err := schnorr.Verify(g, dmPub, c.SigningBytes(), sig); err != nil {
+		return fmt.Errorf("domain: credential signature: %w", err)
+	}
+	return nil
+}
+
+// member is the DM's private record of one admitted device.
+type member struct {
+	cert     *device.Certificate
+	cred     *Credential
+	joinedAt time.Time
+}
+
+// Manager is the domain manager.
+type Manager struct {
+	id          string
+	group       *schnorr.Group
+	params      *commit.Params
+	key         *schnorr.PrivateKey // DM signing key for credentials
+	card        *smartcard.Card     // DM's card holding domain pseudonyms
+	cardIndex   uint32              // pseudonym index domain licenses bind to
+	providerPub *rsa.PublicKey
+	maxSize     int
+
+	mu          sync.Mutex
+	members     map[string]*member
+	countCommit *commit.Commitment
+	countOpen   *commit.Opening
+}
+
+// NewManager creates a domain manager. card/cardIndex designate the
+// pseudonym the DM purchases domain licenses under; providerPub anchors
+// member certificate verification.
+func NewManager(id string, g *schnorr.Group, providerPub *rsa.PublicKey, card *smartcard.Card, cardIndex uint32, maxSize int) (*Manager, error) {
+	if id == "" {
+		return nil, errors.New("domain: empty domain id")
+	}
+	if g == nil || providerPub == nil || card == nil {
+		return nil, errors.New("domain: group, provider key and card are required")
+	}
+	if maxSize <= 0 {
+		return nil, errors.New("domain: non-positive member limit")
+	}
+	params, err := commit.NewParams(g)
+	if err != nil {
+		return nil, err
+	}
+	key, err := schnorr.GenerateKey(g, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	// The running count starts as a commitment to zero.
+	c0, o0, err := params.Commit(big.NewInt(0), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		id:          id,
+		group:       g,
+		params:      params,
+		key:         key,
+		card:        card,
+		cardIndex:   cardIndex,
+		providerPub: providerPub,
+		maxSize:     maxSize,
+		members:     make(map[string]*member),
+		countCommit: c0,
+		countOpen:   o0,
+	}, nil
+}
+
+// ID returns the domain identifier.
+func (m *Manager) ID() string { return m.id }
+
+// PublicKey returns the DM credential-verification key (distributed to
+// member devices, NOT to the provider).
+func (m *Manager) PublicKey() *big.Int { return m.key.Y }
+
+// Card exposes the DM's card and pseudonym index for license purchase.
+func (m *Manager) Card() (*smartcard.Card, uint32) { return m.card, m.cardIndex }
+
+// Join admits a certified device and returns its membership credential.
+func (m *Manager) Join(cert *device.Certificate, now time.Time) (*Credential, error) {
+	if err := device.VerifyCertificate(m.providerPub, m.group, cert); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCertificate, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.members[cert.DeviceID]; dup {
+		return nil, ErrAlreadyMember
+	}
+	if len(m.members) >= m.maxSize {
+		return nil, ErrDomainFull
+	}
+	cred := &Credential{DomainID: m.id, DeviceID: cert.DeviceID, DevicePub: cert.PubKey}
+	sig, err := m.key.Sign(cred.SigningBytes(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	cred.Sig = sig.Bytes(m.group)
+	m.members[cert.DeviceID] = &member{cert: cert, cred: cred, joinedAt: now}
+	// countCommit *= Commit(+1): the provider-visible count advances
+	// without revealing which device joined.
+	c1, o1, err := m.params.Commit(big.NewInt(1), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	m.countCommit = m.params.Add(m.countCommit, c1)
+	m.countOpen = m.params.AddOpenings(m.countOpen, o1)
+	return cred, nil
+}
+
+// Leave removes a member and decrements the committed count.
+func (m *Manager) Leave(deviceID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[deviceID]; !ok {
+		return ErrNotMember
+	}
+	delete(m.members, deviceID)
+	// Commit(-1) ≡ Commit(Q-1): homomorphic decrement.
+	minus1 := new(big.Int).Sub(m.group.Q, big.NewInt(1))
+	c, o, err := m.params.Commit(minus1, rand.Reader)
+	if err != nil {
+		return err
+	}
+	m.countCommit = m.params.Add(m.countCommit, c)
+	m.countOpen = m.params.AddOpenings(m.countOpen, o)
+	return nil
+}
+
+// Size returns the current member count (DM-local knowledge).
+func (m *Manager) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.members)
+}
+
+// Members lists member device IDs (DM-local; never sent to the provider).
+func (m *Manager) Members() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.members))
+	for id := range m.members {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SizeCommitment is what the provider stores: a perfectly hiding
+// commitment to the member count.
+func (m *Manager) SizeCommitment() *commit.Commitment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &commit.Commitment{C: new(big.Int).Set(m.countCommit.C)}
+}
+
+// SizeAudit opens the count commitment: the DM reveals the COUNT (never
+// the membership) and the provider checks it against the stored
+// commitment and the cap.
+type SizeAudit struct {
+	Count   int
+	Opening *commit.Opening
+}
+
+// Audit produces the size-audit response.
+func (m *Manager) Audit() *SizeAudit {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &SizeAudit{
+		Count:   len(m.members),
+		Opening: &commit.Opening{M: new(big.Int).Set(m.countOpen.M), R: new(big.Int).Set(m.countOpen.R)},
+	}
+}
+
+// VerifyAudit is the provider-side check of a size audit.
+func VerifyAudit(g *schnorr.Group, commitment *commit.Commitment, audit *SizeAudit, maxSize int) error {
+	if audit == nil || audit.Opening == nil {
+		return errors.New("domain: nil audit")
+	}
+	params, err := commit.NewParams(g)
+	if err != nil {
+		return err
+	}
+	if err := params.Verify(commitment, audit.Opening); err != nil {
+		return fmt.Errorf("domain: audit opening: %w", err)
+	}
+	if audit.Opening.M.Cmp(big.NewInt(int64(audit.Count))) != 0 {
+		return errors.New("domain: claimed count does not match opening")
+	}
+	if audit.Count > maxSize {
+		return fmt.Errorf("domain: size %d exceeds cap %d", audit.Count, maxSize)
+	}
+	return nil
+}
+
+// MemberWrap re-targets a domain license's content key to a member
+// device: the DM's card unwraps it and wraps it to the member's certified
+// key. The DM refuses non-members.
+func (m *Manager) MemberWrap(lic *license.Personalized, deviceID string) (license.KeyWrap, error) {
+	m.mu.Lock()
+	mem, ok := m.members[deviceID]
+	m.mu.Unlock()
+	if !ok {
+		return license.KeyWrap{}, ErrNotMember
+	}
+	contentKey, err := m.card.UnwrapContentKey(m.cardIndex, lic.KeyWrap,
+		license.WrapLabelPersonalized(lic.Serial, lic.ContentID))
+	if err != nil {
+		return license.KeyWrap{}, fmt.Errorf("domain: DM unwrap: %w", err)
+	}
+	memberY := new(big.Int).SetBytes(mem.cert.PubKey)
+	kw, err := license.WrapKey(m.group, memberY, contentKey,
+		WrapLabel(lic.Serial, lic.ContentID, m.id))
+	if err != nil {
+		return license.KeyWrap{}, fmt.Errorf("domain: member wrap: %w", err)
+	}
+	return kw, nil
+}
+
+// WrapLabel binds a domain member wrap to (license, content, domain).
+func WrapLabel(serial license.Serial, content license.ContentID, domainID string) []byte {
+	return []byte("p2drm/wrap/domain/" + serial.String() + "/" + string(content) + "/" + domainID)
+}
+
+// Credential lookup for devices that lost theirs.
+func (m *Manager) CredentialFor(deviceID string) (*Credential, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[deviceID]
+	if !ok {
+		return nil, ErrNotMember
+	}
+	return mem.cred, nil
+}

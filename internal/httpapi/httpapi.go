@@ -1,0 +1,652 @@
+// Package httpapi exposes the content provider over JSON/HTTP and gives
+// clients an SDK speaking the same protocol, so the P2DRM parties can run
+// in separate processes (cmd/p2drmd + cmd/p2drm).
+//
+// Binary artifacts (licenses, proofs, blinded blobs) travel base64-encoded
+// inside JSON envelopes. The endpoints mirror provider methods 1:1:
+//
+//	GET  /v1/catalog
+//	GET  /v1/content?id=...
+//	GET  /v1/denomination?id=...
+//	GET  /v1/challenge
+//	POST /v1/register
+//	POST /v1/purchase
+//	POST /v1/exchange
+//	POST /v1/redeem
+//	GET  /v1/revocation/filter
+package httpapi
+
+import (
+	"bytes"
+	cryptorand "crypto/rand"
+	"crypto/rsa"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"net/http"
+	"time"
+
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/license"
+	"p2drm/internal/payment"
+	"p2drm/internal/provider"
+	"p2drm/internal/revocation"
+)
+
+// Server wraps a provider with HTTP handlers. When Bank is non-nil the
+// demo bank endpoints (account creation, blind withdrawal) are exposed
+// too, so a single daemon can serve complete out-of-process flows.
+type Server struct {
+	Provider *provider.Provider
+	Bank     *payment.Bank
+	mux      *http.ServeMux
+}
+
+// NewServer builds the handler tree.
+func NewServer(p *provider.Provider) *Server {
+	s := &Server{Provider: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("GET /v1/content", s.handleContent)
+	s.mux.HandleFunc("GET /v1/denomination", s.handleDenomination)
+	s.mux.HandleFunc("GET /v1/challenge", s.handleChallenge)
+	s.mux.HandleFunc("POST /v1/register", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/purchase", s.handlePurchase)
+	s.mux.HandleFunc("POST /v1/exchange", s.handleExchange)
+	s.mux.HandleFunc("POST /v1/redeem", s.handleRedeem)
+	s.mux.HandleFunc("GET /v1/revocation/filter", s.handleFilter)
+	s.mux.HandleFunc("GET /v1/provider/key", s.handleProviderKey)
+	s.mux.HandleFunc("GET /v1/bank/coinkey", s.handleCoinKey)
+	s.mux.HandleFunc("POST /v1/bank/account", s.handleBankAccount)
+	s.mux.HandleFunc("POST /v1/bank/withdraw", s.handleWithdraw)
+	return s
+}
+
+// WithBank attaches a demo bank.
+func (s *Server) WithBank(b *payment.Bank) *Server {
+	s.Bank = b
+	return s
+}
+
+// BankAccountRequest opens a funded demo account.
+type BankAccountRequest struct {
+	ID    string `json:"id"`
+	Funds int64  `json:"funds"`
+}
+
+// WithdrawRequest requests one blind-signed coin.
+type WithdrawRequest struct {
+	Account string `json:"account"`
+	Blinded string `json:"blinded"`
+}
+
+// WithdrawResponse carries the bank's blind signature.
+type WithdrawResponse struct {
+	BlindSig string `json:"blind_sig"`
+}
+
+func (s *Server) handleProviderKey(w http.ResponseWriter, r *http.Request) {
+	pub := s.Provider.Public()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"n": b64(pub.N.Bytes()), "e": pub.E})
+}
+
+func (s *Server) handleCoinKey(w http.ResponseWriter, r *http.Request) {
+	if s.Bank == nil {
+		writeErr(w, http.StatusNotFound, errors.New("httpapi: no bank attached"))
+		return
+	}
+	pub := s.Bank.CoinPub()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"n": b64(pub.N.Bytes()), "e": pub.E})
+}
+
+func (s *Server) handleBankAccount(w http.ResponseWriter, r *http.Request) {
+	if s.Bank == nil {
+		writeErr(w, http.StatusNotFound, errors.New("httpapi: no bank attached"))
+		return
+	}
+	var req BankAccountRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Bank.CreateAccount(req.ID, req.Funds); err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "created"})
+}
+
+func (s *Server) handleWithdraw(w http.ResponseWriter, r *http.Request) {
+	if s.Bank == nil {
+		writeErr(w, http.StatusNotFound, errors.New("httpapi: no bank attached"))
+		return
+	}
+	var req WithdrawRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	blinded, err := unb64(req.Blinded)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sig, err := s.Bank.Withdraw(req.Account, blinded)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, WithdrawResponse{BlindSig: b64(sig)})
+}
+
+// ProviderKey fetches the provider's license/revocation verification key.
+// Clients should pin it on first use.
+func (c *Client) ProviderKey() (*rsa.PublicKey, error) {
+	var out struct {
+		N string `json:"n"`
+		E int    `json:"e"`
+	}
+	if err := c.get("/v1/provider/key", &out); err != nil {
+		return nil, err
+	}
+	nBytes, err := unb64(out.N)
+	if err != nil {
+		return nil, err
+	}
+	return &rsa.PublicKey{N: new(big.Int).SetBytes(nBytes), E: out.E}, nil
+}
+
+// CoinKey fetches the bank's coin verification key.
+func (c *Client) CoinKey() (*rsa.PublicKey, error) {
+	var out struct {
+		N string `json:"n"`
+		E int    `json:"e"`
+	}
+	if err := c.get("/v1/bank/coinkey", &out); err != nil {
+		return nil, err
+	}
+	nBytes, err := unb64(out.N)
+	if err != nil {
+		return nil, err
+	}
+	return &rsa.PublicKey{N: new(big.Int).SetBytes(nBytes), E: out.E}, nil
+}
+
+// CreateAccount opens a demo bank account.
+func (c *Client) CreateAccount(id string, funds int64) error {
+	return c.post("/v1/bank/account", BankAccountRequest{ID: id, Funds: funds}, nil)
+}
+
+// WithdrawCoins mints n coins over the wire (blind withdrawal loop).
+func (c *Client) WithdrawCoins(account string, n int) ([]*payment.Coin, error) {
+	pub, err := c.CoinKey()
+	if err != nil {
+		return nil, err
+	}
+	coins := make([]*payment.Coin, 0, n)
+	for i := 0; i < n; i++ {
+		req, err := payment.NewCoinRequest(pub, cryptorand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		var resp WithdrawResponse
+		if err := c.post("/v1/bank/withdraw", WithdrawRequest{Account: account, Blinded: b64(req.Blinded)}, &resp); err != nil {
+			return nil, err
+		}
+		blindSig, err := unb64(resp.BlindSig)
+		if err != nil {
+			return nil, err
+		}
+		coin, err := req.Finish(pub, blindSig)
+		if err != nil {
+			return nil, err
+		}
+		coins = append(coins, coin)
+	}
+	return coins, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Wire types.
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// CatalogEntry is a catalog row.
+type CatalogEntry struct {
+	ID           string `json:"id"`
+	Title        string `json:"title"`
+	PriceCredits int64  `json:"price_credits"`
+	Rights       string `json:"rights"`
+}
+
+// DenominationInfo carries a denomination verification key.
+type DenominationInfo struct {
+	ContentID string `json:"content_id"`
+	Denom     string `json:"denom"`
+	N         string `json:"n"` // big-endian base64 modulus
+	E         int    `json:"e"`
+}
+
+// RegisterRequest registers a pseudonym.
+type RegisterRequest struct {
+	SignPub string `json:"sign_pub"`
+	EncPub  string `json:"enc_pub"`
+	Proof   string `json:"proof"`
+	Nonce   string `json:"nonce"`
+}
+
+// PurchaseRequest buys a license.
+type PurchaseRequest struct {
+	ContentID string   `json:"content_id"`
+	SignPub   string   `json:"sign_pub"`
+	EncPub    string   `json:"enc_pub"`
+	Coins     []string `json:"coins"` // serial||sig, base64
+}
+
+// LicenseResponse returns a marshaled personalized license.
+type LicenseResponse struct {
+	License string `json:"license"`
+}
+
+// ExchangeRequest retires a license for a blind signature.
+type ExchangeRequest struct {
+	License string `json:"license"`
+	Proof   string `json:"proof"`
+	Nonce   string `json:"nonce"`
+	Blinded string `json:"blinded"`
+}
+
+// ExchangeResponse carries the blind signature.
+type ExchangeResponse struct {
+	BlindSig string `json:"blind_sig"`
+}
+
+// RedeemRequest redeems an anonymous license.
+type RedeemRequest struct {
+	Anonymous string `json:"anonymous"`
+	SignPub   string `json:"sign_pub"`
+	EncPub    string `json:"enc_pub"`
+}
+
+// FilterResponse carries a signed revocation filter.
+type FilterResponse struct {
+	Filter   string    `json:"filter"`
+	IssuedAt time.Time `json:"issued_at"`
+	Sig      string    `json:"sig"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+
+func unb64(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	items := s.Provider.Catalog()
+	out := make([]CatalogEntry, 0, len(items))
+	for _, it := range items {
+		out = append(out, CatalogEntry{
+			ID: string(it.ID), Title: it.Title,
+			PriceCredits: it.PriceCredits, Rights: it.Template.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleContent(w http.ResponseWriter, r *http.Request) {
+	item, err := s.Provider.Item(license.ContentID(r.URL.Query().Get("id")))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(item.Encrypted)
+}
+
+func (s *Server) handleDenomination(w http.ResponseWriter, r *http.Request) {
+	id := license.ContentID(r.URL.Query().Get("id"))
+	pub, denom, err := s.Provider.DenomPublic(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DenominationInfo{
+		ContentID: string(id),
+		Denom:     denom.String(),
+		N:         b64(pub.N.Bytes()),
+		E:         pub.E,
+	})
+}
+
+func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
+	nonce, err := s.Provider.Challenge()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"nonce": nonce})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	signPub, err1 := unb64(req.SignPub)
+	encPub, err2 := unb64(req.EncPub)
+	proofBytes, err3 := unb64(req.Proof)
+	if err1 != nil || err2 != nil || err3 != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
+		return
+	}
+	proof, err := schnorr.ParseProof(s.Provider.Group(), proofBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Provider.Register(signPub, encPub, proof, req.Nonce); err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+}
+
+// encodeCoin flattens a coin for the wire.
+func encodeCoin(c *payment.Coin) string {
+	return b64(append(append([]byte(nil), c.Serial[:]...), c.Sig...))
+}
+
+func decodeCoin(s string) (*payment.Coin, error) {
+	raw, err := unb64(s)
+	if err != nil || len(raw) < payment.CoinSerialLen+1 {
+		return nil, errors.New("httpapi: malformed coin")
+	}
+	var c payment.Coin
+	copy(c.Serial[:], raw[:payment.CoinSerialLen])
+	c.Sig = append([]byte(nil), raw[payment.CoinSerialLen:]...)
+	return &c, nil
+}
+
+func (s *Server) handlePurchase(w http.ResponseWriter, r *http.Request) {
+	var req PurchaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	signPub, err1 := unb64(req.SignPub)
+	encPub, err2 := unb64(req.EncPub)
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
+		return
+	}
+	coins := make([]*payment.Coin, 0, len(req.Coins))
+	for _, cs := range req.Coins {
+		c, err := decodeCoin(cs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		coins = append(coins, c)
+	}
+	lic, err := s.Provider.Purchase(provider.PurchaseRequest{
+		ContentID: license.ContentID(req.ContentID),
+		SignPub:   signPub, EncPub: encPub, Coins: coins,
+	})
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LicenseResponse{License: b64(lic.Marshal())})
+}
+
+func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
+	var req ExchangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	licBytes, err1 := unb64(req.License)
+	proofBytes, err2 := unb64(req.Proof)
+	blinded, err3 := unb64(req.Blinded)
+	if err1 != nil || err2 != nil || err3 != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
+		return
+	}
+	lic, err := license.UnmarshalPersonalized(licBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	proof, err := schnorr.ParseProof(s.Provider.Group(), proofBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	blindSig, err := s.Provider.Exchange(lic, proof, req.Nonce, blinded)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExchangeResponse{BlindSig: b64(blindSig)})
+}
+
+func (s *Server) handleRedeem(w http.ResponseWriter, r *http.Request) {
+	var req RedeemRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	anonBytes, err1 := unb64(req.Anonymous)
+	signPub, err2 := unb64(req.SignPub)
+	encPub, err3 := unb64(req.EncPub)
+	if err1 != nil || err2 != nil || err3 != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
+		return
+	}
+	anon, err := license.UnmarshalAnonymous(anonBytes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	lic, err := s.Provider.Redeem(anon, signPub, encPub)
+	if err != nil {
+		writeErr(w, http.StatusForbidden, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LicenseResponse{License: b64(lic.Marshal())})
+}
+
+func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	sf, err := s.Provider.RevocationFilter()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FilterResponse{
+		Filter: b64(sf.Filter), IssuedAt: sf.IssuedAt, Sig: b64(sf.Sig),
+	})
+}
+
+// Client is the SDK speaking to a Server.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+	Group   *schnorr.Group
+}
+
+// NewClient builds a client; group must match the server's.
+func NewClient(baseURL string, g *schnorr.Group) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient, Group: g}
+}
+
+func (c *Client) get(path string, out interface{}) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResp(resp, out)
+}
+
+func (c *Client) post(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResp(resp, out)
+}
+
+func decodeResp(resp *http.Response, out interface{}) error {
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			return fmt.Errorf("httpapi: server: %s", eb.Error)
+		}
+		return fmt.Errorf("httpapi: status %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Catalog lists items.
+func (c *Client) Catalog() ([]CatalogEntry, error) {
+	var out []CatalogEntry
+	return out, c.get("/v1/catalog", &out)
+}
+
+// Content downloads an encrypted content blob.
+func (c *Client) Content(id license.ContentID) ([]byte, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/content?id=" + string(id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Denomination fetches an item's blind-signature verification key.
+func (c *Client) Denomination(id license.ContentID) (*rsa.PublicKey, license.DenominationID, error) {
+	var info DenominationInfo
+	if err := c.get("/v1/denomination?id="+string(id), &info); err != nil {
+		return nil, license.DenominationID{}, err
+	}
+	nBytes, err := unb64(info.N)
+	if err != nil {
+		return nil, license.DenominationID{}, err
+	}
+	var denom license.DenominationID
+	db, err := unb64From(info.Denom)
+	if err != nil || len(db) != len(denom) {
+		return nil, license.DenominationID{}, errors.New("httpapi: bad denomination id")
+	}
+	copy(denom[:], db)
+	return &rsa.PublicKey{N: new(big.Int).SetBytes(nBytes), E: info.E}, denom, nil
+}
+
+// unb64From parses the hex denomination id (DenominationID.String is hex).
+func unb64From(hexStr string) ([]byte, error) {
+	out := make([]byte, len(hexStr)/2)
+	_, err := fmt.Sscanf(hexStr, "%x", &out)
+	return out, err
+}
+
+// Challenge fetches a nonce.
+func (c *Client) Challenge() (string, error) {
+	var out map[string]string
+	if err := c.get("/v1/challenge", &out); err != nil {
+		return "", err
+	}
+	return out["nonce"], nil
+}
+
+// Register registers a pseudonym.
+func (c *Client) Register(signPub, encPub []byte, proof *schnorr.Proof, nonce string) error {
+	req := RegisterRequest{
+		SignPub: b64(signPub), EncPub: b64(encPub),
+		Proof: b64(proof.Bytes(c.Group)), Nonce: nonce,
+	}
+	return c.post("/v1/register", req, nil)
+}
+
+// Purchase buys a license with coins.
+func (c *Client) Purchase(id license.ContentID, signPub, encPub []byte, coins []*payment.Coin) (*license.Personalized, error) {
+	req := PurchaseRequest{ContentID: string(id), SignPub: b64(signPub), EncPub: b64(encPub)}
+	for _, coin := range coins {
+		req.Coins = append(req.Coins, encodeCoin(coin))
+	}
+	var resp LicenseResponse
+	if err := c.post("/v1/purchase", req, &resp); err != nil {
+		return nil, err
+	}
+	raw, err := unb64(resp.License)
+	if err != nil {
+		return nil, err
+	}
+	return license.UnmarshalPersonalized(raw)
+}
+
+// Exchange retires a license for a blind signature over blinded.
+func (c *Client) Exchange(lic *license.Personalized, proof *schnorr.Proof, nonce string, blinded []byte) ([]byte, error) {
+	req := ExchangeRequest{
+		License: b64(lic.Marshal()), Proof: b64(proof.Bytes(c.Group)),
+		Nonce: nonce, Blinded: b64(blinded),
+	}
+	var resp ExchangeResponse
+	if err := c.post("/v1/exchange", req, &resp); err != nil {
+		return nil, err
+	}
+	return unb64(resp.BlindSig)
+}
+
+// Redeem converts an anonymous license into a personalized one.
+func (c *Client) Redeem(anon *license.Anonymous, signPub, encPub []byte) (*license.Personalized, error) {
+	req := RedeemRequest{Anonymous: b64(anon.Marshal()), SignPub: b64(signPub), EncPub: b64(encPub)}
+	var resp LicenseResponse
+	if err := c.post("/v1/redeem", req, &resp); err != nil {
+		return nil, err
+	}
+	raw, err := unb64(resp.License)
+	if err != nil {
+		return nil, err
+	}
+	return license.UnmarshalPersonalized(raw)
+}
+
+// RevocationFilter fetches and reassembles the signed filter.
+func (c *Client) RevocationFilter() (*revocation.SignedFilter, error) {
+	var resp FilterResponse
+	if err := c.get("/v1/revocation/filter", &resp); err != nil {
+		return nil, err
+	}
+	filter, err1 := unb64(resp.Filter)
+	sig, err2 := unb64(resp.Sig)
+	if err1 != nil || err2 != nil {
+		return nil, errors.New("httpapi: bad filter encoding")
+	}
+	return &revocation.SignedFilter{Filter: filter, IssuedAt: resp.IssuedAt, Sig: sig}, nil
+}

@@ -1,0 +1,256 @@
+package httpapi
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+	"p2drm/internal/payment"
+	"p2drm/internal/provider"
+	"p2drm/internal/rel"
+	"p2drm/internal/revocation"
+	"p2drm/internal/smartcard"
+)
+
+var (
+	keysOnce sync.Once
+	provKey  *rsa.PrivateKey
+	bankKey  *rsa.PrivateKey
+)
+
+func keys() (*rsa.PrivateKey, *rsa.PrivateKey) {
+	keysOnce.Do(func() {
+		var err error
+		if provKey, err = rsa.GenerateKey(rand.Reader, 1024); err != nil {
+			panic(err)
+		}
+		if bankKey, err = rsa.GenerateKey(rand.Reader, 1024); err != nil {
+			panic(err)
+		}
+	})
+	return provKey, bankKey
+}
+
+type harness struct {
+	srv    *httptest.Server
+	client *Client
+	prov   *provider.Provider
+	bank   *payment.Bank
+	card   *smartcard.Card
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	pk, bk := keys()
+	spent, _ := kvstore.Open("")
+	bank, err := payment.NewBank(bk, spent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank.CreateAccount("provider", 0)
+	bank.CreateAccount("alice", 50)
+	store, _ := kvstore.Open("")
+	prov, err := provider.New(provider.Config{
+		Group: schnorr.Group768(), SignerKey: pk, DenomKeyBits: 1024,
+		Store: store, Bank: bank, BankAccount: "provider",
+		Clock: func() time.Time { return time.Date(2004, 11, 1, 0, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	template := rel.MustParse("grant play count 10; grant transfer;")
+	if _, err := prov.AddContent("song-1", "Song", 1, template, []byte("audio-blob")); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(prov))
+	t.Cleanup(srv.Close)
+	card, _ := smartcard.NewRandom(schnorr.Group768())
+	return &harness{
+		srv:    srv,
+		client: NewClient(srv.URL, schnorr.Group768()),
+		prov:   prov,
+		bank:   bank,
+		card:   card,
+	}
+}
+
+// registerOverHTTP runs registration through the client SDK.
+func (h *harness) registerOverHTTP(t *testing.T, index uint32) (signPub, encPub []byte) {
+	t.Helper()
+	g := schnorr.Group768()
+	ps, _ := h.card.Pseudonym(index)
+	nonce, err := h.client.Challenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _ := h.card.Prove(index, provider.RegisterContext(nonce))
+	if err := h.client.Register(ps.SignPublic(g), ps.EncPublic(g), proof, nonce); err != nil {
+		t.Fatal(err)
+	}
+	return ps.SignPublic(g), ps.EncPublic(g)
+}
+
+func TestCatalogAndContent(t *testing.T) {
+	h := newHarness(t)
+	items, err := h.client.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0].ID != "song-1" || items[0].PriceCredits != 1 {
+		t.Errorf("catalog = %+v", items)
+	}
+	if !strings.Contains(items[0].Rights, "grant play count 10") {
+		t.Errorf("rights text = %q", items[0].Rights)
+	}
+	blob, err := h.client.Content("song-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Error("empty content blob")
+	}
+	if _, err := h.client.Content("missing"); err == nil {
+		t.Error("missing content served")
+	}
+}
+
+func TestPurchaseOverHTTP(t *testing.T) {
+	h := newHarness(t)
+	signPub, encPub := h.registerOverHTTP(t, 0)
+	coins, _ := h.bank.WithdrawCoins("alice", 1)
+	lic, err := h.client.Purchase("song-1", signPub, encPub, coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := license.VerifyPersonalized(h.prov.Public(), lic); err != nil {
+		t.Fatalf("license from wire invalid: %v", err)
+	}
+	// Card can unwrap: the wire roundtrip preserved the key wrap.
+	if _, err := h.card.UnwrapContentKey(0, lic.KeyWrap,
+		license.WrapLabelPersonalized(lic.Serial, lic.ContentID)); err != nil {
+		t.Errorf("unwrap after wire roundtrip: %v", err)
+	}
+}
+
+func TestFullTransferOverHTTP(t *testing.T) {
+	h := newHarness(t)
+	g := schnorr.Group768()
+	signPub, encPub := h.registerOverHTTP(t, 0)
+	coins, _ := h.bank.WithdrawCoins("alice", 1)
+	lic, err := h.client.Purchase("song-1", signPub, encPub, coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exchange via HTTP.
+	denomPub, denomID, err := h.client.Denomination("song-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := license.NewSerial()
+	msg := license.AnonymousSigningBytes(serial, denomID)
+	blinded, st, err := rsablind.Blind(denomPub, msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, _ := h.client.Challenge()
+	proof, _ := h.card.Prove(0, provider.ExchangeContext(nonce, lic.Serial))
+	blindSig, err := h.client.Exchange(lic, proof, nonce, blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := rsablind.Unblind(denomPub, st, blindSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon := &license.Anonymous{Serial: serial, Denom: denomID, Sig: sig}
+
+	// Redeem under a new pseudonym (recipient side).
+	bobCard, _ := smartcard.NewRandom(g)
+	bp, _ := bobCard.Pseudonym(0)
+	rn, _ := h.client.Challenge()
+	rproof, _ := bobCard.Prove(0, provider.RegisterContext(rn))
+	if err := h.client.Register(bp.SignPublic(g), bp.EncPublic(g), rproof, rn); err != nil {
+		t.Fatal(err)
+	}
+	newLic, err := h.client.Redeem(anon, bp.SignPublic(g), bp.EncPublic(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := license.VerifyPersonalized(h.prov.Public(), newLic); err != nil {
+		t.Fatalf("redeemed license invalid: %v", err)
+	}
+	// Old one revoked; filter over HTTP reflects it.
+	sf, err := h.client.RevocationFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := revocation.VerifyFilter(h.prov.Public(), sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Contains(lic.Serial[:]) {
+		t.Error("wire filter missing revoked serial")
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	h := newHarness(t)
+	cases := []struct {
+		path, body string
+	}{
+		{"/v1/register", `{"sign_pub":"!!!","enc_pub":"","proof":"","nonce":"x"}`},
+		{"/v1/register", `not-json`},
+		{"/v1/purchase", `{"content_id":"song-1","coins":["bad"]}`},
+		{"/v1/exchange", `{"license":"AA==","proof":"AA==","blinded":"AA=="}`},
+		{"/v1/redeem", `{"anonymous":"AA==","sign_pub":"","enc_pub":""}`},
+	}
+	for _, tc := range cases {
+		resp, err := h.srv.Client().Post(h.srv.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == 200 {
+			t.Errorf("POST %s with %q returned 200", tc.path, tc.body)
+		}
+	}
+}
+
+func TestClientErrorSurfacing(t *testing.T) {
+	h := newHarness(t)
+	// Unregistered pseudonym purchase: the server error must reach the
+	// client as text.
+	g := schnorr.Group768()
+	ps, _ := h.card.Pseudonym(7)
+	coins, _ := h.bank.WithdrawCoins("alice", 1)
+	_, err := h.client.Purchase("song-1", ps.SignPublic(g), ps.EncPublic(g), coins)
+	if err == nil || !strings.Contains(err.Error(), "pseudonym") {
+		t.Errorf("err = %v, want pseudonym error from server", err)
+	}
+}
+
+func TestCoinCodec(t *testing.T) {
+	var c payment.Coin
+	copy(c.Serial[:], bytes.Repeat([]byte{7}, payment.CoinSerialLen))
+	c.Sig = []byte{1, 2, 3}
+	back, err := decodeCoin(encodeCoin(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Serial != c.Serial || !bytes.Equal(back.Sig, c.Sig) {
+		t.Error("coin codec roundtrip mismatch")
+	}
+	if _, err := decodeCoin("x"); err == nil {
+		t.Error("bad coin accepted")
+	}
+}

@@ -1,0 +1,580 @@
+// Package kvstore implements the embedded key-value store that backs every
+// stateful P2DRM party: the provider's pseudonym registry, license ledger
+// and redeemed-serial list, the payment bank's double-spend ledger, and the
+// client wallet.
+//
+// The design is a write-ahead log with an in-memory index:
+//
+//   - Every mutation is appended to the log as a CRC-framed record before
+//     it is applied to the index, so a crash never loses acknowledged
+//     writes and never exposes half-applied batches.
+//   - Open replays the log; a torn tail (partial final record from a
+//     crash mid-write) is detected by CRC/length and truncated away.
+//   - Compact rewrites the live set into a fresh log and atomically swaps
+//     it in, bounding disk growth under churn.
+//
+// Batches are single log records, so multi-key updates (e.g. "store new
+// license + mark old serial redeemed") are atomic across crashes.
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+const (
+	kindPut   byte = 1
+	kindDel   byte = 2
+	kindBatch byte = 3
+
+	// maxKeyLen/maxValLen bound a single record; larger values indicate
+	// corruption rather than legitimate data for this system.
+	maxKeyLen = 1 << 20
+	maxValLen = 1 << 26
+)
+
+var (
+	// ErrClosed is returned for operations on a closed store.
+	ErrClosed = errors.New("kvstore: store is closed")
+	// ErrEmptyKey rejects zero-length keys, reserved for future framing.
+	ErrEmptyKey = errors.New("kvstore: empty key")
+)
+
+// Store is a durable (or, with Dir "", purely in-memory) key-value map.
+type Store struct {
+	mu     sync.RWMutex
+	data   map[string][]byte
+	file   *os.File
+	w      *bufio.Writer
+	dir    string
+	closed bool
+	// bytesLogged tracks log growth to advise compaction.
+	bytesLogged int64
+	liveBytes   int64
+}
+
+// Open opens (creating if necessary) a store in dir. An empty dir gives a
+// volatile in-memory store with identical semantics minus durability.
+func Open(dir string) (*Store, error) {
+	s := &Store{data: make(map[string][]byte), dir: dir}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: create dir: %w", err)
+	}
+	path := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open log: %w", err)
+	}
+	valid, err := s.replay(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate any torn tail so future appends start at a clean boundary.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.file = f
+	s.w = bufio.NewWriter(f)
+	s.bytesLogged = valid
+	return s, nil
+}
+
+// replay applies every intact record and returns the offset of the last
+// intact record's end.
+func (s *Store) replay(f *os.File) (int64, error) {
+	r := bufio.NewReader(f)
+	var offset int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			return offset, nil
+		}
+		if err != nil {
+			// Corrupt or torn record: stop replay here; caller truncates.
+			return offset, nil
+		}
+		if aerr := s.applyRecord(rec); aerr != nil {
+			return offset, aerr
+		}
+		offset += n
+	}
+}
+
+// record is a decoded log record.
+type record struct {
+	kind byte
+	ops  []op
+}
+
+type op struct {
+	del bool
+	key []byte
+	val []byte
+}
+
+func (s *Store) applyRecord(rec *record) error {
+	for _, o := range rec.ops {
+		if o.del {
+			if old, ok := s.data[string(o.key)]; ok {
+				s.liveBytes -= int64(len(o.key) + len(old))
+			}
+			delete(s.data, string(o.key))
+		} else {
+			if old, ok := s.data[string(o.key)]; ok {
+				s.liveBytes -= int64(len(o.key) + len(old))
+			}
+			s.data[string(o.key)] = o.val
+			s.liveBytes += int64(len(o.key) + len(o.val))
+		}
+	}
+	return nil
+}
+
+// Record wire format:
+//
+//	crc32[4] | kind[1] | bodyLen[4] | body
+//
+// body for put/del:   keyLen[4] | key | val
+// body for batch:     count[4] | (del[1] | keyLen[4] | key | valLen[4] | val)*
+// The CRC covers kind|bodyLen|body.
+func encodeRecord(kind byte, body []byte) []byte {
+	out := make([]byte, 4+1+4+len(body))
+	out[4] = kind
+	binary.BigEndian.PutUint32(out[5:9], uint32(len(body)))
+	copy(out[9:], body)
+	crc := crc32.ChecksumIEEE(out[4:])
+	binary.BigEndian.PutUint32(out[:4], crc)
+	return out
+}
+
+func readRecord(r *bufio.Reader) (*record, int64, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, 0, errors.New("kvstore: torn header")
+		}
+		return nil, 0, err
+	}
+	wantCRC := binary.BigEndian.Uint32(hdr[:4])
+	kind := hdr[4]
+	bodyLen := binary.BigEndian.Uint32(hdr[5:9])
+	if bodyLen > maxValLen+maxKeyLen+16 {
+		return nil, 0, errors.New("kvstore: implausible record length")
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, errors.New("kvstore: torn body")
+	}
+	check := crc32.NewIEEE()
+	check.Write(hdr[4:])
+	check.Write(body)
+	if check.Sum32() != wantCRC {
+		return nil, 0, errors.New("kvstore: crc mismatch")
+	}
+	rec := &record{kind: kind}
+	switch kind {
+	case kindPut, kindDel:
+		if len(body) < 4 {
+			return nil, 0, errors.New("kvstore: short body")
+		}
+		kl := binary.BigEndian.Uint32(body[:4])
+		if int(kl) > len(body)-4 || kl > maxKeyLen {
+			return nil, 0, errors.New("kvstore: bad key length")
+		}
+		key := body[4 : 4+kl]
+		val := body[4+kl:]
+		rec.ops = append(rec.ops, op{del: kind == kindDel, key: key, val: val})
+	case kindBatch:
+		ops, err := decodeBatchBody(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		rec.ops = ops
+	default:
+		return nil, 0, fmt.Errorf("kvstore: unknown record kind %d", kind)
+	}
+	return rec, int64(9 + len(body)), nil
+}
+
+func decodeBatchBody(body []byte) ([]op, error) {
+	if len(body) < 4 {
+		return nil, errors.New("kvstore: short batch")
+	}
+	count := binary.BigEndian.Uint32(body[:4])
+	body = body[4:]
+	ops := make([]op, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(body) < 5 {
+			return nil, errors.New("kvstore: truncated batch op")
+		}
+		del := body[0] == 1
+		kl := binary.BigEndian.Uint32(body[1:5])
+		body = body[5:]
+		if uint32(len(body)) < kl {
+			return nil, errors.New("kvstore: truncated batch key")
+		}
+		key := body[:kl]
+		body = body[kl:]
+		if len(body) < 4 {
+			return nil, errors.New("kvstore: truncated batch val header")
+		}
+		vl := binary.BigEndian.Uint32(body[:4])
+		body = body[4:]
+		if uint32(len(body)) < vl {
+			return nil, errors.New("kvstore: truncated batch val")
+		}
+		val := body[:vl]
+		body = body[vl:]
+		ops = append(ops, op{del: del, key: key, val: val})
+	}
+	if len(body) != 0 {
+		return nil, errors.New("kvstore: trailing batch bytes")
+	}
+	return ops, nil
+}
+
+// append writes a record to the log and flushes it.
+func (s *Store) append(kind byte, body []byte) error {
+	if s.file == nil {
+		return nil // in-memory store
+	}
+	rec := encodeRecord(kind, body)
+	if _, err := s.w.Write(rec); err != nil {
+		return fmt.Errorf("kvstore: append: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flush: %w", err)
+	}
+	s.bytesLogged += int64(len(rec))
+	return nil
+}
+
+// Put stores val under key.
+func (s *Store) Put(key, val []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if len(key) > maxKeyLen || len(val) > maxValLen {
+		return errors.New("kvstore: key or value too large")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	body := make([]byte, 4+len(key)+len(val))
+	binary.BigEndian.PutUint32(body[:4], uint32(len(key)))
+	copy(body[4:], key)
+	copy(body[4+len(key):], val)
+	if err := s.append(kindPut, body); err != nil {
+		return err
+	}
+	if old, ok := s.data[string(key)]; ok {
+		s.liveBytes -= int64(len(key) + len(old))
+	}
+	v := append([]byte(nil), val...)
+	s.data[string(key)] = v
+	s.liveBytes += int64(len(key) + len(v))
+	return nil
+}
+
+// Get returns a copy of the value for key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[string(key)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Has reports presence without copying the value.
+func (s *Store) Has(key []byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.data[string(key)]
+	return ok
+}
+
+// Delete removes key; deleting an absent key is a no-op (but still logged
+// for idempotent replay).
+func (s *Store) Delete(key []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	body := make([]byte, 4+len(key))
+	binary.BigEndian.PutUint32(body[:4], uint32(len(key)))
+	copy(body[4:], key)
+	if err := s.append(kindDel, body); err != nil {
+		return err
+	}
+	if old, ok := s.data[string(key)]; ok {
+		s.liveBytes -= int64(len(key) + len(old))
+	}
+	delete(s.data, string(key))
+	return nil
+}
+
+// Batch collects operations applied atomically by Apply.
+type Batch struct {
+	ops []op
+}
+
+// Put adds a put to the batch.
+func (b *Batch) Put(key, val []byte) *Batch {
+	b.ops = append(b.ops, op{key: append([]byte(nil), key...), val: append([]byte(nil), val...)})
+	return b
+}
+
+// Delete adds a delete to the batch.
+func (b *Batch) Delete(key []byte) *Batch {
+	b.ops = append(b.ops, op{del: true, key: append([]byte(nil), key...)})
+	return b
+}
+
+// Len reports the number of operations queued.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply writes the batch as a single atomic log record and applies it.
+func (s *Store) Apply(b *Batch) error {
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+	for _, o := range b.ops {
+		if len(o.key) == 0 {
+			return ErrEmptyKey
+		}
+		if len(o.key) > maxKeyLen || len(o.val) > maxValLen {
+			return errors.New("kvstore: key or value too large")
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	size := 4
+	for _, o := range b.ops {
+		size += 1 + 4 + len(o.key) + 4 + len(o.val)
+	}
+	body := make([]byte, size)
+	binary.BigEndian.PutUint32(body[:4], uint32(len(b.ops)))
+	off := 4
+	for _, o := range b.ops {
+		if o.del {
+			body[off] = 1
+		}
+		binary.BigEndian.PutUint32(body[off+1:off+5], uint32(len(o.key)))
+		off += 5
+		copy(body[off:], o.key)
+		off += len(o.key)
+		binary.BigEndian.PutUint32(body[off:off+4], uint32(len(o.val)))
+		off += 4
+		copy(body[off:], o.val)
+		off += len(o.val)
+	}
+	if err := s.append(kindBatch, body); err != nil {
+		return err
+	}
+	rec := &record{kind: kindBatch, ops: b.ops}
+	return s.applyRecord(rec)
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// ForEach visits every live pair in sorted key order. The callback
+// receives copies and may not mutate the store; returning false stops
+// iteration early.
+func (s *Store) ForEach(fn func(key, val []byte) bool) {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]op, len(keys))
+	for i, k := range keys {
+		pairs[i] = op{key: []byte(k), val: append([]byte(nil), s.data[k]...)}
+	}
+	s.mu.RUnlock()
+	for _, p := range pairs {
+		if !fn(p.key, p.val) {
+			return
+		}
+	}
+}
+
+// PrefixScan visits live pairs whose key begins with prefix, sorted.
+func (s *Store) PrefixScan(prefix []byte, fn func(key, val []byte) bool) {
+	s.ForEach(func(k, v []byte) bool {
+		if len(k) < len(prefix) {
+			return true
+		}
+		for i := range prefix {
+			if k[i] != prefix[i] {
+				return true
+			}
+		}
+		return fn(k, v)
+	})
+}
+
+// Sync forces the log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.file == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.file.Sync()
+}
+
+// GarbageRatio reports wasted log fraction; callers compact when it grows.
+func (s *Store) GarbageRatio() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.bytesLogged == 0 {
+		return 0
+	}
+	waste := float64(s.bytesLogged-s.liveBytes) / float64(s.bytesLogged)
+	if waste < 0 {
+		return 0
+	}
+	return waste
+}
+
+// Compact rewrites the live set into a fresh log and atomically replaces
+// the old one. No-op for in-memory stores.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.file == nil {
+		return nil
+	}
+	tmpPath := filepath.Join(s.dir, "wal.log.compact")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("kvstore: compact: %w", err)
+	}
+	bw := bufio.NewWriter(tmp)
+	var written int64
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := s.data[k]
+		body := make([]byte, 4+len(k)+len(v))
+		binary.BigEndian.PutUint32(body[:4], uint32(len(k)))
+		copy(body[4:], k)
+		copy(body[4+len(k):], v)
+		rec := encodeRecord(kindPut, body)
+		if _, err := bw.Write(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		written += int64(len(rec))
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Swap: close old, rename, reopen for append.
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.file.Close(); err != nil {
+		return err
+	}
+	livePath := filepath.Join(s.dir, "wal.log")
+	if err := os.Rename(tmpPath, livePath); err != nil {
+		return fmt.Errorf("kvstore: compact swap: %w", err)
+	}
+	f, err := os.OpenFile(livePath, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: reopen after compact: %w", err)
+	}
+	s.file = f
+	s.w = bufio.NewWriter(f)
+	s.bytesLogged = written
+	s.liveBytes = written - int64(9*len(keys)+4*len(keys)) // approximate
+	// Recompute precisely: liveBytes is key+val bytes only.
+	s.liveBytes = 0
+	for k, v := range s.data {
+		s.liveBytes += int64(len(k) + len(v))
+	}
+	return nil
+}
+
+// Close flushes and closes the store. Further operations fail with
+// ErrClosed; Get/Has keep answering from memory for reads-after-close
+// safety in shutdown paths.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.file == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		s.file.Close()
+		return err
+	}
+	if err := s.file.Sync(); err != nil {
+		s.file.Close()
+		return err
+	}
+	return s.file.Close()
+}

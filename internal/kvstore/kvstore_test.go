@@ -1,0 +1,426 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get([]byte("k1"))
+	if !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if err := s.Put([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get([]byte("k1"))
+	if !bytes.Equal(v, []byte("v2")) {
+		t.Error("overwrite failed")
+	}
+	if err := s.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get([]byte("k1")); ok {
+		t.Error("deleted key still present")
+	}
+	if !s.Has([]byte("k1")) == false && s.Has([]byte("k1")) {
+		t.Error("Has inconsistent")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Put(nil, []byte("v")); err != ErrEmptyKey {
+		t.Errorf("Put(nil) err = %v", err)
+	}
+	if err := s.Delete(nil); err != ErrEmptyKey {
+		t.Errorf("Delete(nil) err = %v", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put([]byte("k"), []byte("value"))
+	v, _ := s.Get([]byte("k"))
+	v[0] = 'X'
+	v2, _ := s.Get([]byte("k"))
+	if !bytes.Equal(v2, []byte("value")) {
+		t.Error("caller mutation leaked into store")
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	s, dir := openTemp(t)
+	for i := 0; i < 100; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete([]byte("k050"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("Len after reopen = %d, want 99", s2.Len())
+	}
+	v, ok := s2.Get([]byte("k042"))
+	if !ok || !bytes.Equal(v, []byte("v42")) {
+		t.Errorf("k042 = %q,%v", v, ok)
+	}
+	if _, ok := s2.Get([]byte("k050")); ok {
+		t.Error("deleted key resurrected after reopen")
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	s, dir := openTemp(t)
+	s.Put([]byte("good1"), []byte("a"))
+	s.Put([]byte("good2"), []byte("b"))
+	s.Close()
+
+	// Simulate a crash mid-append: write half a record at the tail.
+	path := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xDE, 0xAD, 0xBE}) // 3 bytes: not even a full header
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s2.Len())
+	}
+	// Store must be writable after recovery and survive another cycle.
+	if err := s2.Put([]byte("good3"), []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 3 {
+		t.Errorf("Len after second reopen = %d, want 3", s3.Len())
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	s, dir := openTemp(t)
+	s.Put([]byte("k1"), []byte("v1"))
+	s.Put([]byte("k2"), []byte("v2"))
+	s.Close()
+
+	// Flip a byte inside the second record's body.
+	path := filepath.Join(dir, "wal.log")
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// First record intact; the corrupted one dropped.
+	if _, ok := s2.Get([]byte("k1")); !ok {
+		t.Error("intact record lost")
+	}
+	if _, ok := s2.Get([]byte("k2")); ok {
+		t.Error("corrupt record applied")
+	}
+}
+
+func TestBatchAtomicityAndReplay(t *testing.T) {
+	s, dir := openTemp(t)
+	s.Put([]byte("old"), []byte("x"))
+	b := new(Batch)
+	b.Put([]byte("lic:1"), []byte("license-bytes"))
+	b.Put([]byte("rev:serial9"), []byte{1})
+	b.Delete([]byte("old"))
+	if b.Len() != 3 {
+		t.Fatalf("Batch.Len = %d", b.Len())
+	}
+	if err := s.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get([]byte("lic:1")); !ok {
+		t.Error("batch put lost")
+	}
+	if _, ok := s2.Get([]byte("rev:serial9")); !ok {
+		t.Error("batch put 2 lost")
+	}
+	if _, ok := s2.Get([]byte("old")); ok {
+		t.Error("batch delete lost")
+	}
+}
+
+func TestApplyEmptyBatch(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Apply(nil); err != nil {
+		t.Error(err)
+	}
+	if err := s.Apply(new(Batch)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchRejectsEmptyKey(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	b := new(Batch)
+	b.Put(nil, []byte("v"))
+	if err := s.Apply(b); err != ErrEmptyKey {
+		t.Errorf("err = %v, want ErrEmptyKey", err)
+	}
+}
+
+func TestForEachSortedAndEarlyStop(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	for _, k := range []string{"c", "a", "b"} {
+		s.Put([]byte(k), []byte(k))
+	}
+	var got []string
+	s.ForEach(func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[a b c]" {
+		t.Errorf("order = %v", got)
+	}
+	got = nil
+	s.ForEach(func(k, v []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 2
+	})
+	if len(got) != 2 {
+		t.Errorf("early stop visited %d", len(got))
+	}
+}
+
+func TestPrefixScan(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put([]byte("lic:1"), []byte("a"))
+	s.Put([]byte("lic:2"), []byte("b"))
+	s.Put([]byte("rev:1"), []byte("c"))
+	var got []string
+	s.PrefixScan([]byte("lic:"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[lic:1 lic:2]" {
+		t.Errorf("prefix scan = %v", got)
+	}
+}
+
+func TestCompactPreservesDataAndShrinksLog(t *testing.T) {
+	s, dir := openTemp(t)
+	// Create churn: many overwrites of the same keys.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 50; i++ {
+			s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("val-%d-%d", round, i)))
+		}
+	}
+	before, _ := os.Stat(filepath.Join(dir, "wal.log"))
+	if s.GarbageRatio() < 0.5 {
+		t.Logf("garbage ratio unexpectedly low: %v", s.GarbageRatio())
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(filepath.Join(dir, "wal.log"))
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	// All live data still present, and the store still writable.
+	for i := 0; i < 50; i++ {
+		v, ok := s.Get([]byte(fmt.Sprintf("k%02d", i)))
+		if !ok || !bytes.Equal(v, []byte(fmt.Sprintf("val-19-%d", i))) {
+			t.Fatalf("k%02d lost after compact", i)
+		}
+	}
+	if err := s.Put([]byte("post"), []byte("compact")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 51 {
+		t.Errorf("Len after compact+reopen = %d, want 51", s2.Len())
+	}
+}
+
+func TestInMemoryStore(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get([]byte("k")); !ok {
+		t.Error("in-memory put lost")
+	}
+	if err := s.Sync(); err != nil {
+		t.Error(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Error(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	s, _ := openTemp(t)
+	s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Errorf("Put after close: %v", err)
+	}
+	if err := s.Delete([]byte("k")); err != ErrClosed {
+		t.Errorf("Delete after close: %v", err)
+	}
+	if err := s.Apply(new(Batch).Put([]byte("k"), nil)); err != ErrClosed {
+		t.Errorf("Apply after close: %v", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Errorf("Sync after close: %v", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("Compact after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := []byte(fmt.Sprintf("g%d-k%d", g, i))
+				if err := s.Put(key, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(key); !ok {
+					t.Error("read-own-write failed")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Errorf("Len = %d, want 800", s.Len())
+	}
+}
+
+// Property: a random sequence of puts/deletes replayed through a reopen
+// yields exactly the same map (the store is a faithful durable map).
+func TestQuickReplayEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(11))}
+	f := func(seed int64, nOps uint8) bool {
+		dir, err := os.MkdirTemp("", "kvq")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		s, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		model := make(map[string]string)
+		for i := 0; i < int(nOps)+5; i++ {
+			key := fmt.Sprintf("k%d", r.Intn(20))
+			if r.Intn(4) == 0 {
+				if s.Delete([]byte(key)) != nil {
+					return false
+				}
+				delete(model, key)
+			} else {
+				val := fmt.Sprintf("v%d", r.Intn(1000))
+				if s.Put([]byte(key), []byte(val)) != nil {
+					return false
+				}
+				model[key] = val
+			}
+		}
+		if s.Close() != nil {
+			return false
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := s2.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

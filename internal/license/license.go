@@ -1,0 +1,432 @@
+// Package license defines the three license forms of the P2DRM protocol
+// and their canonical signed encodings.
+//
+//   - Personalized licenses bind content + rights + a wrapped content key
+//     to one pseudonym. They are what compliant devices enforce.
+//   - Anonymous licenses are bearer tokens: a user-chosen serial
+//     blind-signed by the provider under a per-(content, rights)
+//     denomination key. They exist so a license can change hands without
+//     the provider being able to link giver and receiver.
+//   - Star licenses are user-issued delegations that can only narrow the
+//     parent license's rights (the paper's user-attributed-rights
+//     extension).
+//
+// Nothing in this package talks to the network or stores state; it is the
+// data model shared by provider, device, smartcard and client.
+package license
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"p2drm/internal/cryptox/dlkem"
+	"p2drm/internal/cryptox/envelope"
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/rel"
+)
+
+// ContentID names a catalog item.
+type ContentID string
+
+// SerialLen is the serial length in bytes.
+const SerialLen = 32
+
+// Serial is a unique license identifier. Personalized serials are chosen
+// by the provider; anonymous serials are chosen by the *user* (and blinded
+// before the provider ever sees them).
+type Serial [SerialLen]byte
+
+// NewSerial draws a random serial.
+func NewSerial() (Serial, error) {
+	var s Serial
+	if _, err := io.ReadFull(rand.Reader, s[:]); err != nil {
+		return Serial{}, fmt.Errorf("license: serial: %w", err)
+	}
+	return s, nil
+}
+
+// String returns the hex form.
+func (s Serial) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseSerial decodes a hex serial.
+func ParseSerial(h string) (Serial, error) {
+	var s Serial
+	b, err := hex.DecodeString(h)
+	if err != nil || len(b) != SerialLen {
+		return Serial{}, errors.New("license: invalid serial encoding")
+	}
+	copy(s[:], b)
+	return s, nil
+}
+
+// IsZero reports an unset serial.
+func (s Serial) IsZero() bool { return s == Serial{} }
+
+// KeyWrap carries a content key encapsulated to a pseudonym encryption
+// key: a dlkem ciphertext plus the content key sealed under the derived
+// KEK. The seal's AAD binds the wrap to its license context.
+type KeyWrap struct {
+	KEM       []byte
+	SealedKey []byte
+}
+
+// WrapKey encapsulates contentKey to the recipient's public enc key. The
+// label must identify the license context (serial + content ID) so wraps
+// cannot be transplanted between licenses.
+func WrapKey(g *schnorr.Group, recipientY *big.Int, contentKey, label []byte) (KeyWrap, error) {
+	ct, kek, err := dlkem.Encap(g, recipientY, rand.Reader)
+	if err != nil {
+		return KeyWrap{}, err
+	}
+	sealed, err := envelope.Seal(kek, contentKey, label)
+	if err != nil {
+		return KeyWrap{}, err
+	}
+	return KeyWrap{KEM: ct, SealedKey: sealed}, nil
+}
+
+// Unwrap recovers the content key with the recipient's private scalar.
+func (kw KeyWrap) Unwrap(g *schnorr.Group, x *big.Int, label []byte) ([]byte, error) {
+	kek, err := dlkem.Decap(g, x, kw.KEM)
+	if err != nil {
+		return nil, err
+	}
+	return envelope.Open(kek, kw.SealedKey, label)
+}
+
+// wrapLabel derives the AAD binding a key wrap to its license.
+func wrapLabel(kind string, serial Serial, content ContentID) []byte {
+	return []byte("p2drm/wrap/" + kind + "/" + serial.String() + "/" + string(content))
+}
+
+// WrapLabelPersonalized is the label for personalized-license key wraps.
+func WrapLabelPersonalized(serial Serial, content ContentID) []byte {
+	return wrapLabel("personalized", serial, content)
+}
+
+// WrapLabelStar is the label for star-license key wraps.
+func WrapLabelStar(parent Serial, content ContentID) []byte {
+	return wrapLabel("star", parent, content)
+}
+
+// Personalized is a license bound to a pseudonym. HolderSign is the
+// pseudonym's Schnorr verification key (proved at playback challenge);
+// HolderEnc is its encryption key (target of the key wrap).
+type Personalized struct {
+	Serial     Serial
+	ContentID  ContentID
+	HolderSign []byte
+	HolderEnc  []byte
+	Rights     *rel.Rights
+	KeyWrap    KeyWrap
+	IssuedAt   time.Time
+	// ProviderSig is an FDH-RSA signature over SigningBytes.
+	ProviderSig []byte
+}
+
+const (
+	encVersion       = 1
+	kindPersonalized = 1
+	kindAnonymous    = 2
+	kindStar         = 3
+)
+
+// SigningBytes returns the canonical byte string the provider signs.
+func (l *Personalized) SigningBytes() []byte {
+	w := &writer{}
+	w.byte(encVersion)
+	w.byte(kindPersonalized)
+	w.buf = append(w.buf, l.Serial[:]...)
+	w.str(string(l.ContentID))
+	w.bytes(l.HolderSign)
+	w.bytes(l.HolderEnc)
+	w.bytes(l.Rights.Canonical())
+	w.bytes(l.KeyWrap.KEM)
+	w.bytes(l.KeyWrap.SealedKey)
+	w.u64(uint64(l.IssuedAt.UTC().Unix()))
+	return w.buf
+}
+
+// Marshal encodes the full license including the provider signature.
+func (l *Personalized) Marshal() []byte {
+	w := &writer{buf: l.SigningBytes()}
+	w.bytes(l.ProviderSig)
+	return w.buf
+}
+
+// UnmarshalPersonalized decodes a Marshal-ed personalized license.
+func UnmarshalPersonalized(data []byte) (*Personalized, error) {
+	r := &reader{buf: data}
+	if v := r.byte(); v != encVersion && r.err == nil {
+		return nil, fmt.Errorf("license: unsupported version %d", v)
+	}
+	if k := r.byte(); k != kindPersonalized && r.err == nil {
+		return nil, fmt.Errorf("license: wrong kind %d for personalized license", k)
+	}
+	l := &Personalized{}
+	if r.off+SerialLen > len(r.buf) {
+		return nil, errTruncated
+	}
+	copy(l.Serial[:], r.buf[r.off:])
+	r.off += SerialLen
+	l.ContentID = ContentID(r.str())
+	l.HolderSign = r.bytes()
+	l.HolderEnc = r.bytes()
+	rightsText := r.bytes()
+	l.KeyWrap.KEM = r.bytes()
+	l.KeyWrap.SealedKey = r.bytes()
+	l.IssuedAt = time.Unix(int64(r.u64()), 0).UTC()
+	l.ProviderSig = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	rights, err := rel.Parse(string(rightsText))
+	if err != nil {
+		return nil, fmt.Errorf("license: embedded rights: %w", err)
+	}
+	l.Rights = rights
+	return l, nil
+}
+
+// Validate checks structural invariants independent of signatures.
+func (l *Personalized) Validate() error {
+	if l.Serial.IsZero() {
+		return errors.New("license: zero serial")
+	}
+	if l.ContentID == "" {
+		return errors.New("license: empty content ID")
+	}
+	if len(l.HolderSign) == 0 || len(l.HolderEnc) == 0 {
+		return errors.New("license: missing holder keys")
+	}
+	if l.Rights == nil {
+		return errors.New("license: nil rights")
+	}
+	if err := l.Rights.Validate(); err != nil {
+		return err
+	}
+	if len(l.KeyWrap.KEM) == 0 || len(l.KeyWrap.SealedKey) == 0 {
+		return errors.New("license: missing key wrap")
+	}
+	return nil
+}
+
+// VerifyPersonalized checks structure and the provider signature.
+func VerifyPersonalized(providerPub *rsa.PublicKey, l *Personalized) error {
+	if l == nil {
+		return errors.New("license: nil license")
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if err := rsablind.Verify(providerPub, l.SigningBytes(), l.ProviderSig); err != nil {
+		return fmt.Errorf("license: provider signature: %w", err)
+	}
+	return nil
+}
+
+// DenominationID identifies a (content, rights-template) pair. Anonymous
+// licenses are blind-signed under a per-denomination key, which is how the
+// provider guarantees WHAT an anonymous license is worth without seeing
+// WHICH serial it signed.
+type DenominationID [32]byte
+
+// Denom computes the denomination for a content item and rights template.
+func Denom(content ContentID, template *rel.Rights) DenominationID {
+	h := sha256.New()
+	h.Write([]byte("p2drm/denom/v1"))
+	h.Write([]byte(content))
+	h.Write([]byte{0})
+	h.Write(template.Canonical())
+	var d DenominationID
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// String returns the hex form.
+func (d DenominationID) String() string { return hex.EncodeToString(d[:]) }
+
+// Anonymous is a bearer license: whoever holds a valid (serial, signature)
+// pair under a denomination key may redeem it once.
+type Anonymous struct {
+	Serial Serial
+	Denom  DenominationID
+	// Sig is an FDH-RSA signature (obtained blind) over SigningBytes.
+	Sig []byte
+}
+
+// AnonymousSigningBytes is the message blind-signed at exchange time. The
+// user constructs it locally, blinds it, and the provider signs without
+// seeing the serial.
+func AnonymousSigningBytes(serial Serial, denom DenominationID) []byte {
+	w := &writer{}
+	w.byte(encVersion)
+	w.byte(kindAnonymous)
+	w.buf = append(w.buf, serial[:]...)
+	w.buf = append(w.buf, denom[:]...)
+	return w.buf
+}
+
+// SigningBytes returns the canonical signed message.
+func (a *Anonymous) SigningBytes() []byte { return AnonymousSigningBytes(a.Serial, a.Denom) }
+
+// Marshal encodes the anonymous license.
+func (a *Anonymous) Marshal() []byte {
+	w := &writer{buf: a.SigningBytes()}
+	w.bytes(a.Sig)
+	return w.buf
+}
+
+// UnmarshalAnonymous decodes a Marshal-ed anonymous license.
+func UnmarshalAnonymous(data []byte) (*Anonymous, error) {
+	r := &reader{buf: data}
+	if v := r.byte(); v != encVersion && r.err == nil {
+		return nil, fmt.Errorf("license: unsupported version %d", v)
+	}
+	if k := r.byte(); k != kindAnonymous && r.err == nil {
+		return nil, fmt.Errorf("license: wrong kind %d for anonymous license", k)
+	}
+	a := &Anonymous{}
+	if r.off+SerialLen+32 > len(r.buf) {
+		return nil, errTruncated
+	}
+	copy(a.Serial[:], r.buf[r.off:])
+	r.off += SerialLen
+	copy(a.Denom[:], r.buf[r.off:])
+	r.off += 32
+	a.Sig = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// VerifyAnonymous checks the blind signature under the denomination key.
+func VerifyAnonymous(denomPub *rsa.PublicKey, a *Anonymous) error {
+	if a == nil {
+		return errors.New("license: nil anonymous license")
+	}
+	if a.Serial.IsZero() {
+		return errors.New("license: zero serial")
+	}
+	if err := rsablind.Verify(denomPub, a.SigningBytes(), a.Sig); err != nil {
+		return fmt.Errorf("license: denomination signature: %w", err)
+	}
+	return nil
+}
+
+// Star is a user-issued delegation of a personalized license: the parent
+// holder grants a delegate pseudonym a narrowed subset of their rights and
+// re-wraps the content key to the delegate. Devices enforce:
+// parent rights allow delegation, restriction is Narrower, holder
+// signature verifies under the parent's HolderSign key.
+type Star struct {
+	ParentSerial Serial
+	ContentID    ContentID
+	Restriction  *rel.Rights
+	DelegateSign []byte
+	DelegateEnc  []byte
+	KeyWrap      KeyWrap
+	IssuedAt     time.Time
+	// HolderSig is a Schnorr signature by the parent license holder.
+	HolderSig []byte
+}
+
+// SigningBytes returns the canonical bytes the holder signs.
+func (s *Star) SigningBytes() []byte {
+	w := &writer{}
+	w.byte(encVersion)
+	w.byte(kindStar)
+	w.buf = append(w.buf, s.ParentSerial[:]...)
+	w.str(string(s.ContentID))
+	w.bytes(s.Restriction.Canonical())
+	w.bytes(s.DelegateSign)
+	w.bytes(s.DelegateEnc)
+	w.bytes(s.KeyWrap.KEM)
+	w.bytes(s.KeyWrap.SealedKey)
+	w.u64(uint64(s.IssuedAt.UTC().Unix()))
+	return w.buf
+}
+
+// Marshal encodes the star license including the holder signature.
+func (s *Star) Marshal() []byte {
+	w := &writer{buf: s.SigningBytes()}
+	w.bytes(s.HolderSig)
+	return w.buf
+}
+
+// UnmarshalStar decodes a Marshal-ed star license.
+func UnmarshalStar(data []byte) (*Star, error) {
+	r := &reader{buf: data}
+	if v := r.byte(); v != encVersion && r.err == nil {
+		return nil, fmt.Errorf("license: unsupported version %d", v)
+	}
+	if k := r.byte(); k != kindStar && r.err == nil {
+		return nil, fmt.Errorf("license: wrong kind %d for star license", k)
+	}
+	s := &Star{}
+	if r.off+SerialLen > len(r.buf) {
+		return nil, errTruncated
+	}
+	copy(s.ParentSerial[:], r.buf[r.off:])
+	r.off += SerialLen
+	s.ContentID = ContentID(r.str())
+	rightsText := r.bytes()
+	s.DelegateSign = r.bytes()
+	s.DelegateEnc = r.bytes()
+	s.KeyWrap.KEM = r.bytes()
+	s.KeyWrap.SealedKey = r.bytes()
+	s.IssuedAt = time.Unix(int64(r.u64()), 0).UTC()
+	s.HolderSig = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	rights, err := rel.Parse(string(rightsText))
+	if err != nil {
+		return nil, fmt.Errorf("license: embedded restriction: %w", err)
+	}
+	s.Restriction = rights
+	return s, nil
+}
+
+// VerifyStar checks a star license against its parent.
+func VerifyStar(g *schnorr.Group, parent *Personalized, s *Star) error {
+	if s == nil || parent == nil {
+		return errors.New("license: nil star or parent license")
+	}
+	if s.ParentSerial != parent.Serial {
+		return errors.New("license: star does not reference this parent")
+	}
+	if s.ContentID != parent.ContentID {
+		return errors.New("license: star content differs from parent")
+	}
+	if !parent.Rights.DelegationAllowed {
+		return errors.New("license: parent rights forbid delegation")
+	}
+	if s.Restriction == nil {
+		return errors.New("license: nil restriction")
+	}
+	if err := s.Restriction.Validate(); err != nil {
+		return fmt.Errorf("license: restriction: %w", err)
+	}
+	if !s.Restriction.Narrower(parent.Rights) {
+		return errors.New("license: star restriction widens parent rights")
+	}
+	holderY := new(big.Int).SetBytes(parent.HolderSign)
+	sig, err := schnorr.ParseSignature(g, s.HolderSig)
+	if err != nil {
+		return fmt.Errorf("license: holder signature: %w", err)
+	}
+	if err := schnorr.Verify(g, holderY, s.SigningBytes(), sig); err != nil {
+		return fmt.Errorf("license: holder signature: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("serial-%04d", i))
+	}
+	return out
+}
+
+func TestRootDeterministicAndOrderIndependent(t *testing.T) {
+	a := Build(leaves(10))
+	b := Build(leaves(10))
+	if a.Root() != b.Root() {
+		t.Error("same leaves, different roots")
+	}
+	shuffled := leaves(10)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	c := Build(shuffled)
+	if a.Root() != c.Root() {
+		t.Error("root depends on insertion order; set semantics broken")
+	}
+}
+
+func TestRootChangesWithContent(t *testing.T) {
+	a := Build(leaves(10))
+	b := Build(leaves(11))
+	if a.Root() == b.Root() {
+		t.Error("different sets share a root")
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	dup := append(leaves(5), leaves(5)...)
+	tr := Build(dup)
+	if tr.Size() != 5 {
+		t.Errorf("Size = %d, want 5 after dedup", tr.Size())
+	}
+	if tr.Root() != Build(leaves(5)).Root() {
+		t.Error("duplicated input changed root")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	a := Build(nil)
+	b := Build([][]byte{})
+	if a.Root() != b.Root() {
+		t.Error("empty roots differ")
+	}
+	if a.Size() != 0 {
+		t.Error("empty tree has leaves")
+	}
+	if a.Root() == Build(leaves(1)).Root() {
+		t.Error("empty root collides with singleton root")
+	}
+	if _, err := a.Prove([]byte("x")); err == nil {
+		t.Error("empty tree produced a proof")
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr := Build([][]byte{[]byte("only")})
+	p, err := tr.Prove([]byte("only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyInclusion(tr.Root(), []byte("only"), p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Siblings) != 0 {
+		t.Error("single-leaf proof has siblings")
+	}
+}
+
+func TestProveVerifyAllLeavesVariousSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 100} {
+		tr := Build(leaves(n))
+		for i := 0; i < n; i++ {
+			leaf := []byte(fmt.Sprintf("serial-%04d", i))
+			p, err := tr.Prove(leaf)
+			if err != nil {
+				t.Fatalf("n=%d leaf=%d: Prove: %v", n, i, err)
+			}
+			if err := VerifyInclusion(tr.Root(), leaf, p); err != nil {
+				t.Fatalf("n=%d leaf=%d: Verify: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	tr := Build(leaves(16))
+	p, _ := tr.Prove([]byte("serial-0003"))
+	if err := VerifyInclusion(tr.Root(), []byte("serial-0004"), p); err == nil {
+		t.Error("proof for one leaf verified for another")
+	}
+	if err := VerifyInclusion(tr.Root(), []byte("not-present"), p); err == nil {
+		t.Error("proof verified for absent leaf")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	tr := Build(leaves(16))
+	other := Build(leaves(17))
+	p, _ := tr.Prove([]byte("serial-0003"))
+	if err := VerifyInclusion(other.Root(), []byte("serial-0003"), p); err == nil {
+		t.Error("proof verified against wrong root")
+	}
+}
+
+func TestVerifyRejectsMutatedProof(t *testing.T) {
+	tr := Build(leaves(16))
+	leaf := []byte("serial-0005")
+	p, _ := tr.Prove(leaf)
+	if len(p.Siblings) == 0 {
+		t.Fatal("expected siblings")
+	}
+	p.Siblings[0][0] ^= 0xFF
+	if err := VerifyInclusion(tr.Root(), leaf, p); err == nil {
+		t.Error("mutated sibling accepted")
+	}
+	p2, _ := tr.Prove(leaf)
+	p2.Rights[0] = !p2.Rights[0]
+	if err := VerifyInclusion(tr.Root(), leaf, p2); err == nil {
+		t.Error("flipped direction accepted")
+	}
+	if err := VerifyInclusion(tr.Root(), leaf, nil); err == nil {
+		t.Error("nil proof accepted")
+	}
+	p3, _ := tr.Prove(leaf)
+	p3.Rights = p3.Rights[:len(p3.Rights)-1]
+	if err := VerifyInclusion(tr.Root(), leaf, p3); err == nil {
+		t.Error("length-mismatched proof accepted")
+	}
+}
+
+func TestLeafNodeDomainSeparation(t *testing.T) {
+	// A leaf whose bytes equal nodePrefix||h1||h2 must not hash like the
+	// interior node over (h1, h2).
+	tr := Build(leaves(4))
+	l0, l1 := LeafHash([]byte("serial-0000")), LeafHash([]byte("serial-0001"))
+	forged := append([]byte{0x01}, append(l0[:], l1[:]...)...)
+	if LeafHash(forged) == nodeHash(l0, l1) {
+		t.Error("leaf/node domain separation missing")
+	}
+	_ = tr
+}
+
+func TestProofCodec(t *testing.T) {
+	tr := Build(leaves(33))
+	leaf := []byte("serial-0017")
+	p, _ := tr.Prove(leaf)
+	data := p.Marshal()
+	back, err := UnmarshalProof(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyInclusion(tr.Root(), leaf, back); err != nil {
+		t.Errorf("decoded proof invalid: %v", err)
+	}
+	if _, err := UnmarshalProof(data[:4]); err == nil {
+		t.Error("accepted truncated proof")
+	}
+	bad := append([]byte(nil), data...)
+	bad[6] = 7 // invalid direction byte
+	if _, err := UnmarshalProof(bad); err == nil {
+		t.Error("accepted invalid direction byte")
+	}
+	if _, err := UnmarshalProof(append(data, 0)); err == nil {
+		t.Error("accepted oversized proof")
+	}
+}
+
+// Property: every member of a random set proves and verifies; non-members
+// cannot be proven.
+func TestQuickInclusion(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(10))}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%60) + 1
+		set := make([][]byte, count)
+		for i := range set {
+			set[i] = []byte(fmt.Sprintf("item-%d-%d", seed, r.Intn(1000)))
+		}
+		tr := Build(set)
+		for _, leaf := range set {
+			p, err := tr.Prove(leaf)
+			if err != nil {
+				return false
+			}
+			if VerifyInclusion(tr.Root(), leaf, p) != nil {
+				return false
+			}
+		}
+		if _, err := tr.Prove([]byte("definitely-absent")); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

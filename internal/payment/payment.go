@@ -1,0 +1,216 @@
+// Package payment implements the anonymous payment channel the 2004 paper
+// assumes: Chaum-style blind-signed cash.
+//
+// The bank knows WHO withdraws (it debits an account) but the coins it
+// signs are blinded, so when a content provider later deposits a coin the
+// bank cannot tell which withdrawal produced it. Combined with pseudonymous
+// purchase, the provider learns neither identity nor payment trail.
+//
+// Coins are single-denomination ("1 credit") bearer tokens; prices are
+// integer credit amounts. Double spending is prevented by a durable
+// spent-serial ledger at the bank.
+package payment
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/kvstore"
+)
+
+// CoinSerialLen is the coin serial size.
+const CoinSerialLen = 32
+
+// Coin is a bearer credit: a user-chosen serial plus the bank's
+// (blind-issued) signature over it.
+type Coin struct {
+	Serial [CoinSerialLen]byte
+	Sig    []byte
+}
+
+// coinSigningBytes is the message the bank signs.
+func coinSigningBytes(serial [CoinSerialLen]byte) []byte {
+	return append([]byte("p2drm/coin/v1"), serial[:]...)
+}
+
+// VerifyCoin checks a coin's signature under the bank's coin key.
+func VerifyCoin(bankPub *rsa.PublicKey, c *Coin) error {
+	if c == nil {
+		return errors.New("payment: nil coin")
+	}
+	if c.Serial == [CoinSerialLen]byte{} {
+		return errors.New("payment: zero coin serial")
+	}
+	if err := rsablind.Verify(bankPub, coinSigningBytes(c.Serial), c.Sig); err != nil {
+		return fmt.Errorf("payment: coin signature: %w", err)
+	}
+	return nil
+}
+
+// CoinRequest is the user-side state of one withdrawal: a fresh serial,
+// its blinded form for the bank, and the unblinding state.
+type CoinRequest struct {
+	serial  [CoinSerialLen]byte
+	Blinded []byte
+	state   *rsablind.State
+}
+
+// NewCoinRequest prepares a withdrawal against the bank's coin key.
+func NewCoinRequest(bankPub *rsa.PublicKey, random io.Reader) (*CoinRequest, error) {
+	var serial [CoinSerialLen]byte
+	if _, err := io.ReadFull(random, serial[:]); err != nil {
+		return nil, fmt.Errorf("payment: serial: %w", err)
+	}
+	blinded, st, err := rsablind.Blind(bankPub, coinSigningBytes(serial), random)
+	if err != nil {
+		return nil, err
+	}
+	return &CoinRequest{serial: serial, Blinded: blinded, state: st}, nil
+}
+
+// Finish unblinds the bank's response into a spendable coin.
+func (r *CoinRequest) Finish(bankPub *rsa.PublicKey, blindSig []byte) (*Coin, error) {
+	sig, err := rsablind.Unblind(bankPub, r.state, blindSig)
+	if err != nil {
+		return nil, err
+	}
+	return &Coin{Serial: r.serial, Sig: sig}, nil
+}
+
+// Bank issues coins and settles deposits.
+type Bank struct {
+	signer *rsablind.Signer
+
+	mu       sync.Mutex
+	balances map[string]int64
+	spent    *kvstore.Store
+}
+
+// ErrInsufficientFunds is returned when a withdrawal exceeds the balance.
+var ErrInsufficientFunds = errors.New("payment: insufficient funds")
+
+// ErrDoubleSpend is returned when a deposited coin was already spent.
+var ErrDoubleSpend = errors.New("payment: coin already spent")
+
+// NewBank creates a bank around a dedicated coin-signing key and a durable
+// spent-coin ledger.
+func NewBank(key *rsa.PrivateKey, spent *kvstore.Store) (*Bank, error) {
+	signer, err := rsablind.NewSigner(key)
+	if err != nil {
+		return nil, err
+	}
+	if spent == nil {
+		return nil, errors.New("payment: nil spent ledger")
+	}
+	return &Bank{signer: signer, balances: make(map[string]int64), spent: spent}, nil
+}
+
+// CoinPub returns the bank's coin verification key.
+func (b *Bank) CoinPub() *rsa.PublicKey { return b.signer.Public() }
+
+// CreateAccount opens an account with an initial balance.
+func (b *Bank) CreateAccount(id string, balance int64) error {
+	if id == "" {
+		return errors.New("payment: empty account id")
+	}
+	if balance < 0 {
+		return errors.New("payment: negative initial balance")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, exists := b.balances[id]; exists {
+		return fmt.Errorf("payment: account %q already exists", id)
+	}
+	b.balances[id] = balance
+	return nil
+}
+
+// Balance reports an account balance.
+func (b *Bank) Balance(id string) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.balances[id]
+	if !ok {
+		return 0, fmt.Errorf("payment: unknown account %q", id)
+	}
+	return bal, nil
+}
+
+// Withdraw debits one credit from the account and blind-signs the
+// presented blinded coin. The bank never sees the coin serial.
+func (b *Bank) Withdraw(accountID string, blinded []byte) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bal, ok := b.balances[accountID]
+	if !ok {
+		return nil, fmt.Errorf("payment: unknown account %q", accountID)
+	}
+	if bal < 1 {
+		return nil, ErrInsufficientFunds
+	}
+	sig, err := b.signer.SignBlinded(blinded)
+	if err != nil {
+		return nil, err
+	}
+	b.balances[accountID] = bal - 1
+	return sig, nil
+}
+
+// WithdrawCoins is the convenience client+bank loop minting n coins.
+func (b *Bank) WithdrawCoins(accountID string, n int) ([]*Coin, error) {
+	coins := make([]*Coin, 0, n)
+	for i := 0; i < n; i++ {
+		req, err := NewCoinRequest(b.CoinPub(), rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		blindSig, err := b.Withdraw(accountID, req.Blinded)
+		if err != nil {
+			return nil, err
+		}
+		coin, err := req.Finish(b.CoinPub(), blindSig)
+		if err != nil {
+			return nil, err
+		}
+		coins = append(coins, coin)
+	}
+	return coins, nil
+}
+
+// Deposit verifies a coin, enforces single spending, and credits the
+// payee account. The double-spend mark and the credit are logically one
+// transaction; the spent mark is written first so a crash can at worst
+// lose the payee a credit, never mint one.
+func (b *Bank) Deposit(payeeAccount string, c *Coin) error {
+	if err := VerifyCoin(b.CoinPub(), c); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.balances[payeeAccount]; !ok {
+		return fmt.Errorf("payment: unknown account %q", payeeAccount)
+	}
+	key := append([]byte("spent:"), c.Serial[:]...)
+	if b.spent.Has(key) {
+		return ErrDoubleSpend
+	}
+	if err := b.spent.Put(key, []byte{1}); err != nil {
+		return fmt.Errorf("payment: ledger: %w", err)
+	}
+	b.balances[payeeAccount]++
+	return nil
+}
+
+// SpentCount reports how many coins have been settled.
+func (b *Bank) SpentCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	b.spent.PrefixScan([]byte("spent:"), func(k, v []byte) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,186 @@
+package payment
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+	"testing"
+
+	"p2drm/internal/kvstore"
+)
+
+var (
+	keyOnce sync.Once
+	bankKey *rsa.PrivateKey
+)
+
+func testBank(t *testing.T) *Bank {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		bankKey, err = rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+	})
+	st, _ := kvstore.Open("")
+	b, err := NewBank(bankKey, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestWithdrawDepositCycle(t *testing.T) {
+	b := testBank(t)
+	b.CreateAccount("alice", 10)
+	b.CreateAccount("shop", 0)
+
+	coins, err := b.WithdrawCoins("alice", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := b.Balance("alice"); bal != 7 {
+		t.Errorf("alice balance = %d, want 7", bal)
+	}
+	for _, c := range coins {
+		if err := VerifyCoin(b.CoinPub(), c); err != nil {
+			t.Fatalf("coin invalid: %v", err)
+		}
+		if err := b.Deposit("shop", c); err != nil {
+			t.Fatalf("deposit: %v", err)
+		}
+	}
+	if bal, _ := b.Balance("shop"); bal != 3 {
+		t.Errorf("shop balance = %d, want 3", bal)
+	}
+	if b.SpentCount() != 3 {
+		t.Errorf("spent count = %d", b.SpentCount())
+	}
+}
+
+func TestDoubleSpendRejected(t *testing.T) {
+	b := testBank(t)
+	b.CreateAccount("alice", 2)
+	b.CreateAccount("shop1", 0)
+	b.CreateAccount("shop2", 0)
+	coins, err := b.WithdrawCoins("alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Deposit("shop1", coins[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Deposit("shop2", coins[0]); err != ErrDoubleSpend {
+		t.Errorf("second deposit: %v, want ErrDoubleSpend", err)
+	}
+	if bal, _ := b.Balance("shop2"); bal != 0 {
+		t.Error("double spend credited shop2")
+	}
+}
+
+func TestInsufficientFunds(t *testing.T) {
+	b := testBank(t)
+	b.CreateAccount("poor", 0)
+	req, _ := NewCoinRequest(b.CoinPub(), rand.Reader)
+	if _, err := b.Withdraw("poor", req.Blinded); err != ErrInsufficientFunds {
+		t.Errorf("err = %v, want ErrInsufficientFunds", err)
+	}
+	if _, err := b.Withdraw("ghost", req.Blinded); err == nil {
+		t.Error("unknown account withdrew")
+	}
+}
+
+func TestForgedCoinRejected(t *testing.T) {
+	b := testBank(t)
+	b.CreateAccount("shop", 0)
+	var forged Coin
+	forged.Serial[0] = 1
+	forged.Sig = make([]byte, 128)
+	if err := b.Deposit("shop", &forged); err == nil {
+		t.Error("forged coin deposited")
+	}
+	if err := VerifyCoin(b.CoinPub(), nil); err == nil {
+		t.Error("nil coin verified")
+	}
+	var zero Coin
+	zero.Sig = forged.Sig
+	if err := VerifyCoin(b.CoinPub(), &zero); err == nil {
+		t.Error("zero-serial coin verified")
+	}
+}
+
+func TestTamperedCoinRejected(t *testing.T) {
+	b := testBank(t)
+	b.CreateAccount("alice", 1)
+	b.CreateAccount("shop", 0)
+	coins, _ := b.WithdrawCoins("alice", 1)
+	c := coins[0]
+	c.Serial[3] ^= 1 // serial no longer matches the signature
+	if err := b.Deposit("shop", c); err == nil {
+		t.Error("serial-tampered coin deposited")
+	}
+}
+
+// TestUnlinkability: the bank's view during withdrawal (blinded values)
+// shares no bytes with the coins that come back at deposit time. We test
+// the mechanical property that the blinded request differs from the final
+// signed serial message, and that two withdrawals by one account produce
+// unrelated coins.
+func TestUnlinkabilityShape(t *testing.T) {
+	b := testBank(t)
+	b.CreateAccount("alice", 5)
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		req, err := NewCoinRequest(b.CoinPub(), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[string(req.Blinded)] {
+			t.Fatal("blinded withdrawals collide")
+		}
+		seen[string(req.Blinded)] = true
+		blindSig, err := b.Withdraw("alice", req.Blinded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coin, err := req.Finish(b.CoinPub(), blindSig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(coin.Sig) == string(blindSig) {
+			t.Error("unblinded signature equals blinded signature: bank can link")
+		}
+	}
+}
+
+func TestAccountManagement(t *testing.T) {
+	b := testBank(t)
+	if err := b.CreateAccount("", 0); err == nil {
+		t.Error("empty id accepted")
+	}
+	if err := b.CreateAccount("a", -1); err == nil {
+		t.Error("negative balance accepted")
+	}
+	b.CreateAccount("a", 1)
+	if err := b.CreateAccount("a", 1); err == nil {
+		t.Error("duplicate account accepted")
+	}
+	if _, err := b.Balance("nobody"); err == nil {
+		t.Error("unknown account balance returned")
+	}
+}
+
+func TestDepositToUnknownAccount(t *testing.T) {
+	b := testBank(t)
+	b.CreateAccount("alice", 1)
+	coins, _ := b.WithdrawCoins("alice", 1)
+	if err := b.Deposit("ghost", coins[0]); err == nil {
+		t.Error("deposit to unknown account accepted")
+	}
+	// Failed deposit must not mark the coin spent.
+	b.CreateAccount("shop", 0)
+	if err := b.Deposit("shop", coins[0]); err != nil {
+		t.Errorf("coin burned by failed deposit: %v", err)
+	}
+}

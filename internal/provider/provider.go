@@ -1,0 +1,566 @@
+// Package provider implements the P2DRM content provider: catalog,
+// pseudonym registry, license issuance, the exchange/redeem pair that
+// makes transfers unlinkable, and revocation publication.
+//
+// The provider is honest-but-curious in the threat model: it follows the
+// protocol but logs everything it sees. The Events() journal is therefore
+// a first-class output — the linkage experiments (F1/A1 in DESIGN.md) run
+// the published attack directly against this journal.
+//
+// What the provider can and cannot see, by operation:
+//
+//	Register  sees: fresh pseudonym keys + ownership proof. Not identity.
+//	Purchase  sees: pseudonym, content, blind coins. Not identity, not
+//	          the payer's bank account.
+//	Exchange  sees: a valid license dying + a BLINDED serial. It signs
+//	          the blinded serial without learning it.
+//	Redeem    sees: a fresh pseudonym + a serial it has never seen
+//	          before carrying its own valid signature. Unlinkable to any
+//	          exchange (blindness), impossible to replay (redeemed set).
+package provider
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"time"
+
+	"p2drm/internal/cryptox/envelope"
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/device"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+	"p2drm/internal/merkle"
+	"p2drm/internal/payment"
+	"p2drm/internal/rel"
+	"p2drm/internal/revocation"
+)
+
+// Errors callers branch on.
+var (
+	ErrUnknownContent   = errors.New("provider: unknown content")
+	ErrUnknownPseudonym = errors.New("provider: pseudonym not registered")
+	ErrBadProof         = errors.New("provider: ownership proof invalid")
+	ErrBadNonce         = errors.New("provider: unknown or expired nonce")
+	ErrWrongPayment     = errors.New("provider: wrong payment amount")
+	ErrLicenseRevoked   = errors.New("provider: license already revoked")
+	ErrAlreadyRedeemed  = errors.New("provider: anonymous serial already redeemed")
+	ErrUnknownDenom     = errors.New("provider: unknown denomination")
+)
+
+// Config configures a provider.
+type Config struct {
+	Group *schnorr.Group
+	// SignerKey is the provider's main RSA key (licenses, revocation,
+	// certificates). Denomination keys are generated separately.
+	SignerKey *rsa.PrivateKey
+	// DenomKeyBits sizes per-denomination blind-signing keys (default
+	// 1024 in tests, 2048 in production configs).
+	DenomKeyBits int
+	Store        *kvstore.Store
+	Bank         *payment.Bank
+	// BankAccount is the provider's settlement account at the bank.
+	BankAccount string
+	Clock       func() time.Time
+}
+
+// CatalogItem describes purchasable content.
+type CatalogItem struct {
+	ID           license.ContentID
+	Title        string
+	PriceCredits int64
+	Template     *rel.Rights
+	// Encrypted is the envelope stream; freely distributable.
+	Encrypted []byte
+
+	contentKey []byte
+	denom      license.DenominationID
+}
+
+// EventType enumerates journal entries.
+type EventType string
+
+// Journal event types.
+const (
+	EvRegister EventType = "register"
+	EvPurchase EventType = "purchase"
+	EvExchange EventType = "exchange"
+	EvRedeem   EventType = "redeem"
+)
+
+// Event is one journal record: exactly the information the provider
+// observes, nothing more. Linkage attacks consume this.
+type Event struct {
+	Seq         int
+	Type        EventType
+	At          time.Time
+	PseudonymFP string // fingerprint of the pseudonym presented ("" if none)
+	ContentID   license.ContentID
+	Serial      string // personalized serial seen ("" if none)
+	AnonSerial  string // anonymous serial seen in clear at redeem ("" otherwise)
+	BlindedHash string // hash of the blinded blob seen at exchange
+}
+
+// Provider is the content provider.
+type Provider struct {
+	group  *schnorr.Group
+	signer *rsablind.Signer
+	cfg    Config
+
+	mu       sync.Mutex
+	catalog  map[license.ContentID]*CatalogItem
+	denoms   map[license.DenominationID]*rsablind.Signer
+	denomByC map[license.ContentID]license.DenominationID
+	nonces   map[string]time.Time
+	events   []Event
+	seq      int
+
+	rev *revocation.List
+}
+
+// New builds a provider.
+func New(cfg Config) (*Provider, error) {
+	if cfg.Group == nil || cfg.SignerKey == nil || cfg.Store == nil {
+		return nil, errors.New("provider: group, signer key and store are required")
+	}
+	if cfg.Bank == nil || cfg.BankAccount == "" {
+		return nil, errors.New("provider: bank and settlement account are required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.DenomKeyBits == 0 {
+		cfg.DenomKeyBits = 2048
+	}
+	signer, err := rsablind.NewSigner(cfg.SignerKey)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := revocation.Open(cfg.Store, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Provider{
+		group:    cfg.Group,
+		signer:   signer,
+		cfg:      cfg,
+		catalog:  make(map[license.ContentID]*CatalogItem),
+		denoms:   make(map[license.DenominationID]*rsablind.Signer),
+		denomByC: make(map[license.ContentID]license.DenominationID),
+		nonces:   make(map[string]time.Time),
+		rev:      rev,
+	}, nil
+}
+
+// Public returns the provider's license/revocation verification key: the
+// trust anchor baked into compliant devices.
+func (p *Provider) Public() *rsa.PublicKey { return p.signer.Public() }
+
+// Group returns the provider's discrete-log group.
+func (p *Provider) Group() *schnorr.Group { return p.group }
+
+// log appends a journal event.
+func (p *Provider) log(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	e.Seq = p.seq
+	e.At = p.cfg.Clock()
+	p.events = append(p.events, e)
+}
+
+// Events returns a copy of the journal.
+func (p *Provider) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.events...)
+}
+
+// fingerprint renders a pseudonym fingerprint for journaling and storage.
+func (p *Provider) fingerprint(signPub []byte) string {
+	fp := p.group.Fingerprint(new(big.Int).SetBytes(signPub))
+	return hex.EncodeToString(fp[:])
+}
+
+// AddContent encrypts plaintext under a fresh content key and lists the
+// item. One denomination key pair is generated per item: the blind
+// signature's meaning ("this is an anonymous license for item X with
+// template rights R") is carried entirely by WHICH key signed it.
+func (p *Provider) AddContent(id license.ContentID, title string, price int64, template *rel.Rights, plaintext []byte) (*CatalogItem, error) {
+	if id == "" {
+		return nil, errors.New("provider: empty content id")
+	}
+	if price < 0 {
+		return nil, errors.New("provider: negative price")
+	}
+	if err := template.Validate(); err != nil {
+		return nil, fmt.Errorf("provider: template: %w", err)
+	}
+	key, err := envelope.NewContentKey()
+	if err != nil {
+		return nil, err
+	}
+	var enc bytes.Buffer
+	if err := envelope.EncryptStream(&enc, bytes.NewReader(plaintext), key, int64(len(plaintext)), 0); err != nil {
+		return nil, err
+	}
+	denomKey, err := rsa.GenerateKey(rand.Reader, p.cfg.DenomKeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("provider: denomination key: %w", err)
+	}
+	denomSigner, err := rsablind.NewSigner(denomKey)
+	if err != nil {
+		return nil, err
+	}
+	denom := license.Denom(id, template)
+
+	item := &CatalogItem{
+		ID:           id,
+		Title:        title,
+		PriceCredits: price,
+		Template:     template.Clone(),
+		Encrypted:    enc.Bytes(),
+		contentKey:   key,
+		denom:        denom,
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.catalog[id]; dup {
+		return nil, fmt.Errorf("provider: content %q already listed", id)
+	}
+	p.catalog[id] = item
+	p.denoms[denom] = denomSigner
+	p.denomByC[id] = denom
+	return item, nil
+}
+
+// Item looks up a catalog item.
+func (p *Provider) Item(id license.ContentID) (*CatalogItem, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	item, ok := p.catalog[id]
+	if !ok {
+		return nil, ErrUnknownContent
+	}
+	return item, nil
+}
+
+// Catalog lists all items.
+func (p *Provider) Catalog() []*CatalogItem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*CatalogItem, 0, len(p.catalog))
+	for _, item := range p.catalog {
+		out = append(out, item)
+	}
+	return out
+}
+
+// DenomPublic returns the denomination verification key for an item.
+func (p *Provider) DenomPublic(id license.ContentID) (*rsa.PublicKey, license.DenominationID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	denom, ok := p.denomByC[id]
+	if !ok {
+		return nil, license.DenominationID{}, ErrUnknownContent
+	}
+	return p.denoms[denom].Public(), denom, nil
+}
+
+// Challenge issues a fresh nonce for proof-of-ownership flows. Nonces are
+// single-use and expire after 5 minutes.
+func (p *Provider) Challenge() (string, error) {
+	buf := make([]byte, 16)
+	if _, err := io.ReadFull(rand.Reader, buf); err != nil {
+		return "", err
+	}
+	nonce := hex.EncodeToString(buf)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nonces[nonce] = p.cfg.Clock().Add(5 * time.Minute)
+	return nonce, nil
+}
+
+// consumeNonce validates and burns a nonce.
+func (p *Provider) consumeNonce(nonce string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	exp, ok := p.nonces[nonce]
+	if !ok {
+		return ErrBadNonce
+	}
+	delete(p.nonces, nonce)
+	if p.cfg.Clock().After(exp) {
+		return ErrBadNonce
+	}
+	return nil
+}
+
+// registration storage key
+func regKey(fp string) []byte { return []byte("pseudonym:" + fp) }
+
+// Register records a pseudonym after verifying the ownership proof bound
+// to a Challenge nonce. The proof context matches smartcard.Card.Prove.
+func (p *Provider) Register(signPub, encPub []byte, proof *schnorr.Proof, nonce string) error {
+	if err := p.consumeNonce(nonce); err != nil {
+		return err
+	}
+	signY := new(big.Int).SetBytes(signPub)
+	encY := new(big.Int).SetBytes(encPub)
+	if err := p.group.ValidatePublicKey(signY); err != nil {
+		return fmt.Errorf("provider: sign key: %w", err)
+	}
+	if err := p.group.ValidatePublicKey(encY); err != nil {
+		return fmt.Errorf("provider: enc key: %w", err)
+	}
+	if err := schnorr.VerifyProof(p.group, signY, RegisterContext(nonce), proof); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	fp := p.fingerprint(signPub)
+	if err := p.cfg.Store.Put(regKey(fp), append(append([]byte(nil), signPub...), encPub...)); err != nil {
+		return err
+	}
+	p.log(Event{Type: EvRegister, PseudonymFP: fp})
+	return nil
+}
+
+// RegisterContext is the proof context for registration with a nonce.
+func RegisterContext(nonce string) []byte {
+	return []byte("p2drm/register/v1|" + nonce)
+}
+
+// registered reports whether a pseudonym is known.
+func (p *Provider) registered(signPub []byte) bool {
+	return p.cfg.Store.Has(regKey(p.fingerprint(signPub)))
+}
+
+// PurchaseRequest is an anonymous purchase: a registered pseudonym, the
+// item, and exact payment in bearer coins.
+type PurchaseRequest struct {
+	ContentID license.ContentID
+	SignPub   []byte
+	EncPub    []byte
+	Coins     []*payment.Coin
+}
+
+// Purchase settles payment and issues a personalized license to the
+// pseudonym. The provider learns the pseudonym but neither the identity
+// behind it nor the coins' withdrawal origin.
+func (p *Provider) Purchase(req PurchaseRequest) (*license.Personalized, error) {
+	item, err := p.Item(req.ContentID)
+	if err != nil {
+		return nil, err
+	}
+	if !p.registered(req.SignPub) {
+		return nil, ErrUnknownPseudonym
+	}
+	if int64(len(req.Coins)) != item.PriceCredits {
+		return nil, fmt.Errorf("%w: got %d coins, price %d", ErrWrongPayment, len(req.Coins), item.PriceCredits)
+	}
+	// Settle coins; stop at the first bad one. Already-deposited coins
+	// stay deposited (the client pays for its own double-spend attempt).
+	for i, c := range req.Coins {
+		if err := p.cfg.Bank.Deposit(p.cfg.BankAccount, c); err != nil {
+			return nil, fmt.Errorf("provider: coin %d: %w", i, err)
+		}
+	}
+	lic, err := p.issue(item, req.SignPub, req.EncPub)
+	if err != nil {
+		return nil, err
+	}
+	p.log(Event{
+		Type:        EvPurchase,
+		PseudonymFP: p.fingerprint(req.SignPub),
+		ContentID:   item.ID,
+		Serial:      lic.Serial.String(),
+	})
+	return lic, nil
+}
+
+// issue builds and signs a personalized license for item to a pseudonym.
+func (p *Provider) issue(item *CatalogItem, signPub, encPub []byte) (*license.Personalized, error) {
+	serial, err := license.NewSerial()
+	if err != nil {
+		return nil, err
+	}
+	encY := new(big.Int).SetBytes(encPub)
+	kw, err := license.WrapKey(p.group, encY, item.contentKey,
+		license.WrapLabelPersonalized(serial, item.ID))
+	if err != nil {
+		return nil, err
+	}
+	lic := &license.Personalized{
+		Serial:     serial,
+		ContentID:  item.ID,
+		HolderSign: append([]byte(nil), signPub...),
+		HolderEnc:  append([]byte(nil), encPub...),
+		Rights:     item.Template.Clone(),
+		KeyWrap:    kw,
+		IssuedAt:   p.cfg.Clock().UTC().Truncate(time.Second),
+	}
+	sig, err := p.signer.Sign(lic.SigningBytes())
+	if err != nil {
+		return nil, err
+	}
+	lic.ProviderSig = sig
+	// Persist the issuance so Exchange can later check the license is
+	// live and was really issued here.
+	if err := p.cfg.Store.Put([]byte("issued:"+serial.String()), lic.Marshal()); err != nil {
+		return nil, err
+	}
+	return lic, nil
+}
+
+// ExchangeContext is the proof context binding an exchange to a nonce and
+// the license being given up.
+func ExchangeContext(nonce string, serial license.Serial) []byte {
+	return []byte("p2drm/exchange/v1|" + nonce + "|" + serial.String())
+}
+
+// Exchange retires a live personalized license and blind-signs the
+// presented blinded anonymous-serial under the item's denomination key.
+// The provider never sees the serial inside `blinded`.
+func (p *Provider) Exchange(lic *license.Personalized, proof *schnorr.Proof, nonce string, blinded []byte) ([]byte, error) {
+	if err := p.consumeNonce(nonce); err != nil {
+		return nil, err
+	}
+	if err := license.VerifyPersonalized(p.Public(), lic); err != nil {
+		return nil, err
+	}
+	// Only licenses this provider actually issued can be exchanged.
+	stored, ok := p.cfg.Store.Get([]byte("issued:" + lic.Serial.String()))
+	if !ok || !bytes.Equal(stored, lic.Marshal()) {
+		return nil, errors.New("provider: license not on issuance record")
+	}
+	if p.rev.Contains(lic.Serial) {
+		return nil, ErrLicenseRevoked
+	}
+	// Holder must prove ownership: stops theft-by-exchange of a copied
+	// license file.
+	holderY := new(big.Int).SetBytes(lic.HolderSign)
+	if err := schnorr.VerifyProof(p.group, holderY, ExchangeContext(nonce, lic.Serial), proof); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	p.mu.Lock()
+	denomID, okd := p.denomByC[lic.ContentID]
+	denomSigner := p.denoms[denomID]
+	p.mu.Unlock()
+	if !okd {
+		return nil, ErrUnknownDenom
+	}
+	// Revoke first: if we crash between revoke and sign, the user lost a
+	// license but gained nothing — recoverable at the provider's help
+	// desk via the journal; the reverse order would mint free licenses.
+	if err := p.rev.Add(lic.Serial); err != nil {
+		return nil, err
+	}
+	blindSig, err := denomSigner.SignBlinded(blinded)
+	if err != nil {
+		return nil, err
+	}
+	bh := sha256.Sum256(blinded)
+	p.log(Event{
+		Type:        EvExchange,
+		ContentID:   lic.ContentID,
+		Serial:      lic.Serial.String(),
+		BlindedHash: hex.EncodeToString(bh[:8]),
+	})
+	return blindSig, nil
+}
+
+// redeemedKey marks consumed anonymous serials.
+func redeemedKey(s license.Serial) []byte { return []byte("redeemed:" + s.String()) }
+
+// Redeem verifies an anonymous license and issues a fresh personalized
+// license to the presented (registered) pseudonym. Double redemption is
+// blocked by the durable redeemed-serial set.
+func (p *Provider) Redeem(anon *license.Anonymous, signPub, encPub []byte) (*license.Personalized, error) {
+	p.mu.Lock()
+	denomSigner, ok := p.denoms[anon.Denom]
+	p.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownDenom
+	}
+	if err := license.VerifyAnonymous(denomSigner.Public(), anon); err != nil {
+		return nil, err
+	}
+	if !p.registered(signPub) {
+		return nil, ErrUnknownPseudonym
+	}
+	// Resolve the content item for this denomination.
+	var item *CatalogItem
+	p.mu.Lock()
+	for id, d := range p.denomByC {
+		if d == anon.Denom {
+			item = p.catalog[id]
+			break
+		}
+	}
+	p.mu.Unlock()
+	if item == nil {
+		return nil, ErrUnknownDenom
+	}
+	p.mu.Lock()
+	already := p.cfg.Store.Has(redeemedKey(anon.Serial))
+	if !already {
+		if err := p.cfg.Store.Put(redeemedKey(anon.Serial), []byte{1}); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
+	p.mu.Unlock()
+	if already {
+		return nil, ErrAlreadyRedeemed
+	}
+	lic, err := p.issue(item, signPub, encPub)
+	if err != nil {
+		return nil, err
+	}
+	p.log(Event{
+		Type:        EvRedeem,
+		PseudonymFP: p.fingerprint(signPub),
+		ContentID:   item.ID,
+		Serial:      lic.Serial.String(),
+		AnonSerial:  anon.Serial.String(),
+	})
+	return lic, nil
+}
+
+// RevocationFilter exports the current signed filter for devices.
+func (p *Provider) RevocationFilter() (*revocation.SignedFilter, error) {
+	return p.rev.ExportFilter(p.signer, p.cfg.Clock())
+}
+
+// RevocationSnapshot exports a signed Merkle snapshot plus the tree that
+// serves inclusion ("this license is dead") proofs.
+func (p *Provider) RevocationSnapshot() (*revocation.Snapshot, *merkle.Tree, error) {
+	return p.rev.Snapshot(p.signer, p.cfg.Clock())
+}
+
+// Revoked reports whether a serial is revoked (help-desk path for devices
+// that got a Bloom positive).
+func (p *Provider) Revoked(s license.Serial) bool { return p.rev.Contains(s) }
+
+// RevokedCount reports the revocation list size.
+func (p *Provider) RevokedCount() int { return p.rev.Len() }
+
+// CertifyDevice issues a compliance certificate.
+func (p *Provider) CertifyDevice(deviceID, class string, pubY *big.Int) (*device.Certificate, error) {
+	return device.Certify(p.signer, p.group, deviceID, class, pubY)
+}
+
+// BlindedHashForTest exposes the journal's blinded-blob encoding so
+// linkage experiments and tests can recompute candidate hashes exactly as
+// an adversarial provider would.
+func BlindedHashForTest(blinded []byte) string {
+	h := sha256.Sum256(blinded)
+	return hex.EncodeToString(h[:8])
+}

@@ -1,0 +1,241 @@
+// Package revocation implements the provider's revoked/redeemed-serial
+// list and the two artifacts devices and auditors consume:
+//
+//   - SignedFilter: a Bloom filter over all revoked serials, signed by the
+//     provider. Compliant devices hold the latest filter and refuse to play
+//     any license whose serial tests positive. Negatives are exact, so an
+//     honest license is never wrongly blocked; positives are conservative
+//     denials whose rate is a design parameter (measured in T4/A-benches).
+//   - Snapshot: a signed Merkle root over the exact list. An inclusion
+//     proof demonstrates that a specific serial IS revoked — the artifact a
+//     seller hands a buyer during a transfer to prove the old license died
+//     before money changes hands (dispute resolution in the 2004 scheme).
+//
+// The list itself is durable: every Add lands in the kvstore WAL before it
+// is acknowledged, because forgetting a redeemed serial re-enables double
+// redemption after a crash.
+package revocation
+
+import (
+	"crypto/rsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2drm/internal/bloom"
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+	"p2drm/internal/merkle"
+)
+
+// keyPrefix namespaces revocation keys inside a shared store.
+const keyPrefix = "rev:"
+
+// DefaultFilterCapacity sizes new Bloom filters when the caller gives no
+// estimate.
+const DefaultFilterCapacity = 1 << 16
+
+// DefaultFalsePositiveRate is the filter design point: 1 in 10⁴ honest
+// licenses is conservatively denied until the device refreshes its filter.
+const DefaultFalsePositiveRate = 1e-4
+
+// List is the durable revocation list.
+type List struct {
+	mu     sync.RWMutex
+	store  *kvstore.Store
+	filter *bloom.Filter
+	count  int
+}
+
+// Open loads (or creates) a list backed by store. expected sizes the Bloom
+// filter; pass 0 for the default. Existing entries are replayed into the
+// filter.
+func Open(store *kvstore.Store, expected uint64) (*List, error) {
+	if store == nil {
+		return nil, errors.New("revocation: nil store")
+	}
+	if expected == 0 {
+		expected = DefaultFilterCapacity
+	}
+	f, err := bloom.NewWithEstimates(expected, DefaultFalsePositiveRate)
+	if err != nil {
+		return nil, err
+	}
+	l := &List{store: store, filter: f}
+	store.PrefixScan([]byte(keyPrefix), func(k, v []byte) bool {
+		f.Add(k[len(keyPrefix):])
+		l.count++
+		return true
+	})
+	return l, nil
+}
+
+// Add marks a serial revoked. Idempotent.
+func (l *List) Add(s license.Serial) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := append([]byte(keyPrefix), s[:]...)
+	if l.store.Has(key) {
+		return nil
+	}
+	if err := l.store.Put(key, []byte{1}); err != nil {
+		return fmt.Errorf("revocation: persist: %w", err)
+	}
+	l.filter.Add(s[:])
+	l.count++
+	return nil
+}
+
+// AddBatch revokes several serials atomically (one WAL record).
+func (l *List) AddBatch(serials []license.Serial) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := new(kvstore.Batch)
+	fresh := make([]license.Serial, 0, len(serials))
+	for _, s := range serials {
+		key := append([]byte(keyPrefix), s[:]...)
+		if l.store.Has(key) {
+			continue
+		}
+		b.Put(key, []byte{1})
+		fresh = append(fresh, s)
+	}
+	if b.Len() == 0 {
+		return nil
+	}
+	if err := l.store.Apply(b); err != nil {
+		return fmt.Errorf("revocation: persist batch: %w", err)
+	}
+	for _, s := range fresh {
+		l.filter.Add(s[:])
+		l.count++
+	}
+	return nil
+}
+
+// Contains reports whether s is revoked (exact answer: Bloom fast path,
+// store fallback on positives).
+func (l *List) Contains(s license.Serial) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if !l.filter.Contains(s[:]) {
+		return false
+	}
+	return l.store.Has(append([]byte(keyPrefix), s[:]...))
+}
+
+// Len returns the number of revoked serials.
+func (l *List) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.count
+}
+
+// serials returns all revoked serials (held lock).
+func (l *List) serialsLocked() [][]byte {
+	out := make([][]byte, 0, l.count)
+	l.store.PrefixScan([]byte(keyPrefix), func(k, v []byte) bool {
+		out = append(out, append([]byte(nil), k[len(keyPrefix):]...))
+		return true
+	})
+	return out
+}
+
+// SignedFilter is the device-side revocation artifact.
+type SignedFilter struct {
+	Filter   []byte // bloom.Marshal output
+	IssuedAt time.Time
+	Sig      []byte // provider FDH-RSA over signingBytes
+}
+
+func filterSigningBytes(filter []byte, issuedAt time.Time) []byte {
+	out := make([]byte, 0, len(filter)+24)
+	out = append(out, []byte("p2drm/revfilter/v1")...)
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(issuedAt.UTC().Unix()))
+	out = append(out, ts[:]...)
+	out = append(out, filter...)
+	return out
+}
+
+// ExportFilter signs the current filter state for distribution to devices.
+func (l *List) ExportFilter(signer *rsablind.Signer, now time.Time) (*SignedFilter, error) {
+	l.mu.RLock()
+	data := l.filter.Marshal()
+	l.mu.RUnlock()
+	sig, err := signer.Sign(filterSigningBytes(data, now))
+	if err != nil {
+		return nil, fmt.Errorf("revocation: sign filter: %w", err)
+	}
+	return &SignedFilter{Filter: data, IssuedAt: now.UTC(), Sig: sig}, nil
+}
+
+// VerifyFilter checks a signed filter and returns the usable Bloom filter.
+func VerifyFilter(pub *rsa.PublicKey, sf *SignedFilter) (*bloom.Filter, error) {
+	if sf == nil {
+		return nil, errors.New("revocation: nil filter")
+	}
+	if err := rsablind.Verify(pub, filterSigningBytes(sf.Filter, sf.IssuedAt), sf.Sig); err != nil {
+		return nil, fmt.Errorf("revocation: filter signature: %w", err)
+	}
+	return bloom.Unmarshal(sf.Filter)
+}
+
+// Snapshot is a signed Merkle commitment to the exact revocation set.
+type Snapshot struct {
+	Root     [merkle.HashLen]byte
+	Size     int
+	IssuedAt time.Time
+	Sig      []byte
+}
+
+func snapshotSigningBytes(root [merkle.HashLen]byte, size int, issuedAt time.Time) []byte {
+	out := make([]byte, 0, merkle.HashLen+32)
+	out = append(out, []byte("p2drm/revsnapshot/v1")...)
+	out = append(out, root[:]...)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(size))
+	binary.BigEndian.PutUint64(buf[8:], uint64(issuedAt.UTC().Unix()))
+	return append(out, buf[:]...)
+}
+
+// Snapshot builds and signs a Merkle snapshot plus the tree needed to
+// serve inclusion proofs.
+func (l *List) Snapshot(signer *rsablind.Signer, now time.Time) (*Snapshot, *merkle.Tree, error) {
+	l.mu.RLock()
+	leaves := l.serialsLocked()
+	l.mu.RUnlock()
+	tree := merkle.Build(leaves)
+	snap := &Snapshot{Root: tree.Root(), Size: tree.Size(), IssuedAt: now.UTC()}
+	sig, err := signer.Sign(snapshotSigningBytes(snap.Root, snap.Size, snap.IssuedAt))
+	if err != nil {
+		return nil, nil, fmt.Errorf("revocation: sign snapshot: %w", err)
+	}
+	snap.Sig = sig
+	return snap, tree, nil
+}
+
+// VerifySnapshot checks the provider signature over a snapshot.
+func VerifySnapshot(pub *rsa.PublicKey, snap *Snapshot) error {
+	if snap == nil {
+		return errors.New("revocation: nil snapshot")
+	}
+	if err := rsablind.Verify(pub, snapshotSigningBytes(snap.Root, snap.Size, snap.IssuedAt), snap.Sig); err != nil {
+		return fmt.Errorf("revocation: snapshot signature: %w", err)
+	}
+	return nil
+}
+
+// ProveRevoked produces a Merkle inclusion proof that serial is in the
+// snapshot tree — the "this license is dead" receipt used during transfer.
+func ProveRevoked(tree *merkle.Tree, s license.Serial) (*merkle.Proof, error) {
+	return tree.Prove(s[:])
+}
+
+// VerifyRevoked checks an inclusion proof against a verified snapshot.
+func VerifyRevoked(snap *Snapshot, s license.Serial, proof *merkle.Proof) error {
+	return merkle.VerifyInclusion(snap.Root, s[:], proof)
+}

@@ -1,0 +1,264 @@
+package revocation
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"sync"
+	"testing"
+	"time"
+
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+)
+
+var (
+	sgOnce sync.Once
+	signer *rsablind.Signer
+)
+
+func testSigner(t *testing.T) *rsablind.Signer {
+	t.Helper()
+	sgOnce.Do(func() {
+		key, err := rsa.GenerateKey(rand.Reader, 1024)
+		if err != nil {
+			panic(err)
+		}
+		signer, err = rsablind.NewSigner(key)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return signer
+}
+
+func memList(t *testing.T) *List {
+	t.Helper()
+	st, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(st, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func newSerial(t *testing.T) license.Serial {
+	t.Helper()
+	s, err := license.NewSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAddContains(t *testing.T) {
+	l := memList(t)
+	s := newSerial(t)
+	if l.Contains(s) {
+		t.Error("fresh serial already revoked")
+	}
+	if err := l.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains(s) {
+		t.Error("revoked serial not found")
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	// Idempotent.
+	if err := l.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len after re-add = %d", l.Len())
+	}
+}
+
+func TestAddBatch(t *testing.T) {
+	l := memList(t)
+	serials := make([]license.Serial, 10)
+	for i := range serials {
+		serials[i] = newSerial(t)
+	}
+	// Pre-revoke one to exercise dedup.
+	l.Add(serials[3])
+	if err := l.AddBatch(serials); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 10 {
+		t.Errorf("Len = %d, want 10", l.Len())
+	}
+	for _, s := range serials {
+		if !l.Contains(s) {
+			t.Errorf("serial %s missing", s)
+		}
+	}
+	if err := l.AddBatch(nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(st, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serials := make([]license.Serial, 5)
+	for i := range serials {
+		serials[i] = newSerial(t)
+		l.Add(serials[i])
+	}
+	st.Close()
+
+	st2, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	l2, err := Open(st2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 5 {
+		t.Fatalf("Len after reopen = %d", l2.Len())
+	}
+	for _, s := range serials {
+		if !l2.Contains(s) {
+			t.Errorf("serial %s lost across reopen", s)
+		}
+	}
+}
+
+func TestSignedFilterRoundtrip(t *testing.T) {
+	l := memList(t)
+	sgn := testSigner(t)
+	revoked := newSerial(t)
+	l.Add(revoked)
+	now := time.Date(2004, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	sf, err := l.ExportFilter(sgn, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := VerifyFilter(sgn.Public(), sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Contains(revoked[:]) {
+		t.Error("filter missing revoked serial")
+	}
+	clean := newSerial(t)
+	if f.Contains(clean[:]) {
+		t.Log("false positive on fresh serial (possible but ~1e-4)")
+	}
+}
+
+func TestSignedFilterTamperRejected(t *testing.T) {
+	l := memList(t)
+	sgn := testSigner(t)
+	l.Add(newSerial(t))
+	sf, _ := l.ExportFilter(sgn, time.Now())
+
+	bad := *sf
+	bad.Filter = append([]byte(nil), sf.Filter...)
+	bad.Filter[len(bad.Filter)-1] ^= 0xFF
+	if _, err := VerifyFilter(sgn.Public(), &bad); err == nil {
+		t.Error("tampered filter accepted")
+	}
+	bad2 := *sf
+	bad2.IssuedAt = sf.IssuedAt.Add(time.Hour)
+	if _, err := VerifyFilter(sgn.Public(), &bad2); err == nil {
+		t.Error("re-dated filter accepted (rollback protection broken)")
+	}
+	if _, err := VerifyFilter(sgn.Public(), nil); err == nil {
+		t.Error("nil filter accepted")
+	}
+}
+
+func TestSnapshotAndInclusionProof(t *testing.T) {
+	l := memList(t)
+	sgn := testSigner(t)
+	serials := make([]license.Serial, 20)
+	for i := range serials {
+		serials[i] = newSerial(t)
+		l.Add(serials[i])
+	}
+	snap, tree, err := l.Snapshot(sgn, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySnapshot(sgn.Public(), snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Size != 20 {
+		t.Errorf("snapshot size = %d", snap.Size)
+	}
+	proof, err := ProveRevoked(tree, serials[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRevoked(snap, serials[7], proof); err != nil {
+		t.Errorf("inclusion proof rejected: %v", err)
+	}
+	// Proof must not transfer to another serial.
+	if err := VerifyRevoked(snap, serials[8], proof); err == nil {
+		t.Error("proof accepted for wrong serial")
+	}
+	// Absent serial has no proof.
+	if _, err := ProveRevoked(tree, newSerial(t)); err == nil {
+		t.Error("proof produced for non-revoked serial")
+	}
+}
+
+func TestSnapshotTamperRejected(t *testing.T) {
+	l := memList(t)
+	sgn := testSigner(t)
+	l.Add(newSerial(t))
+	snap, _, _ := l.Snapshot(sgn, time.Now())
+
+	bad := *snap
+	bad.Size++
+	if err := VerifySnapshot(sgn.Public(), &bad); err == nil {
+		t.Error("size-tampered snapshot accepted")
+	}
+	bad2 := *snap
+	bad2.Root[0] ^= 1
+	if err := VerifySnapshot(sgn.Public(), &bad2); err == nil {
+		t.Error("root-tampered snapshot accepted")
+	}
+	if err := VerifySnapshot(sgn.Public(), nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+func TestNoFalseNegativesAtScale(t *testing.T) {
+	l := memList(t)
+	var serials []license.Serial
+	for i := 0; i < 2000; i++ {
+		s := newSerial(t)
+		serials = append(serials, s)
+	}
+	if err := l.AddBatch(serials); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range serials {
+		if !l.Contains(s) {
+			t.Fatalf("false negative at %d — double redemption possible", i)
+		}
+	}
+	// Exactness despite Bloom: fresh serials must be reported clean.
+	for i := 0; i < 500; i++ {
+		if l.Contains(newSerial(t)) {
+			t.Fatal("Contains returned true for never-revoked serial (fallback to exact store failed)")
+		}
+	}
+}

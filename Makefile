@@ -1,0 +1,40 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml: a change that
+# passes `make ci` locally passes the pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race detector over the concurrent serving path and everything that
+# drives it concurrently (workload generator, revocation list, root
+# integration tests).
+race:
+	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/revocation ./internal/workload .
+
+# Full evaluation benchmarks (minutes; see bench_test.go for families).
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1s .
+
+# One iteration per benchmark: proves they compile and run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkT1_ -benchtime=1x ./...
+	$(GO) test -run=NONE -bench='BenchmarkT3_(Purchase|Exchange)' -benchtime=1x .
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check test race bench-smoke

@@ -6,10 +6,13 @@ package p2drm_test
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +24,7 @@ import (
 	"p2drm/internal/kvstore"
 	"p2drm/internal/license"
 	"p2drm/internal/linkage"
+	"p2drm/internal/provider"
 	"p2drm/internal/rel"
 	"p2drm/internal/revocation"
 	"p2drm/internal/smartcard"
@@ -254,16 +258,18 @@ func BenchmarkT2_PurchaseBaseline(b *testing.B) {
 }
 
 // ---- T3: provider throughput ----
+//
+// The parallel pair below is the concurrency headline: compare
+// T3_PurchaseParallel against single-threaded T2_PurchaseP2DRM (and
+// T3_ExchangeParallel against A1_ExchangeBlinded) to see throughput
+// scale with GOMAXPROCS now that provider crypto runs outside locks.
 
-func BenchmarkT3_ConcurrentPurchases(b *testing.B) {
+func BenchmarkT3_PurchaseParallel(b *testing.B) {
 	sys := labSystem(b)
-	var ctr int64
-	var mu sync.Mutex
+	var ctr atomic.Int64
+	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		mu.Lock()
-		ctr++
-		name := fmt.Sprintf("par-%d-%d", time.Now().UnixNano(), ctr)
-		mu.Unlock()
+		name := fmt.Sprintf("par-%d-%d", time.Now().UnixNano(), ctr.Add(1))
 		u, err := sys.NewUser(name, 1<<30)
 		if err != nil {
 			b.Error(err)
@@ -276,6 +282,90 @@ func BenchmarkT3_ConcurrentPurchases(b *testing.B) {
 			}
 		}
 	})
+}
+
+func BenchmarkT3_ExchangeParallel(b *testing.B) {
+	sys := labSystem(b)
+	// Pre-purchase the licenses to exchange; the pool channel hands one
+	// to each timed iteration. Several goroutines share each user — the
+	// card and wallet are internally synchronized.
+	nUsers := runtime.GOMAXPROCS(0)
+	users := make([]*core.User, nUsers)
+	for i := range users {
+		u, err := sys.NewUser(fmt.Sprintf("xpar-%d-%d", time.Now().UnixNano(), i), 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		users[i] = u
+	}
+	type holder struct {
+		u   *core.User
+		lic *license.Personalized
+	}
+	pool := make(chan holder, b.N)
+	for i := 0; i < b.N; i++ {
+		u := users[i%nUsers]
+		lic, err := sys.Purchase(u, "bench-song")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool <- holder{u, lic}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h := <-pool
+			if _, err := sys.Exchange(h.u, h.lic); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkT3_PurchaseBatch(b *testing.B) {
+	sys := labSystem(b)
+	u, err := sys.NewUser(fmt.Sprintf("batch-%d", time.Now().UnixNano()), 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One registered pseudonym buys the whole batch; coins are withdrawn
+	// up front so the timed section is pure provider work.
+	idx := u.FreshPseudonym()
+	ps, err := u.Card.Pseudonym(idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	nonce, err := sys.Provider.Challenge(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proof, err := u.Card.Prove(idx, provider.RegisterContext(nonce))
+	if err != nil {
+		b.Fatal(err)
+	}
+	signPub := ps.SignPublic(sys.Group)
+	encPub := ps.EncPublic(sys.Group)
+	if err := sys.Provider.Register(ctx, signPub, encPub, proof, nonce); err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]provider.PurchaseRequest, b.N)
+	for i := range reqs {
+		coins, err := sys.Bank.WithdrawCoins(u.BankAccount, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs[i] = provider.PurchaseRequest{
+			ContentID: "bench-song", SignPub: signPub, EncPub: encPub, Coins: coins,
+		}
+	}
+	b.ResetTimer()
+	for _, res := range sys.Provider.IssueBatch(ctx, reqs) {
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
 }
 
 // ---- T4: revocation scaling ----

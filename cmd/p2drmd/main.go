@@ -11,11 +11,15 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"p2drm/internal/cryptox/schnorr"
@@ -116,9 +120,50 @@ valid until "2030-01-01T00:00:00Z";
 		log.Printf("p2drmd: demo bank account %q funded with 100 credits", "demo")
 	}
 
-	srv := httpapi.NewServer(prov).WithBank(bank)
-	log.Printf("p2drmd: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		log.Fatal(err)
+	// SIGINT/SIGTERM trigger a graceful drain: Shutdown stops the
+	// listener and gives in-flight requests the timeout below to finish.
+	// Request contexts are deliberately NOT tied to the signal — they
+	// must survive into the drain window; they still cancel on client
+	// disconnect.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: httpapi.NewServer(prov).WithBank(bank),
 	}
+	// closeStores syncs the WALs; every serving-phase exit path must run
+	// it — the stores only fsync on Close, and losing redeemed-serial or
+	// spent-coin records reopens double-spend windows. (The log.Fatalf
+	// calls above run before any protocol state exists, so they may
+	// exit without it.)
+	closeStores := func() {
+		if err := store.Close(); err != nil {
+			log.Printf("p2drmd: provider store: %v", err)
+		}
+		if err := spent.Close(); err != nil {
+			log.Printf("p2drmd: bank store: %v", err)
+		}
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("p2drmd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Printf("p2drmd: serve: %v", err)
+		closeStores()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("p2drmd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// DeadlineExceeded means in-flight requests were cut off; they
+		// will fail their store writes with ErrClosed below. Say so.
+		log.Printf("p2drmd: shutdown: %v", err)
+	}
+	closeStores()
 }

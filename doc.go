@@ -6,5 +6,11 @@
 // The implementation lives under internal/: start at internal/core for
 // the assembled protocols, and see DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduced evaluation. Root-level bench_test.go
-// exposes one testing.B benchmark per evaluation table/figure.
+// exposes one testing.B benchmark per evaluation table/figure; BENCH.md
+// tracks the benchmark trajectory across PRs.
+//
+// Development workflow: the Makefile mirrors the CI pipeline
+// (.github/workflows/ci.yml) — `make ci` runs build, vet, gofmt check,
+// tests, the -race suite over the concurrent serving path, and a
+// benchmark smoke pass.
 package p2drm

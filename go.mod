@@ -1,0 +1,3 @@
+module p2drm
+
+go 1.22

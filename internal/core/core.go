@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"errors"
@@ -203,7 +204,7 @@ func (s *System) register(u *User, index uint32) (signPub, encPub []byte, err er
 	if err != nil {
 		return nil, nil, err
 	}
-	nonce, err := s.Provider.Challenge()
+	nonce, err := s.Provider.Challenge(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -213,7 +214,7 @@ func (s *System) register(u *User, index uint32) (signPub, encPub []byte, err er
 	}
 	signPub = ps.SignPublic(s.Group)
 	encPub = ps.EncPublic(s.Group)
-	if err := s.Provider.Register(signPub, encPub, proof, nonce); err != nil {
+	if err := s.Provider.Register(context.Background(), signPub, encPub, proof, nonce); err != nil {
 		return nil, nil, err
 	}
 	return signPub, encPub, nil
@@ -240,7 +241,7 @@ func (s *System) PurchaseWithPseudonym(u *User, contentID license.ContentID, ind
 	if err != nil {
 		return nil, err
 	}
-	lic, err := s.Provider.Purchase(provider.PurchaseRequest{
+	lic, err := s.Provider.Purchase(context.Background(), provider.PurchaseRequest{
 		ContentID: contentID,
 		SignPub:   signPub,
 		EncPub:    encPub,
@@ -296,7 +297,7 @@ func (s *System) Exchange(u *User, lic *license.Personalized) (*license.Anonymou
 			return nil, err
 		}
 	}
-	nonce, err := s.Provider.Challenge()
+	nonce, err := s.Provider.Challenge(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +305,7 @@ func (s *System) Exchange(u *User, lic *license.Personalized) (*license.Anonymou
 	if err != nil {
 		return nil, err
 	}
-	blindSig, err := s.Provider.Exchange(lic, proof, nonce, blinded)
+	blindSig, err := s.Provider.Exchange(context.Background(), lic, proof, nonce, blinded)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +333,7 @@ func (s *System) Redeem(u *User, anon *license.Anonymous) (*license.Personalized
 	if err != nil {
 		return nil, err
 	}
-	lic, err := s.Provider.Redeem(anon, signPub, encPub)
+	lic, err := s.Provider.Redeem(context.Background(), anon, signPub, encPub)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 //	GET  /v1/challenge
 //	POST /v1/register
 //	POST /v1/purchase
+//	POST /v1/purchase/batch
 //	POST /v1/exchange
 //	POST /v1/redeem
 //	GET  /v1/revocation/filter
@@ -54,6 +55,7 @@ func NewServer(p *provider.Provider) *Server {
 	s.mux.HandleFunc("GET /v1/challenge", s.handleChallenge)
 	s.mux.HandleFunc("POST /v1/register", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/purchase", s.handlePurchase)
+	s.mux.HandleFunc("POST /v1/purchase/batch", s.handlePurchaseBatch)
 	s.mux.HandleFunc("POST /v1/exchange", s.handleExchange)
 	s.mux.HandleFunc("POST /v1/redeem", s.handleRedeem)
 	s.mux.HandleFunc("GET /v1/revocation/filter", s.handleFilter)
@@ -254,6 +256,24 @@ type LicenseResponse struct {
 	License string `json:"license"`
 }
 
+// BatchPurchaseRequest carries several purchases settled as one call on
+// the provider's worker pool.
+type BatchPurchaseRequest struct {
+	Purchases []PurchaseRequest `json:"purchases"`
+}
+
+// BatchPurchaseResult is one per-purchase outcome: exactly one of
+// License and Error is set.
+type BatchPurchaseResult struct {
+	License string `json:"license,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// BatchPurchaseResponse returns outcomes in request order.
+type BatchPurchaseResponse struct {
+	Results []BatchPurchaseResult `json:"results"`
+}
+
 // ExchangeRequest retires a license for a blind signature.
 type ExchangeRequest struct {
 	License string `json:"license"`
@@ -333,7 +353,7 @@ func (s *Server) handleDenomination(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
-	nonce, err := s.Provider.Challenge()
+	nonce, err := s.Provider.Challenge(r.Context())
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -359,7 +379,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.Provider.Register(signPub, encPub, proof, req.Nonce); err != nil {
+	if err := s.Provider.Register(r.Context(), signPub, encPub, proof, req.Nonce); err != nil {
 		writeErr(w, http.StatusForbidden, err)
 		return
 	}
@@ -382,36 +402,85 @@ func decodeCoin(s string) (*payment.Coin, error) {
 	return &c, nil
 }
 
+// decodePurchase converts one wire purchase into a provider request.
+func decodePurchase(pr PurchaseRequest) (provider.PurchaseRequest, error) {
+	signPub, err1 := unb64(pr.SignPub)
+	encPub, err2 := unb64(pr.EncPub)
+	if err1 != nil || err2 != nil {
+		return provider.PurchaseRequest{}, errors.New("httpapi: bad base64 field")
+	}
+	coins := make([]*payment.Coin, 0, len(pr.Coins))
+	for _, cs := range pr.Coins {
+		c, err := decodeCoin(cs)
+		if err != nil {
+			return provider.PurchaseRequest{}, err
+		}
+		coins = append(coins, c)
+	}
+	return provider.PurchaseRequest{
+		ContentID: license.ContentID(pr.ContentID),
+		SignPub:   signPub, EncPub: encPub, Coins: coins,
+	}, nil
+}
+
 func (s *Server) handlePurchase(w http.ResponseWriter, r *http.Request) {
 	var req PurchaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	signPub, err1 := unb64(req.SignPub)
-	encPub, err2 := unb64(req.EncPub)
-	if err1 != nil || err2 != nil {
-		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
+	preq, err := decodePurchase(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	coins := make([]*payment.Coin, 0, len(req.Coins))
-	for _, cs := range req.Coins {
-		c, err := decodeCoin(cs)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		coins = append(coins, c)
-	}
-	lic, err := s.Provider.Purchase(provider.PurchaseRequest{
-		ContentID: license.ContentID(req.ContentID),
-		SignPub:   signPub, EncPub: encPub, Coins: coins,
-	})
+	lic, err := s.Provider.Purchase(r.Context(), preq)
 	if err != nil {
 		writeErr(w, http.StatusForbidden, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, LicenseResponse{License: b64(lic.Marshal())})
+}
+
+// maxBatchPurchases bounds one batch call's memory and response
+// latency; CPU fairness across batches is enforced by the provider's
+// shared worker semaphore, not by this cap.
+const maxBatchPurchases = 256
+
+func (s *Server) handlePurchaseBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchPurchaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Purchases) == 0 || len(req.Purchases) > maxBatchPurchases {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("httpapi: batch size must be 1..%d", maxBatchPurchases))
+		return
+	}
+	// Decode failures are per-slot outcomes like any other purchase
+	// error: one malformed entry must not void the rest of the batch.
+	resp := BatchPurchaseResponse{Results: make([]BatchPurchaseResult, len(req.Purchases))}
+	reqs := make([]provider.PurchaseRequest, 0, len(req.Purchases))
+	slots := make([]int, 0, len(req.Purchases))
+	for i, pr := range req.Purchases {
+		preq, err := decodePurchase(pr)
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		reqs = append(reqs, preq)
+		slots = append(slots, i)
+	}
+	for j, res := range s.Provider.IssueBatch(r.Context(), reqs) {
+		i := slots[j]
+		if res.Err != nil {
+			resp.Results[i].Error = res.Err.Error()
+			continue
+		}
+		resp.Results[i].License = b64(res.License.Marshal())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
@@ -437,7 +506,7 @@ func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	blindSig, err := s.Provider.Exchange(lic, proof, req.Nonce, blinded)
+	blindSig, err := s.Provider.Exchange(r.Context(), lic, proof, req.Nonce, blinded)
 	if err != nil {
 		writeErr(w, http.StatusForbidden, err)
 		return
@@ -463,7 +532,7 @@ func (s *Server) handleRedeem(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	lic, err := s.Provider.Redeem(anon, signPub, encPub)
+	lic, err := s.Provider.Redeem(r.Context(), anon, signPub, encPub)
 	if err != nil {
 		writeErr(w, http.StatusForbidden, err)
 		return
@@ -608,6 +677,54 @@ func (c *Client) Purchase(id license.ContentID, signPub, encPub []byte, coins []
 		return nil, err
 	}
 	return license.UnmarshalPersonalized(raw)
+}
+
+// BatchPurchase is one typed entry for Client.PurchaseBatch, mirroring
+// the arguments of Client.Purchase.
+type BatchPurchase struct {
+	ContentID license.ContentID
+	SignPub   []byte
+	EncPub    []byte
+	Coins     []*payment.Coin
+}
+
+// PurchaseBatch buys several licenses in one round trip. Outcomes come
+// back in request order; per-item failures are returned as errors in the
+// slice, not as a call-level error.
+func (c *Client) PurchaseBatch(items []BatchPurchase) ([]*license.Personalized, []error, error) {
+	reqs := make([]PurchaseRequest, len(items))
+	for i, it := range items {
+		reqs[i] = PurchaseRequest{
+			ContentID: string(it.ContentID), SignPub: b64(it.SignPub), EncPub: b64(it.EncPub),
+		}
+		for _, coin := range it.Coins {
+			reqs[i].Coins = append(reqs[i].Coins, encodeCoin(coin))
+		}
+	}
+	var resp BatchPurchaseResponse
+	if err := c.post("/v1/purchase/batch", BatchPurchaseRequest{Purchases: reqs}, &resp); err != nil {
+		return nil, nil, err
+	}
+	if len(resp.Results) != len(reqs) {
+		return nil, nil, fmt.Errorf("httpapi: batch returned %d results for %d requests", len(resp.Results), len(reqs))
+	}
+	lics := make([]*license.Personalized, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, res := range resp.Results {
+		if res.Error != "" {
+			errs[i] = fmt.Errorf("httpapi: server: %s", res.Error)
+			continue
+		}
+		raw, err := unb64(res.License)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if lics[i], err = license.UnmarshalPersonalized(raw); err != nil {
+			errs[i] = err
+		}
+	}
+	return lics, errs, nil
 }
 
 // Exchange retires a license for a blind signature over blinded.

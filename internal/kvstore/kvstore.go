@@ -266,18 +266,16 @@ func (s *Store) append(kind byte, body []byte) error {
 	return nil
 }
 
-// Put stores val under key.
-func (s *Store) Put(key, val []byte) error {
+// putLocked validates, logs and applies one put. Caller holds s.mu.
+func (s *Store) putLocked(key, val []byte) error {
+	if s.closed {
+		return ErrClosed
+	}
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
 	if len(key) > maxKeyLen || len(val) > maxValLen {
 		return errors.New("kvstore: key or value too large")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
 	}
 	body := make([]byte, 4+len(key)+len(val))
 	binary.BigEndian.PutUint32(body[:4], uint32(len(key)))
@@ -293,6 +291,34 @@ func (s *Store) Put(key, val []byte) error {
 	s.data[string(key)] = v
 	s.liveBytes += int64(len(key) + len(v))
 	return nil
+}
+
+// Put stores val under key.
+func (s *Store) Put(key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(key, val)
+}
+
+// PutIfAbsent stores val under key only if the key is currently absent
+// and reports whether the write happened. Check and write are atomic
+// under the store lock, making this the store's compare-and-set
+// primitive: concurrent callers racing on the same key see exactly one
+// true. The provider's redeemed-serial set relies on this for its
+// double-spend gate.
+func (s *Store) PutIfAbsent(key, val []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	if _, ok := s.data[string(key)]; ok {
+		return false, nil
+	}
+	if err := s.putLocked(key, val); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Get returns a copy of the value for key.

@@ -424,3 +424,66 @@ func TestQuickReplayEquivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPutIfAbsent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted, err := s.PutIfAbsent([]byte("k"), []byte("first"))
+	if err != nil || !inserted {
+		t.Fatalf("first insert: inserted=%v err=%v", inserted, err)
+	}
+	inserted, err = s.PutIfAbsent([]byte("k"), []byte("second"))
+	if err != nil || inserted {
+		t.Fatalf("second insert: inserted=%v err=%v", inserted, err)
+	}
+	if v, _ := s.Get([]byte("k")); string(v) != "first" {
+		t.Errorf("value = %q, want %q", v, "first")
+	}
+	if _, err := s.PutIfAbsent(nil, []byte("v")); err != ErrEmptyKey {
+		t.Errorf("empty key: %v", err)
+	}
+
+	// Only the winning write is logged: value survives reopen unchanged.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, _ := s2.Get([]byte("k")); string(v) != "first" {
+		t.Errorf("after reopen: value = %q, want %q", v, "first")
+	}
+}
+
+func TestPutIfAbsentConcurrentSingleWinner(t *testing.T) {
+	s, _ := Open("")
+	const racers = 32
+	results := make([]bool, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ok, err := s.PutIfAbsent([]byte("serial"), []byte(fmt.Sprintf("racer-%d", i)))
+			if err != nil {
+				t.Errorf("racer %d: %v", i, err)
+			}
+			results[i] = ok
+		}(i)
+	}
+	wg.Wait()
+	wins := 0
+	for _, ok := range results {
+		if ok {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d racers won the insert, want exactly 1", wins)
+	}
+}

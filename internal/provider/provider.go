@@ -17,10 +17,34 @@
 //	Redeem    sees: a fresh pseudonym + a serial it has never seen
 //	          before carrying its own valid signature. Unlinkable to any
 //	          exchange (blindness), impossible to replay (redeemed set).
+//
+// # Concurrency model
+//
+// The provider serves many anonymous users at once, so shared state is
+// split into independently locked slices and every public-key operation
+// (RSA-FDH signing and blind signing, Schnorr proof verification, KEM
+// encapsulation in license.WrapKey) runs with NO provider lock held:
+//
+//	catMu (RWMutex)  catalog, denomination signers and both denomination
+//	                 indexes. Written only by AddContent; the serving
+//	                 path takes short read locks to snapshot pointers.
+//	nonceMu (Mutex)  the single-use challenge nonce cache. Consumption
+//	                 is a delete-under-lock, so a nonce burns exactly
+//	                 once no matter how many requests race on it.
+//	jmu (Mutex)      the append-only observation journal (events, seq).
+//	rev              revocation.List synchronizes internally.
+//	cfg.Store        registration table, issuance ledger and the
+//	                 redeemed-serial set live in the thread-safe kvstore;
+//	                 PutIfAbsent is the atomic double-spend gate for
+//	                 concurrent Redeem calls on the same serial.
+//
+// Lock ordering is a non-issue by construction: no code path holds two
+// provider locks at once.
 package provider
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
@@ -29,6 +53,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"runtime"
 	"sync"
 	"time"
 
@@ -55,6 +80,15 @@ var (
 	ErrAlreadyRedeemed  = errors.New("provider: anonymous serial already redeemed")
 	ErrUnknownDenom     = errors.New("provider: unknown denomination")
 )
+
+// nonceTTL bounds how long a challenge nonce stays valid.
+const nonceTTL = 5 * time.Minute
+
+// noncePurgeThreshold is the initial cache size that triggers an
+// expired-entry sweep; after each sweep the threshold doubles from the
+// surviving size, amortizing the O(n) scan so a burst of live nonces
+// cannot make every Challenge pay for a full-map walk.
+const noncePurgeThreshold = 4096
 
 // Config configures a provider.
 type Config struct {
@@ -115,13 +149,29 @@ type Provider struct {
 	signer *rsablind.Signer
 	cfg    Config
 
-	mu       sync.Mutex
+	// catMu guards the catalog maps; see the package comment for the
+	// full locking model.
+	catMu    sync.RWMutex
 	catalog  map[license.ContentID]*CatalogItem
 	denoms   map[license.DenominationID]*rsablind.Signer
 	denomByC map[license.ContentID]license.DenominationID
-	nonces   map[string]time.Time
-	events   []Event
-	seq      int
+	itemByD  map[license.DenominationID]*CatalogItem
+
+	// nonceMu guards the single-use nonce cache.
+	nonceMu    sync.Mutex
+	nonces     map[string]time.Time
+	nonceSweep int
+
+	// jmu guards the append-only journal.
+	jmu    sync.Mutex
+	events []Event
+	seq    int
+
+	// batchSlots is a provider-wide semaphore bounding how many batch
+	// purchases run crypto at once, across ALL IssueBatch calls — many
+	// concurrent batches share these GOMAXPROCS slots instead of each
+	// spawning its own full-width pool.
+	batchSlots chan struct{}
 
 	rev *revocation.List
 }
@@ -149,14 +199,16 @@ func New(cfg Config) (*Provider, error) {
 		return nil, err
 	}
 	return &Provider{
-		group:    cfg.Group,
-		signer:   signer,
-		cfg:      cfg,
-		catalog:  make(map[license.ContentID]*CatalogItem),
-		denoms:   make(map[license.DenominationID]*rsablind.Signer),
-		denomByC: make(map[license.ContentID]license.DenominationID),
-		nonces:   make(map[string]time.Time),
-		rev:      rev,
+		group:      cfg.Group,
+		signer:     signer,
+		cfg:        cfg,
+		catalog:    make(map[license.ContentID]*CatalogItem),
+		denoms:     make(map[license.DenominationID]*rsablind.Signer),
+		denomByC:   make(map[license.ContentID]license.DenominationID),
+		itemByD:    make(map[license.DenominationID]*CatalogItem),
+		nonces:     make(map[string]time.Time),
+		batchSlots: make(chan struct{}, runtime.GOMAXPROCS(0)),
+		rev:        rev,
 	}, nil
 }
 
@@ -169,8 +221,8 @@ func (p *Provider) Group() *schnorr.Group { return p.group }
 
 // log appends a journal event.
 func (p *Provider) log(e Event) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.jmu.Lock()
+	defer p.jmu.Unlock()
 	p.seq++
 	e.Seq = p.seq
 	e.At = p.cfg.Clock()
@@ -179,8 +231,8 @@ func (p *Provider) log(e Event) {
 
 // Events returns a copy of the journal.
 func (p *Provider) Events() []Event {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.jmu.Lock()
+	defer p.jmu.Unlock()
 	return append([]Event(nil), p.events...)
 }
 
@@ -194,6 +246,10 @@ func (p *Provider) fingerprint(signPub []byte) string {
 // item. One denomination key pair is generated per item: the blind
 // signature's meaning ("this is an anonymous license for item X with
 // template rights R") is carried entirely by WHICH key signed it.
+//
+// Key generation and envelope encryption — the expensive parts — run
+// before the catalog lock is taken; the write section is map inserts
+// only, so AddContent can run while the serving path reads the catalog.
 func (p *Provider) AddContent(id license.ContentID, title string, price int64, template *rel.Rights, plaintext []byte) (*CatalogItem, error) {
 	if id == "" {
 		return nil, errors.New("provider: empty content id")
@@ -231,21 +287,22 @@ func (p *Provider) AddContent(id license.ContentID, title string, price int64, t
 		contentKey:   key,
 		denom:        denom,
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.catMu.Lock()
+	defer p.catMu.Unlock()
 	if _, dup := p.catalog[id]; dup {
 		return nil, fmt.Errorf("provider: content %q already listed", id)
 	}
 	p.catalog[id] = item
 	p.denoms[denom] = denomSigner
 	p.denomByC[id] = denom
+	p.itemByD[denom] = item
 	return item, nil
 }
 
 // Item looks up a catalog item.
 func (p *Provider) Item(id license.ContentID) (*CatalogItem, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.catMu.RLock()
+	defer p.catMu.RUnlock()
 	item, ok := p.catalog[id]
 	if !ok {
 		return nil, ErrUnknownContent
@@ -255,8 +312,8 @@ func (p *Provider) Item(id license.ContentID) (*CatalogItem, error) {
 
 // Catalog lists all items.
 func (p *Provider) Catalog() []*CatalogItem {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.catMu.RLock()
+	defer p.catMu.RUnlock()
 	out := make([]*CatalogItem, 0, len(p.catalog))
 	for _, item := range p.catalog {
 		out = append(out, item)
@@ -266,8 +323,8 @@ func (p *Provider) Catalog() []*CatalogItem {
 
 // DenomPublic returns the denomination verification key for an item.
 func (p *Provider) DenomPublic(id license.ContentID) (*rsa.PublicKey, license.DenominationID, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.catMu.RLock()
+	defer p.catMu.RUnlock()
 	denom, ok := p.denomByC[id]
 	if !ok {
 		return nil, license.DenominationID{}, ErrUnknownContent
@@ -275,24 +332,56 @@ func (p *Provider) DenomPublic(id license.ContentID) (*rsa.PublicKey, license.De
 	return p.denoms[denom].Public(), denom, nil
 }
 
+// denomState snapshots the signer and item for a denomination under a
+// short read lock, so callers can run crypto on them lock-free.
+func (p *Provider) denomState(d license.DenominationID) (*rsablind.Signer, *CatalogItem, bool) {
+	p.catMu.RLock()
+	defer p.catMu.RUnlock()
+	signer, ok := p.denoms[d]
+	if !ok {
+		return nil, nil, false
+	}
+	return signer, p.itemByD[d], true
+}
+
 // Challenge issues a fresh nonce for proof-of-ownership flows. Nonces are
 // single-use and expire after 5 minutes.
-func (p *Provider) Challenge() (string, error) {
+func (p *Provider) Challenge(ctx context.Context) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	buf := make([]byte, 16)
 	if _, err := io.ReadFull(rand.Reader, buf); err != nil {
 		return "", err
 	}
 	nonce := hex.EncodeToString(buf)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.nonces[nonce] = p.cfg.Clock().Add(5 * time.Minute)
+	now := p.cfg.Clock()
+	p.nonceMu.Lock()
+	defer p.nonceMu.Unlock()
+	if p.nonceSweep == 0 {
+		p.nonceSweep = noncePurgeThreshold
+	}
+	if len(p.nonces) >= p.nonceSweep {
+		for n, exp := range p.nonces {
+			if now.After(exp) {
+				delete(p.nonces, n)
+			}
+		}
+		p.nonceSweep = 2 * len(p.nonces)
+		if p.nonceSweep < noncePurgeThreshold {
+			p.nonceSweep = noncePurgeThreshold
+		}
+	}
+	p.nonces[nonce] = now.Add(nonceTTL)
 	return nonce, nil
 }
 
-// consumeNonce validates and burns a nonce.
+// consumeNonce validates and burns a nonce. The delete happens under
+// nonceMu, so of any number of concurrent requests presenting the same
+// nonce exactly one succeeds.
 func (p *Provider) consumeNonce(nonce string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.nonceMu.Lock()
+	defer p.nonceMu.Unlock()
 	exp, ok := p.nonces[nonce]
 	if !ok {
 		return ErrBadNonce
@@ -309,7 +398,10 @@ func regKey(fp string) []byte { return []byte("pseudonym:" + fp) }
 
 // Register records a pseudonym after verifying the ownership proof bound
 // to a Challenge nonce. The proof context matches smartcard.Card.Prove.
-func (p *Provider) Register(signPub, encPub []byte, proof *schnorr.Proof, nonce string) error {
+func (p *Provider) Register(ctx context.Context, signPub, encPub []byte, proof *schnorr.Proof, nonce string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := p.consumeNonce(nonce); err != nil {
 		return err
 	}
@@ -321,6 +413,7 @@ func (p *Provider) Register(signPub, encPub []byte, proof *schnorr.Proof, nonce 
 	if err := p.group.ValidatePublicKey(encY); err != nil {
 		return fmt.Errorf("provider: enc key: %w", err)
 	}
+	// Schnorr verification: public-key crypto, no provider lock held.
 	if err := schnorr.VerifyProof(p.group, signY, RegisterContext(nonce), proof); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadProof, err)
 	}
@@ -354,7 +447,10 @@ type PurchaseRequest struct {
 // Purchase settles payment and issues a personalized license to the
 // pseudonym. The provider learns the pseudonym but neither the identity
 // behind it nor the coins' withdrawal origin.
-func (p *Provider) Purchase(req PurchaseRequest) (*license.Personalized, error) {
+func (p *Provider) Purchase(ctx context.Context, req PurchaseRequest) (*license.Personalized, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	item, err := p.Item(req.ContentID)
 	if err != nil {
 		return nil, err
@@ -365,8 +461,13 @@ func (p *Provider) Purchase(req PurchaseRequest) (*license.Personalized, error) 
 	if int64(len(req.Coins)) != item.PriceCredits {
 		return nil, fmt.Errorf("%w: got %d coins, price %d", ErrWrongPayment, len(req.Coins), item.PriceCredits)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Settle coins; stop at the first bad one. Already-deposited coins
 	// stay deposited (the client pays for its own double-spend attempt).
+	// No cancellation checks past this point: once money moves, the
+	// purchase must complete so the client is never charged licenseless.
 	for i, c := range req.Coins {
 		if err := p.cfg.Bank.Deposit(p.cfg.BankAccount, c); err != nil {
 			return nil, fmt.Errorf("provider: coin %d: %w", i, err)
@@ -385,7 +486,62 @@ func (p *Provider) Purchase(req PurchaseRequest) (*license.Personalized, error) 
 	return lic, nil
 }
 
+// BatchResult is one IssueBatch outcome; results come back in request
+// order, so position identifies the request.
+type BatchResult struct {
+	License *license.Personalized
+	Err     error
+}
+
+// IssueBatch settles a slice of purchases on a bounded worker pool and
+// returns per-request outcomes in request order. Each purchase succeeds
+// or fails independently; a cancelled context fails the requests that
+// have not started crypto yet. The pool exists to amortize scheduling
+// and lock overhead for bulk clients (storefront checkout carts, load
+// generators). Parallelism is bounded provider-wide by batchSlots, so
+// any number of concurrent IssueBatch calls together use at most
+// GOMAXPROCS crypto workers and cannot starve single-request traffic.
+func (p *Provider) IssueBatch(ctx context.Context, reqs []PurchaseRequest) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	workers := cap(p.batchSlots)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Don't queue for crypto slots on behalf of a caller
+				// that is already gone.
+				select {
+				case p.batchSlots <- struct{}{}:
+				case <-ctx.Done():
+					results[i] = BatchResult{Err: ctx.Err()}
+					continue
+				}
+				lic, err := p.Purchase(ctx, reqs[i])
+				<-p.batchSlots
+				results[i] = BatchResult{License: lic, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
 // issue builds and signs a personalized license for item to a pseudonym.
+// Both the KEM encapsulation in WrapKey and the RSA-FDH signature run
+// without any provider lock.
 func (p *Provider) issue(item *CatalogItem, signPub, encPub []byte) (*license.Personalized, error) {
 	serial, err := license.NewSerial()
 	if err != nil {
@@ -428,7 +584,10 @@ func ExchangeContext(nonce string, serial license.Serial) []byte {
 // Exchange retires a live personalized license and blind-signs the
 // presented blinded anonymous-serial under the item's denomination key.
 // The provider never sees the serial inside `blinded`.
-func (p *Provider) Exchange(lic *license.Personalized, proof *schnorr.Proof, nonce string, blinded []byte) ([]byte, error) {
+func (p *Provider) Exchange(ctx context.Context, lic *license.Personalized, proof *schnorr.Proof, nonce string, blinded []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.consumeNonce(nonce); err != nil {
 		return nil, err
 	}
@@ -444,23 +603,30 @@ func (p *Provider) Exchange(lic *license.Personalized, proof *schnorr.Proof, non
 		return nil, ErrLicenseRevoked
 	}
 	// Holder must prove ownership: stops theft-by-exchange of a copied
-	// license file.
+	// license file. Schnorr verification runs lock-free.
 	holderY := new(big.Int).SetBytes(lic.HolderSign)
 	if err := schnorr.VerifyProof(p.group, holderY, ExchangeContext(nonce, lic.Serial), proof); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadProof, err)
 	}
-	p.mu.Lock()
-	denomID, okd := p.denomByC[lic.ContentID]
-	denomSigner := p.denoms[denomID]
-	p.mu.Unlock()
+	denomSigner, okd := p.denomSignerByContent(lic.ContentID)
 	if !okd {
 		return nil, ErrUnknownDenom
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Revoke first: if we crash between revoke and sign, the user lost a
 	// license but gained nothing — recoverable at the provider's help
 	// desk via the journal; the reverse order would mint free licenses.
-	if err := p.rev.Add(lic.Serial); err != nil {
+	// TryAdd is also the double-exchange gate: the rev.Contains check
+	// above is only a fast path, so of any number of concurrent
+	// exchanges of one license, exactly one reaches the blind signature.
+	fresh, err := p.rev.TryAdd(lic.Serial)
+	if err != nil {
 		return nil, err
+	}
+	if !fresh {
+		return nil, ErrLicenseRevoked
 	}
 	blindSig, err := denomSigner.SignBlinded(blinded)
 	if err != nil {
@@ -476,48 +642,48 @@ func (p *Provider) Exchange(lic *license.Personalized, proof *schnorr.Proof, non
 	return blindSig, nil
 }
 
+// denomSignerByContent resolves a content id to its denomination signer
+// under one short read lock.
+func (p *Provider) denomSignerByContent(id license.ContentID) (*rsablind.Signer, bool) {
+	p.catMu.RLock()
+	defer p.catMu.RUnlock()
+	denom, ok := p.denomByC[id]
+	if !ok {
+		return nil, false
+	}
+	return p.denoms[denom], true
+}
+
 // redeemedKey marks consumed anonymous serials.
 func redeemedKey(s license.Serial) []byte { return []byte("redeemed:" + s.String()) }
 
 // Redeem verifies an anonymous license and issues a fresh personalized
 // license to the presented (registered) pseudonym. Double redemption is
-// blocked by the durable redeemed-serial set.
-func (p *Provider) Redeem(anon *license.Anonymous, signPub, encPub []byte) (*license.Personalized, error) {
-	p.mu.Lock()
-	denomSigner, ok := p.denoms[anon.Denom]
-	p.mu.Unlock()
-	if !ok {
+// blocked by an atomic insert into the durable redeemed-serial set: of
+// any number of concurrent redemptions of one serial, exactly one wins.
+func (p *Provider) Redeem(ctx context.Context, anon *license.Anonymous, signPub, encPub []byte) (*license.Personalized, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	denomSigner, item, ok := p.denomState(anon.Denom)
+	if !ok || item == nil {
 		return nil, ErrUnknownDenom
 	}
+	// Signature check on the anonymous license: lock-free.
 	if err := license.VerifyAnonymous(denomSigner.Public(), anon); err != nil {
 		return nil, err
 	}
 	if !p.registered(signPub) {
 		return nil, ErrUnknownPseudonym
 	}
-	// Resolve the content item for this denomination.
-	var item *CatalogItem
-	p.mu.Lock()
-	for id, d := range p.denomByC {
-		if d == anon.Denom {
-			item = p.catalog[id]
-			break
-		}
+	// The double-spend gate. If issue() fails after this point the
+	// serial stays burned — same recoverable-at-the-help-desk posture as
+	// the revoke-before-sign ordering in Exchange.
+	inserted, err := p.cfg.Store.PutIfAbsent(redeemedKey(anon.Serial), []byte{1})
+	if err != nil {
+		return nil, err
 	}
-	p.mu.Unlock()
-	if item == nil {
-		return nil, ErrUnknownDenom
-	}
-	p.mu.Lock()
-	already := p.cfg.Store.Has(redeemedKey(anon.Serial))
-	if !already {
-		if err := p.cfg.Store.Put(redeemedKey(anon.Serial), []byte{1}); err != nil {
-			p.mu.Unlock()
-			return nil, err
-		}
-	}
-	p.mu.Unlock()
-	if already {
+	if !inserted {
 		return nil, ErrAlreadyRedeemed
 	}
 	lic, err := p.issue(item, signPub, encPub)

@@ -1,6 +1,7 @@
 package provider
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"errors"
@@ -96,7 +97,7 @@ func (w *world) register(t *testing.T, index uint32) (signPub, encPub []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nonce, err := w.prov.Challenge()
+	nonce, err := w.prov.Challenge(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func (w *world) register(t *testing.T, index uint32) (signPub, encPub []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.prov.Register(ps.SignPublic(g), ps.EncPublic(g), proof, nonce); err != nil {
+	if err := w.prov.Register(context.Background(), ps.SignPublic(g), ps.EncPublic(g), proof, nonce); err != nil {
 		t.Fatal(err)
 	}
 	return ps.SignPublic(g), ps.EncPublic(g)
@@ -118,7 +119,7 @@ func (w *world) buy(t *testing.T, index uint32) *license.Personalized {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lic, err := w.prov.Purchase(PurchaseRequest{
+	lic, err := w.prov.Purchase(context.Background(), PurchaseRequest{
 		ContentID: w.item.ID, SignPub: signPub, EncPub: encPub, Coins: coins,
 	})
 	if err != nil {
@@ -153,7 +154,7 @@ func TestPurchaseRequiresRegistration(t *testing.T) {
 	g := w.prov.Group()
 	ps, _ := w.card.Pseudonym(9)
 	coins, _ := w.bank.WithdrawCoins("alice", 2)
-	_, err := w.prov.Purchase(PurchaseRequest{
+	_, err := w.prov.Purchase(context.Background(), PurchaseRequest{
 		ContentID: w.item.ID, SignPub: ps.SignPublic(g), EncPub: ps.EncPublic(g), Coins: coins,
 	})
 	if !errors.Is(err, ErrUnknownPseudonym) {
@@ -165,7 +166,7 @@ func TestPurchaseWrongPayment(t *testing.T) {
 	w := newWorld(t)
 	signPub, encPub := w.register(t, 0)
 	coins, _ := w.bank.WithdrawCoins("alice", 1) // price is 2
-	_, err := w.prov.Purchase(PurchaseRequest{
+	_, err := w.prov.Purchase(context.Background(), PurchaseRequest{
 		ContentID: w.item.ID, SignPub: signPub, EncPub: encPub, Coins: coins,
 	})
 	if !errors.Is(err, ErrWrongPayment) {
@@ -182,7 +183,7 @@ func TestPurchaseDoubleSpentCoinRejected(t *testing.T) {
 	if err := w.bank.Deposit("other-shop", coins[0]); err != nil {
 		t.Fatal(err)
 	}
-	_, err := w.prov.Purchase(PurchaseRequest{
+	_, err := w.prov.Purchase(context.Background(), PurchaseRequest{
 		ContentID: w.item.ID, SignPub: signPub, EncPub: encPub, Coins: coins,
 	})
 	if err == nil {
@@ -197,24 +198,24 @@ func TestRegisterRejectsBadProofAndNonce(t *testing.T) {
 
 	// Stale/unknown nonce.
 	proof, _ := w.card.Prove(0, RegisterContext("deadbeef"))
-	if err := w.prov.Register(ps.SignPublic(g), ps.EncPublic(g), proof, "deadbeef"); !errors.Is(err, ErrBadNonce) {
+	if err := w.prov.Register(context.Background(), ps.SignPublic(g), ps.EncPublic(g), proof, "deadbeef"); !errors.Is(err, ErrBadNonce) {
 		t.Errorf("unknown nonce: %v", err)
 	}
 	// Proof over wrong context.
-	nonce, _ := w.prov.Challenge()
+	nonce, _ := w.prov.Challenge(context.Background())
 	wrong, _ := w.card.Prove(0, []byte("not-the-register-context"))
-	if err := w.prov.Register(ps.SignPublic(g), ps.EncPublic(g), wrong, nonce); !errors.Is(err, ErrBadProof) {
+	if err := w.prov.Register(context.Background(), ps.SignPublic(g), ps.EncPublic(g), wrong, nonce); !errors.Is(err, ErrBadProof) {
 		t.Errorf("wrong context: %v", err)
 	}
 	// Nonce burned by the failed attempt: replay must fail.
 	good, _ := w.card.Prove(0, RegisterContext(nonce))
-	if err := w.prov.Register(ps.SignPublic(g), ps.EncPublic(g), good, nonce); !errors.Is(err, ErrBadNonce) {
+	if err := w.prov.Register(context.Background(), ps.SignPublic(g), ps.EncPublic(g), good, nonce); !errors.Is(err, ErrBadNonce) {
 		t.Errorf("nonce replay: %v", err)
 	}
 	// Proof by a different pseudonym than the registered key.
-	nonce2, _ := w.prov.Challenge()
+	nonce2, _ := w.prov.Challenge(context.Background())
 	otherProof, _ := w.card.Prove(1, RegisterContext(nonce2))
-	if err := w.prov.Register(ps.SignPublic(g), ps.EncPublic(g), otherProof, nonce2); !errors.Is(err, ErrBadProof) {
+	if err := w.prov.Register(context.Background(), ps.SignPublic(g), ps.EncPublic(g), otherProof, nonce2); !errors.Is(err, ErrBadProof) {
 		t.Errorf("foreign proof: %v", err)
 	}
 }
@@ -237,12 +238,12 @@ func exchangeRedeem(t *testing.T, w *world, lic *license.Personalized, holderIdx
 	if err != nil {
 		t.Fatal(err)
 	}
-	nonce, _ := w.prov.Challenge()
+	nonce, _ := w.prov.Challenge(context.Background())
 	proof, err := w.card.Prove(holderIdx, ExchangeContext(nonce, lic.Serial))
 	if err != nil {
 		t.Fatal(err)
 	}
-	blindSig, err := w.prov.Exchange(lic, proof, nonce, blinded)
+	blindSig, err := w.prov.Exchange(context.Background(), lic, proof, nonce, blinded)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -257,12 +258,12 @@ func exchangeRedeem(t *testing.T, w *world, lic *license.Personalized, holderIdx
 	if err != nil {
 		t.Fatal(err)
 	}
-	rn, _ := w.prov.Challenge()
+	rn, _ := w.prov.Challenge(context.Background())
 	rproof, _ := rCard.Prove(rIndex, RegisterContext(rn))
-	if err := w.prov.Register(rp.SignPublic(g), rp.EncPublic(g), rproof, rn); err != nil {
+	if err := w.prov.Register(context.Background(), rp.SignPublic(g), rp.EncPublic(g), rproof, rn); err != nil {
 		t.Fatal(err)
 	}
-	newLic, err := w.prov.Redeem(anon, rp.SignPublic(g), rp.EncPublic(g))
+	newLic, err := w.prov.Redeem(context.Background(), anon, rp.SignPublic(g), rp.EncPublic(g))
 	return anon, newLic, err
 }
 
@@ -291,10 +292,10 @@ func TestExchangeRedeemFlow(t *testing.T) {
 	_, _, err = func() (*license.Anonymous, *license.Personalized, error) {
 		rp, _ := bobCard.Pseudonym(1)
 		g := w.prov.Group()
-		rn, _ := w.prov.Challenge()
+		rn, _ := w.prov.Challenge(context.Background())
 		rproof, _ := bobCard.Prove(1, RegisterContext(rn))
-		w.prov.Register(rp.SignPublic(g), rp.EncPublic(g), rproof, rn)
-		l, err := w.prov.Redeem(anon, rp.SignPublic(g), rp.EncPublic(g))
+		w.prov.Register(context.Background(), rp.SignPublic(g), rp.EncPublic(g), rproof, rn)
+		l, err := w.prov.Redeem(context.Background(), anon, rp.SignPublic(g), rp.EncPublic(g))
 		return anon, l, err
 	}()
 	if !errors.Is(err, ErrAlreadyRedeemed) {
@@ -328,9 +329,9 @@ func TestExchangeRefusesForeignLicense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nonce, _ := w.prov.Challenge()
+	nonce, _ := w.prov.Challenge(context.Background())
 	proof, _ := mallory.Prove(0, ExchangeContext(nonce, lic.Serial))
-	_, err = w.prov.Exchange(lic, proof, nonce, blinded)
+	_, err = w.prov.Exchange(context.Background(), lic, proof, nonce, blinded)
 	if !errors.Is(err, ErrBadProof) {
 		t.Errorf("stolen license exchanged: %v", err)
 	}
@@ -341,9 +342,9 @@ func TestExchangeRefusesForgedLicense(t *testing.T) {
 	w := newWorld(t)
 	lic := w.buy(t, 0)
 	lic.Rights = rel.MustParse("grant play;") // tamper
-	nonce, _ := w.prov.Challenge()
+	nonce, _ := w.prov.Challenge(context.Background())
 	proof, _ := w.card.Prove(0, ExchangeContext(nonce, lic.Serial))
-	if _, err := w.prov.Exchange(lic, proof, nonce, []byte{1, 2, 3}); err == nil {
+	if _, err := w.prov.Exchange(context.Background(), lic, proof, nonce, []byte{1, 2, 3}); err == nil {
 		t.Error("forged license exchanged")
 	}
 }
@@ -354,14 +355,14 @@ func TestRedeemForgedAnonymousRejected(t *testing.T) {
 	_, denomID, _ := w.prov.DenomPublic(w.item.ID)
 	serial, _ := license.NewSerial()
 	forged := &license.Anonymous{Serial: serial, Denom: denomID, Sig: make([]byte, 128)}
-	if _, err := w.prov.Redeem(forged, signPub, encPub); err == nil {
+	if _, err := w.prov.Redeem(context.Background(), forged, signPub, encPub); err == nil {
 		t.Error("forged anonymous license redeemed")
 	}
 	// Unknown denomination.
 	var badDenom license.DenominationID
 	badDenom[0] = 0xFF
 	forged2 := &license.Anonymous{Serial: serial, Denom: badDenom, Sig: make([]byte, 128)}
-	if _, err := w.prov.Redeem(forged2, signPub, encPub); !errors.Is(err, ErrUnknownDenom) {
+	if _, err := w.prov.Redeem(context.Background(), forged2, signPub, encPub); !errors.Is(err, ErrUnknownDenom) {
 		t.Errorf("unknown denom: %v", err)
 	}
 }
@@ -385,9 +386,9 @@ func TestDenominationSeparation(t *testing.T) {
 	serial, _ := license.NewSerial()
 	msg := license.AnonymousSigningBytes(serial, denomMovie)
 	blinded, st, _ := rsablind.Blind(denomPubSong, msg, rand.Reader)
-	nonce, _ := w.prov.Challenge()
+	nonce, _ := w.prov.Challenge(context.Background())
 	proof, _ := w.card.Prove(0, ExchangeContext(nonce, lic.Serial))
-	blindSig, err := w.prov.Exchange(lic, proof, nonce, blinded)
+	blindSig, err := w.prov.Exchange(context.Background(), lic, proof, nonce, blinded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestDenominationSeparation(t *testing.T) {
 	}
 	anon := &license.Anonymous{Serial: serial, Denom: denomMovie, Sig: sig}
 	ps, _ := w.card.Pseudonym(0)
-	if _, err := w.prov.Redeem(anon, ps.SignPublic(g), ps.EncPublic(g)); err == nil {
+	if _, err := w.prov.Redeem(context.Background(), anon, ps.SignPublic(g), ps.EncPublic(g)); err == nil {
 		t.Error("song-denominated signature redeemed a movie license")
 	}
 	_ = expensive

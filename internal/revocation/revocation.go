@@ -75,18 +75,28 @@ func Open(store *kvstore.Store, expected uint64) (*List, error) {
 
 // Add marks a serial revoked. Idempotent.
 func (l *List) Add(s license.Serial) error {
+	_, err := l.TryAdd(s)
+	return err
+}
+
+// TryAdd marks a serial revoked and reports whether this call was the
+// one that revoked it. Check and insert are atomic under the list lock,
+// so of any number of concurrent TryAdds on one serial exactly one gets
+// fresh=true — the provider's Exchange uses this as its double-exchange
+// gate.
+func (l *List) TryAdd(s license.Serial) (fresh bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	key := append([]byte(keyPrefix), s[:]...)
 	if l.store.Has(key) {
-		return nil
+		return false, nil
 	}
 	if err := l.store.Put(key, []byte{1}); err != nil {
-		return fmt.Errorf("revocation: persist: %w", err)
+		return false, fmt.Errorf("revocation: persist: %w", err)
 	}
 	l.filter.Add(s[:])
 	l.count++
-	return nil
+	return true, nil
 }
 
 // AddBatch revokes several serials atomically (one WAL record).

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2drm/internal/core"
+	"p2drm/internal/license"
+)
+
+// ConcurrentConfig parameterises a concurrent load run: Workers client
+// goroutines hammering one provider, each purchasing PerWorker licenses
+// and transferring a fraction of them to a peer. Unlike Config, this
+// trace records no linkage ground truth — interleaved journal diffs
+// cannot be attributed — it exists to measure and stress the provider's
+// concurrent serving path.
+type ConcurrentConfig struct {
+	Workers   int
+	PerWorker int
+	Contents  int
+	// PriceCredits is the uniform item price.
+	PriceCredits int64
+	// TransferFraction of purchased licenses are exchanged and redeemed
+	// by a peer worker's user inline.
+	TransferFraction float64
+	// ZipfS skews content popularity (s>1; typical 1.2).
+	ZipfS float64
+	// Seed makes per-worker request sequences reproducible (the
+	// interleaving itself is scheduler-dependent, as in production).
+	Seed int64
+}
+
+// ConcurrentResult summarizes a concurrent run.
+type ConcurrentResult struct {
+	Purchases int
+	Transfers int
+	Elapsed   time.Duration
+	// OpsPerSec counts completed protocol operations (purchases +
+	// transfers) per wall-clock second across all workers.
+	OpsPerSec float64
+}
+
+// RunConcurrent executes the concurrent trace against a core.System. All
+// workers share the one provider; each worker owns one funded user.
+func RunConcurrent(sys *core.System, cfg ConcurrentConfig) (*ConcurrentResult, error) {
+	if cfg.Workers <= 0 || cfg.PerWorker <= 0 || cfg.Contents <= 0 {
+		return nil, fmt.Errorf("workload: invalid concurrent config %+v", cfg)
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	funds := cfg.PriceCredits*int64(cfg.PerWorker)*2 + 10
+	users := make([]*core.User, cfg.Workers)
+	for i := range users {
+		u, err := sys.NewUser(fmt.Sprintf("cworker-%03d", i), funds)
+		if err != nil {
+			return nil, err
+		}
+		users[i] = u
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		purchases int
+		transfers int
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for wi := 0; wi < cfg.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(wi)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Contents-1))
+			u := users[wi]
+			peer := users[(wi+1)%len(users)]
+			for n := 0; n < cfg.PerWorker; n++ {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				contentID := license.ContentID(fmt.Sprintf("content-%03d", zipf.Uint64()))
+				lic, err := sys.Purchase(u, contentID)
+				if err != nil {
+					fail(fmt.Errorf("workload: worker %d purchase %d: %w", wi, n, err))
+					return
+				}
+				mu.Lock()
+				purchases++
+				mu.Unlock()
+				if cfg.TransferFraction > 0 && rng.Float64() < cfg.TransferFraction && peer != u {
+					if _, err := sys.Transfer(u, lic, peer); err != nil {
+						fail(fmt.Errorf("workload: worker %d transfer %d: %w", wi, n, err))
+						return
+					}
+					mu.Lock()
+					transfers++
+					mu.Unlock()
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &ConcurrentResult{
+		Purchases: purchases,
+		Transfers: transfers,
+		Elapsed:   elapsed,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.OpsPerSec = float64(purchases+transfers) / sec
+	}
+	return res, nil
+}

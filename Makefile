@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke fuzz-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,10 @@ test:
 	$(GO) test ./...
 
 # Race detector over the concurrent serving path and everything that
-# drives it concurrently (workload generator, revocation list, root
-# integration tests).
+# drives it concurrently (workload generator, revocation list, sharded
+# bank property tests, root integration tests).
 race:
-	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/revocation ./internal/workload .
+	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/payment ./internal/revocation ./internal/workload .
 
 # Full evaluation benchmarks (minutes; see bench_test.go for families).
 bench:
@@ -24,7 +24,14 @@ bench:
 # One iteration per benchmark: proves they compile and run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkT1_ -benchtime=1x ./...
-	$(GO) test -run=NONE -bench='BenchmarkT3_(Purchase|Exchange)' -benchtime=1x .
+	$(GO) test -run=NONE -bench='BenchmarkT3_(Purchase|Exchange|Deposit)' -benchtime=1x .
+
+# Short-deadline go-native fuzzing (one -fuzz target per package run):
+# corrupted WAL tails and license encodings must error, never panic or
+# silently drop committed state. CI runs this on every PR.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/kvstore
+	$(GO) test -run=NONE -fuzz=FuzzLicenseCodec -fuzztime=10s ./internal/license
 
 fmt:
 	gofmt -w .
@@ -37,4 +44,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race bench-smoke
+ci: build vet fmt-check test race bench-smoke fuzz-smoke

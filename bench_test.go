@@ -24,6 +24,7 @@ import (
 	"p2drm/internal/kvstore"
 	"p2drm/internal/license"
 	"p2drm/internal/linkage"
+	"p2drm/internal/payment"
 	"p2drm/internal/provider"
 	"p2drm/internal/rel"
 	"p2drm/internal/revocation"
@@ -364,6 +365,127 @@ func BenchmarkT3_PurchaseBatch(b *testing.B) {
 	for _, res := range sys.Provider.IssueBatch(ctx, reqs) {
 		if res.Err != nil {
 			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkT3_ExchangeBatch is the deposit-side mirror of
+// T3_PurchaseBatch: all proofs, nonces and blinded serials are prepared
+// up front, so the timed section is the provider's ExchangeBatch worker
+// pool (verify, revoke, blind-sign).
+func BenchmarkT3_ExchangeBatch(b *testing.B) {
+	sys := labSystem(b)
+	ctx := context.Background()
+	u, err := sys.NewUser(fmt.Sprintf("xbatch-%d", time.Now().UnixNano()), 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	denomPub, denomID, err := sys.Provider.DenomPublic("bench-song")
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]provider.ExchangeItem, b.N)
+	for i := range items {
+		lic, err := sys.Purchase(u, "bench-song")
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx, err := u.PseudonymFor(lic.Serial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial, err := license.NewSerial()
+		if err != nil {
+			b.Fatal(err)
+		}
+		blinded, _, err := rsablind.Blind(denomPub, license.AnonymousSigningBytes(serial, denomID), rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nonce, err := sys.Provider.Challenge(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proof, err := u.Card.Prove(idx, provider.ExchangeContext(nonce, lic.Serial))
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[i] = provider.ExchangeItem{License: lic, Proof: proof, Nonce: nonce, Blinded: blinded}
+	}
+	b.ResetTimer()
+	for _, res := range sys.Provider.ExchangeBatch(ctx, items) {
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+var (
+	bankKeyOnce  sync.Once
+	benchBankKey *rsa.PrivateKey
+)
+
+// BenchmarkT3_DepositParallel sweeps the bank's shard count and the
+// spent-ledger durability mode under 8-way concurrent deposits against a
+// real on-disk WAL. The headline comparison is group-commit vs
+// fsync-per-write at equal shard counts: both make every acknowledged
+// deposit durable, but group commit shares each fsync across the commit
+// window.
+func BenchmarkT3_DepositParallel(b *testing.B) {
+	bankKeyOnce.Do(func() {
+		var err error
+		if benchBankKey, err = rsa.GenerateKey(rand.Reader, 1024); err != nil {
+			panic(err)
+		}
+	})
+	for _, mode := range []struct {
+		name string
+		pol  kvstore.SyncPolicy
+	}{
+		{"fsync_per_write", kvstore.SyncAlways},
+		{"group_commit", kvstore.SyncGroupCommit},
+	} {
+		for _, shards := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/shards_%d", mode.name, shards), func(b *testing.B) {
+				spent, err := kvstore.OpenWith(b.TempDir(), kvstore.Options{Sync: mode.pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer spent.Close()
+				bank, err := payment.NewBankSharded(benchBankKey, spent, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := bank.CreateAccount("mint", int64(b.N)); err != nil {
+					b.Fatal(err)
+				}
+				const payees = 8
+				for i := 0; i < payees; i++ {
+					if err := bank.CreateAccount(fmt.Sprintf("shop-%d", i), 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				coins, err := bank.WithdrawCoins("mint", b.N)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coinCh := make(chan *payment.Coin, b.N)
+				for _, c := range coins {
+					coinCh <- c
+				}
+				var ctr atomic.Int64
+				b.SetParallelism(payees) // 8 goroutines even on 1 core
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					payee := fmt.Sprintf("shop-%d", int(ctr.Add(1))%payees)
+					for pb.Next() {
+						if err := bank.Deposit(payee, <-coinCh); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
 		}
 	}
 }

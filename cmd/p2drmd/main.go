@@ -3,11 +3,20 @@
 //
 // Usage:
 //
-//	p2drmd -addr :8474 -state /var/lib/p2drm -rsa-bits 2048 -seed-demo
+//	p2drmd -addr :8474 -state /var/lib/p2drm -rsa-bits 2048 -seed-demo \
+//	       -bank-shards 16 -wal-group-commit
 //
 // With -seed-demo the catalog is populated with a few items and a funded
 // demo bank account ("demo", 100 credits), so the p2drm CLI works out of
 // the box.
+//
+// -bank-shards sizes the bank's balance-shard count; -wal-group-commit
+// (default on) opens the durable stores in kvstore group-commit mode, so
+// every acknowledged write — spent coins, redeemed serials, issued
+// licenses — is fsynced before its HTTP response, with concurrent writers
+// sharing each fsync. Disabling it falls back to flush-on-write /
+// fsync-on-close (faster for single-user demos, loses the tail on an OS
+// crash).
 package main
 
 import (
@@ -33,13 +42,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8474", "listen address")
-		stateDir = flag.String("state", "", "state directory (empty = in-memory)")
-		rsaBits  = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
-		lab      = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
-		seedDemo = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
+		addr       = flag.String("addr", ":8474", "listen address")
+		stateDir   = flag.String("state", "", "state directory (empty = in-memory)")
+		rsaBits    = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
+		lab        = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
+		seedDemo   = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
+		bankShards = flag.Int("bank-shards", payment.DefaultBankShards, "bank balance-shard count")
+		groupWAL   = flag.Bool("wal-group-commit", true, "fsync durable stores via group commit (off = fsync only on close)")
 	)
 	flag.Parse()
+
+	walOpts := kvstore.Options{Sync: kvstore.SyncOnClose}
+	if *groupWAL {
+		walOpts.Sync = kvstore.SyncGroupCommit
+	}
 
 	group := schnorr.Group2048()
 	bits := *rsaBits
@@ -63,18 +79,18 @@ func main() {
 		bankDir = *stateDir + "/bank"
 		provDir = *stateDir + "/provider"
 	}
-	spent, err := kvstore.Open(bankDir)
+	spent, err := kvstore.OpenWith(bankDir, walOpts)
 	if err != nil {
 		log.Fatalf("bank store: %v", err)
 	}
-	bank, err := payment.NewBank(bankKey, spent)
+	bank, err := payment.NewBankSharded(bankKey, spent, *bankShards)
 	if err != nil {
 		log.Fatalf("bank: %v", err)
 	}
 	if err := bank.CreateAccount("provider", 0); err != nil {
 		log.Fatalf("provider account: %v", err)
 	}
-	store, err := kvstore.Open(provDir)
+	store, err := kvstore.OpenWith(provDir, walOpts)
 	if err != nil {
 		log.Fatalf("provider store: %v", err)
 	}
@@ -133,10 +149,10 @@ valid until "2030-01-01T00:00:00Z";
 		Handler: httpapi.NewServer(prov).WithBank(bank),
 	}
 	// closeStores syncs the WALs; every serving-phase exit path must run
-	// it — the stores only fsync on Close, and losing redeemed-serial or
-	// spent-coin records reopens double-spend windows. (The log.Fatalf
-	// calls above run before any protocol state exists, so they may
-	// exit without it.)
+	// it — under -wal-group-commit=false the stores only fsync on Close,
+	// and losing redeemed-serial or spent-coin records reopens
+	// double-spend windows. (The log.Fatalf calls above run before any
+	// protocol state exists, so they may exit without it.)
 	closeStores := func() {
 		if err := store.Close(); err != nil {
 			log.Printf("p2drmd: provider store: %v", err)

@@ -13,8 +13,14 @@
 //	POST /v1/purchase
 //	POST /v1/purchase/batch
 //	POST /v1/exchange
+//	POST /v1/exchange/batch
 //	POST /v1/redeem
+//	POST /v1/redeem/batch
 //	GET  /v1/revocation/filter
+//
+// The three batch endpoints share one shape: up to maxBatchItems slots,
+// per-slot outcomes in request order (a malformed or failed slot never
+// voids the rest), and the provider's shared worker pool underneath.
 package httpapi
 
 import (
@@ -57,7 +63,9 @@ func NewServer(p *provider.Provider) *Server {
 	s.mux.HandleFunc("POST /v1/purchase", s.handlePurchase)
 	s.mux.HandleFunc("POST /v1/purchase/batch", s.handlePurchaseBatch)
 	s.mux.HandleFunc("POST /v1/exchange", s.handleExchange)
+	s.mux.HandleFunc("POST /v1/exchange/batch", s.handleExchangeBatch)
 	s.mux.HandleFunc("POST /v1/redeem", s.handleRedeem)
+	s.mux.HandleFunc("POST /v1/redeem/batch", s.handleRedeemBatch)
 	s.mux.HandleFunc("GET /v1/revocation/filter", s.handleFilter)
 	s.mux.HandleFunc("GET /v1/provider/key", s.handleProviderKey)
 	s.mux.HandleFunc("GET /v1/bank/coinkey", s.handleCoinKey)
@@ -287,11 +295,47 @@ type ExchangeResponse struct {
 	BlindSig string `json:"blind_sig"`
 }
 
+// BatchExchangeRequest carries several exchanges settled as one call on
+// the provider's worker pool.
+type BatchExchangeRequest struct {
+	Exchanges []ExchangeRequest `json:"exchanges"`
+}
+
+// BatchExchangeResult is one per-exchange outcome: exactly one of
+// BlindSig and Error is set.
+type BatchExchangeResult struct {
+	BlindSig string `json:"blind_sig,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// BatchExchangeResponse returns outcomes in request order.
+type BatchExchangeResponse struct {
+	Results []BatchExchangeResult `json:"results"`
+}
+
 // RedeemRequest redeems an anonymous license.
 type RedeemRequest struct {
 	Anonymous string `json:"anonymous"`
 	SignPub   string `json:"sign_pub"`
 	EncPub    string `json:"enc_pub"`
+}
+
+// BatchRedeemRequest carries several redemptions settled as one call on
+// the provider's worker pool.
+type BatchRedeemRequest struct {
+	Redeems []RedeemRequest `json:"redeems"`
+}
+
+// BatchRedeemResult is one per-redeem outcome: exactly one of License
+// and Error is set.
+type BatchRedeemResult struct {
+	License string `json:"license,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// BatchRedeemResponse returns outcomes in request order.
+type BatchRedeemResponse struct {
+	Results []BatchRedeemResult `json:"results"`
 }
 
 // FilterResponse carries a signed revocation filter.
@@ -442,10 +486,39 @@ func (s *Server) handlePurchase(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, LicenseResponse{License: b64(lic.Marshal())})
 }
 
-// maxBatchPurchases bounds one batch call's memory and response
-// latency; CPU fairness across batches is enforced by the provider's
-// shared worker semaphore, not by this cap.
-const maxBatchPurchases = 256
+// maxBatchItems bounds one batch call's memory and response latency
+// (purchase, exchange and redeem alike); CPU fairness across batches is
+// enforced by the provider's shared worker semaphore, not by this cap.
+const maxBatchItems = 256
+
+// checkBatchSize enforces the shared batch-size bound.
+func checkBatchSize(w http.ResponseWriter, n int) bool {
+	if n == 0 || n > maxBatchItems {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("httpapi: batch size must be 1..%d", maxBatchItems))
+		return false
+	}
+	return true
+}
+
+// decodeSlots decodes each wire slot of a batch, reporting decode
+// failures per slot through fail (one malformed entry must not void the
+// rest), and returns the surviving items plus their original indexes so
+// pool results can be mapped back to response slots.
+func decodeSlots[W, I any](ws []W, decode func(W) (I, error), fail func(i int, err error)) (items []I, slots []int) {
+	items = make([]I, 0, len(ws))
+	slots = make([]int, 0, len(ws))
+	for i, w := range ws {
+		item, err := decode(w)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		items = append(items, item)
+		slots = append(slots, i)
+	}
+	return items, slots
+}
 
 func (s *Server) handlePurchaseBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchPurchaseRequest
@@ -453,25 +526,12 @@ func (s *Server) handlePurchaseBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(req.Purchases) == 0 || len(req.Purchases) > maxBatchPurchases {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("httpapi: batch size must be 1..%d", maxBatchPurchases))
+	if !checkBatchSize(w, len(req.Purchases)) {
 		return
 	}
-	// Decode failures are per-slot outcomes like any other purchase
-	// error: one malformed entry must not void the rest of the batch.
 	resp := BatchPurchaseResponse{Results: make([]BatchPurchaseResult, len(req.Purchases))}
-	reqs := make([]provider.PurchaseRequest, 0, len(req.Purchases))
-	slots := make([]int, 0, len(req.Purchases))
-	for i, pr := range req.Purchases {
-		preq, err := decodePurchase(pr)
-		if err != nil {
-			resp.Results[i].Error = err.Error()
-			continue
-		}
-		reqs = append(reqs, preq)
-		slots = append(slots, i)
-	}
+	reqs, slots := decodeSlots(req.Purchases, decodePurchase,
+		func(i int, err error) { resp.Results[i].Error = err.Error() })
 	for j, res := range s.Provider.IssueBatch(r.Context(), reqs) {
 		i := slots[j]
 		if res.Err != nil {
@@ -483,35 +543,80 @@ func (s *Server) handlePurchaseBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// decodeExchange converts one wire exchange into a provider item.
+func (s *Server) decodeExchange(er ExchangeRequest) (provider.ExchangeItem, error) {
+	licBytes, err1 := unb64(er.License)
+	proofBytes, err2 := unb64(er.Proof)
+	blinded, err3 := unb64(er.Blinded)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return provider.ExchangeItem{}, errors.New("httpapi: bad base64 field")
+	}
+	lic, err := license.UnmarshalPersonalized(licBytes)
+	if err != nil {
+		return provider.ExchangeItem{}, err
+	}
+	proof, err := schnorr.ParseProof(s.Provider.Group(), proofBytes)
+	if err != nil {
+		return provider.ExchangeItem{}, err
+	}
+	return provider.ExchangeItem{License: lic, Proof: proof, Nonce: er.Nonce, Blinded: blinded}, nil
+}
+
+// decodeRedeem converts one wire redeem into a provider item.
+func decodeRedeem(rr RedeemRequest) (provider.RedeemItem, error) {
+	anonBytes, err1 := unb64(rr.Anonymous)
+	signPub, err2 := unb64(rr.SignPub)
+	encPub, err3 := unb64(rr.EncPub)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return provider.RedeemItem{}, errors.New("httpapi: bad base64 field")
+	}
+	anon, err := license.UnmarshalAnonymous(anonBytes)
+	if err != nil {
+		return provider.RedeemItem{}, err
+	}
+	return provider.RedeemItem{Anonymous: anon, SignPub: signPub, EncPub: encPub}, nil
+}
+
 func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
 	var req ExchangeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	licBytes, err1 := unb64(req.License)
-	proofBytes, err2 := unb64(req.Proof)
-	blinded, err3 := unb64(req.Blinded)
-	if err1 != nil || err2 != nil || err3 != nil {
-		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
-		return
-	}
-	lic, err := license.UnmarshalPersonalized(licBytes)
+	item, err := s.decodeExchange(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	proof, err := schnorr.ParseProof(s.Provider.Group(), proofBytes)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	blindSig, err := s.Provider.Exchange(r.Context(), lic, proof, req.Nonce, blinded)
+	blindSig, err := s.Provider.Exchange(r.Context(), item.License, item.Proof, item.Nonce, item.Blinded)
 	if err != nil {
 		writeErr(w, http.StatusForbidden, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ExchangeResponse{BlindSig: b64(blindSig)})
+}
+
+func (s *Server) handleExchangeBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchExchangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !checkBatchSize(w, len(req.Exchanges)) {
+		return
+	}
+	resp := BatchExchangeResponse{Results: make([]BatchExchangeResult, len(req.Exchanges))}
+	items, slots := decodeSlots(req.Exchanges, s.decodeExchange,
+		func(i int, err error) { resp.Results[i].Error = err.Error() })
+	for j, res := range s.Provider.ExchangeBatch(r.Context(), items) {
+		i := slots[j]
+		if res.Err != nil {
+			resp.Results[i].Error = res.Err.Error()
+			continue
+		}
+		resp.Results[i].BlindSig = b64(res.BlindSig)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleRedeem(w http.ResponseWriter, r *http.Request) {
@@ -520,24 +625,40 @@ func (s *Server) handleRedeem(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	anonBytes, err1 := unb64(req.Anonymous)
-	signPub, err2 := unb64(req.SignPub)
-	encPub, err3 := unb64(req.EncPub)
-	if err1 != nil || err2 != nil || err3 != nil {
-		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
-		return
-	}
-	anon, err := license.UnmarshalAnonymous(anonBytes)
+	item, err := decodeRedeem(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	lic, err := s.Provider.Redeem(r.Context(), anon, signPub, encPub)
+	lic, err := s.Provider.Redeem(r.Context(), item.Anonymous, item.SignPub, item.EncPub)
 	if err != nil {
 		writeErr(w, http.StatusForbidden, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, LicenseResponse{License: b64(lic.Marshal())})
+}
+
+func (s *Server) handleRedeemBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRedeemRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !checkBatchSize(w, len(req.Redeems)) {
+		return
+	}
+	resp := BatchRedeemResponse{Results: make([]BatchRedeemResult, len(req.Redeems))}
+	items, slots := decodeSlots(req.Redeems, decodeRedeem,
+		func(i int, err error) { resp.Results[i].Error = err.Error() })
+	for j, res := range s.Provider.RedeemBatch(r.Context(), items) {
+		i := slots[j]
+		if res.Err != nil {
+			resp.Results[i].Error = res.Err.Error()
+			continue
+		}
+		resp.Results[i].License = b64(res.License.Marshal())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
@@ -740,6 +861,48 @@ func (c *Client) Exchange(lic *license.Personalized, proof *schnorr.Proof, nonce
 	return unb64(resp.BlindSig)
 }
 
+// BatchExchange is one typed entry for Client.ExchangeBatch, mirroring
+// the arguments of Client.Exchange.
+type BatchExchange struct {
+	License *license.Personalized
+	Proof   *schnorr.Proof
+	Nonce   string
+	Blinded []byte
+}
+
+// ExchangeBatch retires several licenses in one round trip. Blind
+// signatures come back in request order; per-item failures are returned
+// as errors in the slice, not as a call-level error.
+func (c *Client) ExchangeBatch(items []BatchExchange) ([][]byte, []error, error) {
+	reqs := make([]ExchangeRequest, len(items))
+	for i, it := range items {
+		reqs[i] = ExchangeRequest{
+			License: b64(it.License.Marshal()), Proof: b64(it.Proof.Bytes(c.Group)),
+			Nonce: it.Nonce, Blinded: b64(it.Blinded),
+		}
+	}
+	var resp BatchExchangeResponse
+	if err := c.post("/v1/exchange/batch", BatchExchangeRequest{Exchanges: reqs}, &resp); err != nil {
+		return nil, nil, err
+	}
+	if len(resp.Results) != len(reqs) {
+		return nil, nil, fmt.Errorf("httpapi: batch returned %d results for %d requests", len(resp.Results), len(reqs))
+	}
+	sigs := make([][]byte, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, res := range resp.Results {
+		if res.Error != "" {
+			errs[i] = fmt.Errorf("httpapi: server: %s", res.Error)
+			continue
+		}
+		var err error
+		if sigs[i], err = unb64(res.BlindSig); err != nil {
+			errs[i] = err
+		}
+	}
+	return sigs, errs, nil
+}
+
 // Redeem converts an anonymous license into a personalized one.
 func (c *Client) Redeem(anon *license.Anonymous, signPub, encPub []byte) (*license.Personalized, error) {
 	req := RedeemRequest{Anonymous: b64(anon.Marshal()), SignPub: b64(signPub), EncPub: b64(encPub)}
@@ -752,6 +915,51 @@ func (c *Client) Redeem(anon *license.Anonymous, signPub, encPub []byte) (*licen
 		return nil, err
 	}
 	return license.UnmarshalPersonalized(raw)
+}
+
+// BatchRedeem is one typed entry for Client.RedeemBatch, mirroring the
+// arguments of Client.Redeem.
+type BatchRedeem struct {
+	Anonymous *license.Anonymous
+	SignPub   []byte
+	EncPub    []byte
+}
+
+// RedeemBatch redeems several anonymous licenses in one round trip.
+// Licenses come back in request order; per-item failures are returned as
+// errors in the slice, not as a call-level error.
+func (c *Client) RedeemBatch(items []BatchRedeem) ([]*license.Personalized, []error, error) {
+	reqs := make([]RedeemRequest, len(items))
+	for i, it := range items {
+		reqs[i] = RedeemRequest{
+			Anonymous: b64(it.Anonymous.Marshal()),
+			SignPub:   b64(it.SignPub), EncPub: b64(it.EncPub),
+		}
+	}
+	var resp BatchRedeemResponse
+	if err := c.post("/v1/redeem/batch", BatchRedeemRequest{Redeems: reqs}, &resp); err != nil {
+		return nil, nil, err
+	}
+	if len(resp.Results) != len(reqs) {
+		return nil, nil, fmt.Errorf("httpapi: batch returned %d results for %d requests", len(resp.Results), len(reqs))
+	}
+	lics := make([]*license.Personalized, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, res := range resp.Results {
+		if res.Error != "" {
+			errs[i] = fmt.Errorf("httpapi: server: %s", res.Error)
+			continue
+		}
+		raw, err := unb64(res.License)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if lics[i], err = license.UnmarshalPersonalized(raw); err != nil {
+			errs[i] = err
+		}
+	}
+	return lics, errs, nil
 }
 
 // RevocationFilter fetches and reassembles the signed filter.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/rand"
 	"crypto/rsa"
+	"encoding/json"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -252,5 +253,150 @@ func TestCoinCodec(t *testing.T) {
 	}
 	if _, err := decodeCoin("x"); err == nil {
 		t.Error("bad coin accepted")
+	}
+}
+
+// TestExchangeAndRedeemBatchOverHTTP drives the full deposit-side batch
+// pipeline through the SDK: buy 3 licenses, retire all three in one
+// /v1/exchange/batch call (with one malformed slot), then redeem the
+// resulting bearer tokens in one /v1/redeem/batch call (with one replayed
+// serial). Per-slot errors must not disturb the healthy slots.
+func TestExchangeAndRedeemBatchOverHTTP(t *testing.T) {
+	h := newHarness(t)
+	g := schnorr.Group768()
+	signPub, encPub := h.registerOverHTTP(t, 0)
+	denomPub, denomID, err := h.client.Denomination("song-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 3
+	exchanges := make([]BatchExchange, n)
+	serials := make([]license.Serial, n)
+	states := make([]*rsablind.State, n)
+	for i := 0; i < n; i++ {
+		coins, err := h.bank.WithdrawCoins("alice", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lic, err := h.client.Purchase("song-1", signPub, encPub, coins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, _ := license.NewSerial()
+		blinded, st, err := rsablind.Blind(denomPub, license.AnonymousSigningBytes(serial, denomID), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonce, err := h.client.Challenge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := h.card.Prove(0, provider.ExchangeContext(nonce, lic.Serial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exchanges[i] = BatchExchange{License: lic, Proof: proof, Nonce: nonce, Blinded: blinded}
+		serials[i], states[i] = serial, st
+	}
+	// Poison slot 1's nonce: its failure must be slot-local.
+	exchanges[1].Nonce = "bogus"
+
+	sigs, errs, err := h.client.ExchangeBatch(exchanges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anons := make([]*license.Anonymous, 0, n)
+	for i := 0; i < n; i++ {
+		if i == 1 {
+			if errs[i] == nil || !strings.Contains(errs[i].Error(), "nonce") {
+				t.Errorf("poisoned slot: err = %v, want nonce error", errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("slot %d: %v", i, errs[i])
+		}
+		sig, err := rsablind.Unblind(denomPub, states[i], sigs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		anons = append(anons, &license.Anonymous{Serial: serials[i], Denom: denomID, Sig: sig})
+	}
+
+	// Redeem both bearer tokens plus a replay of the first in one batch.
+	bobCard, _ := smartcard.NewRandom(g)
+	bp, _ := bobCard.Pseudonym(0)
+	rn, _ := h.client.Challenge()
+	rproof, _ := bobCard.Prove(0, provider.RegisterContext(rn))
+	if err := h.client.Register(bp.SignPublic(g), bp.EncPublic(g), rproof, rn); err != nil {
+		t.Fatal(err)
+	}
+	redeems := []BatchRedeem{
+		{Anonymous: anons[0], SignPub: bp.SignPublic(g), EncPub: bp.EncPublic(g)},
+		{Anonymous: anons[1], SignPub: bp.SignPublic(g), EncPub: bp.EncPublic(g)},
+		{Anonymous: anons[0], SignPub: bp.SignPublic(g), EncPub: bp.EncPublic(g)},
+	}
+	lics, rerrs, err := h.client.RedeemBatch(redeems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for i := range lics {
+		if rerrs[i] == nil {
+			if err := license.VerifyPersonalized(h.prov.Public(), lics[i]); err != nil {
+				t.Errorf("slot %d: invalid license: %v", i, err)
+			}
+			if i == 0 || i == 2 {
+				wins++
+			}
+			continue
+		}
+		if i == 1 {
+			t.Errorf("healthy slot 1 failed: %v", rerrs[i])
+		} else if !strings.Contains(rerrs[i].Error(), "redeemed") {
+			t.Errorf("slot %d: err = %v, want already-redeemed", i, rerrs[i])
+		}
+	}
+	if wins != 1 {
+		t.Errorf("replayed serial won %d slots, want exactly 1", wins)
+	}
+}
+
+// TestBatchEndpointsRejectBadSizes: empty and oversized batches are
+// call-level errors on all three batch endpoints.
+func TestBatchEndpointsRejectBadSizes(t *testing.T) {
+	h := newHarness(t)
+	for _, tc := range []struct{ path, empty string }{
+		{"/v1/purchase/batch", `{"purchases":[]}`},
+		{"/v1/exchange/batch", `{"exchanges":[]}`},
+		{"/v1/redeem/batch", `{"redeems":[]}`},
+	} {
+		resp, err := h.srv.Client().Post(h.srv.URL+tc.path, "application/json", strings.NewReader(tc.empty))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("POST %s empty batch: status %d, want 400", tc.path, resp.StatusCode)
+		}
+	}
+	// One malformed slot inside a healthy envelope is a 200 with a
+	// per-slot error, never a call failure.
+	body := `{"exchanges":[{"license":"!!!","proof":"AA==","nonce":"x","blinded":"AA=="}]}`
+	resp, err := h.srv.Client().Post(h.srv.URL+"/v1/exchange/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("malformed slot escalated to status %d, want 200", resp.StatusCode)
+	}
+	var out BatchExchangeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Error == "" {
+		t.Errorf("want one per-slot error, got %+v", out.Results)
 	}
 }

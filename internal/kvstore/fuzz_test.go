@@ -1,0 +1,98 @@
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes in as the tail of a WAL holding a
+// known committed prefix. Invariants:
+//
+//   - Open never panics and never errors on content corruption (a torn
+//     or corrupt tail is truncated, not fatal).
+//   - Committed entries are never silently dropped: unless the tail
+//     itself decodes as valid records (which could legitimately
+//     overwrite or delete), every prefix key must replay intact.
+//   - The recovered store is writable and survives a clean reopen.
+func FuzzWALReplay(f *testing.F) {
+	// Seed corpus: empty tail, garbage, a truncated valid record, and a
+	// whole valid record (so the fuzzer learns the framing).
+	f.Add([]byte{})
+	f.Add([]byte{0xDE, 0xAD, 0xBE})
+	whole := encodeRecord(kindPut, []byte{0, 0, 0, 1, 'x', 'v'})
+	f.Add(whole)
+	f.Add(whole[:len(whole)-2])
+	f.Add(encodeRecord(kindBatch, []byte{0, 0, 0, 0}))
+	f.Add(encodeRecord(99, []byte("unknown kind")))
+
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed := map[string]string{}
+		for i := 0; i < 5; i++ {
+			k, v := fmt.Sprintf("committed-%d", i), fmt.Sprintf("val-%d", i)
+			if err := s.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			committed[k] = v
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "wal.log")
+		wal, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wal.Write(tail)
+		wal.Close()
+
+		// Count records the replay loop would accept from the tail; only
+		// a CRC-valid record may legitimately change committed state.
+		validTailRecords := 0
+		r := bufio.NewReader(bytes.NewReader(tail))
+		for {
+			if _, _, err := readRecord(r); err != nil {
+				break
+			}
+			validTailRecords++
+		}
+
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open after corrupt tail must not error: %v", err)
+		}
+		if validTailRecords == 0 {
+			for k, v := range committed {
+				got, ok := s2.Get([]byte(k))
+				if !ok || string(got) != v {
+					t.Fatalf("committed entry %q dropped by corrupt tail (got %q, ok=%v)", k, got, ok)
+				}
+			}
+		}
+		// Recovery must leave a writable store whose state survives a
+		// clean close/reopen cycle.
+		if err := s2.Put([]byte("post"), []byte("recovery")); err != nil {
+			t.Fatalf("recovered store not writable: %v", err)
+		}
+		want := s2.Len()
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s3, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s3.Close()
+		if s3.Len() != want {
+			t.Fatalf("reopen changed Len: %d != %d", s3.Len(), want)
+		}
+	})
+}

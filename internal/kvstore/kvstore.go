@@ -15,6 +15,37 @@
 //
 // Batches are single log records, so multi-key updates (e.g. "store new
 // license + mark old serial redeemed") are atomic across crashes.
+//
+// # Durability policies
+//
+// Open gives the seed behavior (SyncOnClose): every record is flushed to
+// the OS on write but only fsynced by Sync/Close, so an OS crash can lose
+// the acknowledged tail. OpenWith selects stronger policies:
+//
+//   - SyncAlways fsyncs inside every mutation — every acknowledged write
+//     survives power loss, at one fsync per write.
+//   - SyncGroupCommit gives the same guarantee at a fraction of the cost:
+//     writers append + flush their record under the store lock, then
+//     block on a shared commit window. The first blocked writer becomes
+//     the commit leader, issues ONE file.Sync() covering every record
+//     appended so far, and wakes the whole window. Under concurrency the
+//     fsync cost is amortized across the window; a lone writer degrades
+//     to SyncAlways behavior.
+//
+// Group-commit ordering guarantee: when a mutation returns nil its record
+// — and, because the log is append-only, every record acknowledged before
+// it — is on stable storage. Callers sequencing cross-store invariants
+// ("spent mark durable before balance credit", payment.Bank.Deposit) get
+// that ordering for free. A failed group fsync poisons the store: the
+// error is sticky and every subsequent durable wait returns it, because
+// after a failed fsync the kernel may have dropped the dirty pages and a
+// retry would falsely report durability.
+//
+// Lock order: s.mu (index + log writer) before gcMu (commit window
+// bookkeeping). The commit leader holds NEITHER lock during its
+// file.Sync(), so appends continue to land in the next window while the
+// current one is being made durable. Close and Compact mutate/close
+// s.file only after draining any in-flight leader under gcMu.
 package kvstore
 
 import (
@@ -28,6 +59,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 const (
@@ -48,6 +80,33 @@ var (
 	ErrEmptyKey = errors.New("kvstore: empty key")
 )
 
+// SyncPolicy selects when appended WAL records are forced to stable
+// storage. See the package comment for the full semantics.
+type SyncPolicy int
+
+const (
+	// SyncOnClose flushes every record to the OS on write but fsyncs
+	// only in Sync and Close. Fastest; an OS crash can lose the tail.
+	SyncOnClose SyncPolicy = iota
+	// SyncAlways fsyncs inside every mutation before it returns.
+	SyncAlways
+	// SyncGroupCommit makes every mutation durable before it returns,
+	// amortizing the fsync across all writers in one commit window.
+	SyncGroupCommit
+)
+
+// Options tune a store opened with OpenWith.
+type Options struct {
+	// Sync is the durability policy (default SyncOnClose).
+	Sync SyncPolicy
+	// CommitInterval (SyncGroupCommit only) makes the commit leader wait
+	// this long before issuing the shared fsync, widening the window at
+	// the cost of latency. Zero (the default) syncs as soon as the
+	// leader runs; natural batching still occurs because followers that
+	// arrive during an in-flight fsync join the next window.
+	CommitInterval time.Duration
+}
+
 // Store is a durable (or, with Dir "", purely in-memory) key-value map.
 type Store struct {
 	mu     sync.RWMutex
@@ -55,16 +114,49 @@ type Store struct {
 	file   *os.File
 	w      *bufio.Writer
 	dir    string
+	opts   Options
 	closed bool
+	// seq counts records appended to the log; assigned under s.mu.
+	seq int64
 	// bytesLogged tracks log growth to advise compaction.
 	bytesLogged int64
 	liveBytes   int64
+
+	// walErr is the sticky append-path failure (write, flush or
+	// SyncAlways fsync). After one, later records could sit beyond a
+	// hole replay can't cross, so every further mutation is refused
+	// rather than falsely acknowledged. Guarded by s.mu; only a
+	// successful Compact (full rewrite into a fresh fsynced log) clears
+	// it.
+	walErr error
+
+	// Group-commit window state. Guarded by gcMu (taken after s.mu when
+	// both are held). gcAppended is the highest seq known flushed to the
+	// OS, gcDurable the highest seq known fsynced; gcErr is the sticky
+	// fsync failure.
+	gcMu       sync.Mutex
+	gcCond     *sync.Cond
+	gcAppended int64
+	gcDurable  int64
+	gcSyncing  bool
+	gcSwapping bool
+	gcErr      error
 }
 
-// Open opens (creating if necessary) a store in dir. An empty dir gives a
-// volatile in-memory store with identical semantics minus durability.
+// Open opens (creating if necessary) a store in dir with the default
+// SyncOnClose policy. An empty dir gives a volatile in-memory store with
+// identical semantics minus durability.
 func Open(dir string) (*Store, error) {
-	s := &Store{data: make(map[string][]byte), dir: dir}
+	return OpenWith(dir, Options{})
+}
+
+// OpenWith opens a store with explicit durability options.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	if opts.CommitInterval < 0 {
+		opts.CommitInterval = 0
+	}
+	s := &Store{data: make(map[string][]byte), dir: dir, opts: opts}
+	s.gcCond = sync.NewCond(&s.gcMu)
 	if dir == "" {
 		return s, nil
 	}
@@ -250,20 +342,164 @@ func decodeBatchBody(body []byte) ([]op, error) {
 	return ops, nil
 }
 
-// append writes a record to the log and flushes it.
+// append writes a record to the log and flushes it to the OS. Under
+// SyncAlways it also fsyncs before returning; under SyncGroupCommit the
+// caller must wait on waitDurable(s.seq) AFTER releasing s.mu.
 func (s *Store) append(kind byte, body []byte) error {
 	if s.file == nil {
 		return nil // in-memory store
 	}
+	if s.walErr != nil {
+		return fmt.Errorf("kvstore: log failed: %w", s.walErr)
+	}
 	rec := encodeRecord(kind, body)
 	if _, err := s.w.Write(rec); err != nil {
+		s.walErr = err
 		return fmt.Errorf("kvstore: append: %w", err)
 	}
 	if err := s.w.Flush(); err != nil {
+		s.walErr = err
 		return fmt.Errorf("kvstore: flush: %w", err)
 	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.file.Sync(); err != nil {
+			// Sticky: the kernel may have dropped this record's pages,
+			// and replay cannot cross the hole to reach anything
+			// appended after it.
+			s.walErr = err
+			return fmt.Errorf("kvstore: fsync: %w", err)
+		}
+	}
 	s.bytesLogged += int64(len(rec))
+	s.seq++
 	return nil
+}
+
+// waitDurable blocks until record seq is on stable storage (group-commit
+// stores only; a no-op otherwise). Must be called WITHOUT s.mu held: the
+// commit leader fsyncs lock-free so new appends keep landing in the next
+// window. The first waiter of a window becomes the leader, issues one
+// file.Sync() covering every record appended so far, and wakes the rest.
+func (s *Store) waitDurable(seq int64) error {
+	if s.file == nil || s.opts.Sync != SyncGroupCommit {
+		return nil
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if seq > s.gcAppended {
+		s.gcAppended = seq
+	}
+	for {
+		if s.gcDurable >= seq {
+			return nil
+		}
+		if s.gcErr != nil {
+			return s.gcErr
+		}
+		if s.gcSyncing || s.gcSwapping {
+			s.gcCond.Wait()
+			continue
+		}
+		// Become the commit leader.
+		s.gcSyncing = true
+		if s.opts.CommitInterval > 0 {
+			s.gcMu.Unlock()
+			time.Sleep(s.opts.CommitInterval)
+			s.gcMu.Lock()
+		}
+		target := s.gcAppended
+		f := s.file
+		s.gcMu.Unlock()
+		err := f.Sync()
+		s.gcMu.Lock()
+		s.gcSyncing = false
+		if err != nil {
+			s.gcErr = fmt.Errorf("kvstore: group commit fsync: %w", err)
+		} else if target > s.gcDurable {
+			s.gcDurable = target
+		}
+		s.gcCond.Broadcast()
+	}
+}
+
+// markAllDurable records that every record appended so far is fsynced,
+// waking pending group-commit waiters. Called with s.mu held right after
+// a successful full-file sync. A poisoned window (gcErr set) stays
+// poisoned: after any failed fsync the kernel may already have dropped
+// dirty pages, leaving a hole earlier in the log that a later successful
+// full-file sync cannot fill — records after the hole are unreachable by
+// replay, so they must never be acknowledged as durable.
+func (s *Store) markAllDurable() {
+	if s.opts.Sync != SyncGroupCommit {
+		return
+	}
+	s.gcMu.Lock()
+	if s.seq > s.gcAppended {
+		s.gcAppended = s.seq
+	}
+	if s.gcErr == nil && s.seq > s.gcDurable {
+		s.gcDurable = s.seq
+	}
+	s.gcCond.Broadcast()
+	s.gcMu.Unlock()
+}
+
+// beginFileSwap blocks new commit leaders and drains the in-flight one,
+// so the caller (Close, Compact) may close or replace s.file without
+// racing a leader's file.Sync(). Called with s.mu held, so no new record
+// can be appended during the swap. Must be paired with endFileSwap or
+// abortFileSwap.
+func (s *Store) beginFileSwap() {
+	if s.opts.Sync != SyncGroupCommit {
+		return
+	}
+	s.gcMu.Lock()
+	s.gcSwapping = true
+	for s.gcSyncing {
+		s.gcCond.Wait()
+	}
+	s.gcMu.Unlock()
+}
+
+// endFileSwap reopens the commit window and marks every record appended
+// before the swap durable (the swap itself fsynced them). One exception
+// to the poisoned-stays-poisoned rule in markAllDurable: a COMPACTION
+// swap rewrites the entire live set into a fresh file and fsyncs it, so
+// it genuinely restores durability and may clear gcErr. Close's swap
+// only fsyncs the existing (possibly holed) log, so its caller must not
+// rely on this clearing — Close keeps gcErr via markAllDurable instead.
+func (s *Store) endFileSwap(clearErr bool) {
+	if s.opts.Sync != SyncGroupCommit {
+		return
+	}
+	s.gcMu.Lock()
+	s.gcSwapping = false
+	if clearErr {
+		s.gcErr = nil
+	}
+	if s.seq > s.gcAppended {
+		s.gcAppended = s.seq
+	}
+	if s.gcErr == nil && s.seq > s.gcDurable {
+		s.gcDurable = s.seq
+	}
+	s.gcCond.Broadcast()
+	s.gcMu.Unlock()
+}
+
+// abortFileSwap poisons the commit window after a failed swap so waiters
+// error out instead of hanging.
+func (s *Store) abortFileSwap(err error) {
+	if s.opts.Sync != SyncGroupCommit {
+		return
+	}
+	s.gcMu.Lock()
+	s.gcSwapping = false
+	if s.gcErr == nil {
+		s.gcErr = fmt.Errorf("kvstore: log swap failed: %w", err)
+	}
+	s.gcCond.Broadcast()
+	s.gcMu.Unlock()
 }
 
 // putLocked validates, logs and applies one put. Caller holds s.mu.
@@ -293,32 +529,49 @@ func (s *Store) putLocked(key, val []byte) error {
 	return nil
 }
 
-// Put stores val under key.
+// Put stores val under key. Under SyncAlways/SyncGroupCommit the value
+// is on stable storage when Put returns nil.
 func (s *Store) Put(key, val []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.putLocked(key, val)
+	err := s.putLocked(key, val)
+	seq := s.seq
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.waitDurable(seq)
 }
 
 // PutIfAbsent stores val under key only if the key is currently absent
 // and reports whether the write happened. Check and write are atomic
 // under the store lock, making this the store's compare-and-set
 // primitive: concurrent callers racing on the same key see exactly one
-// true. The provider's redeemed-serial set relies on this for its
-// double-spend gate.
+// true. The provider's redeemed-serial set and the bank's spent-coin
+// ledger rely on this for their double-spend gates. Both answers obey
+// the store's durability policy before returning: a winner waits for
+// its own record, and a loser waits for the record it lost to — the
+// observed "already present" must not be rolled back by a crash after
+// the caller has acted on it (e.g. reported a coin double-spent).
 func (s *Store) PutIfAbsent(key, val []byte) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return false, ErrClosed
 	}
 	if _, ok := s.data[string(key)]; ok {
-		return false, nil
+		// The record establishing the key was appended (under this
+		// lock) before the map insert, so s.seq now covers it.
+		seq := s.seq
+		s.mu.Unlock()
+		return false, s.waitDurable(seq)
 	}
-	if err := s.putLocked(key, val); err != nil {
+	err := s.putLocked(key, val)
+	seq := s.seq
+	s.mu.Unlock()
+	if err != nil {
 		return false, err
 	}
-	return true, nil
+	return true, s.waitDurable(seq)
 }
 
 // Get returns a copy of the value for key.
@@ -347,21 +600,24 @@ func (s *Store) Delete(key []byte) error {
 		return ErrEmptyKey
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	body := make([]byte, 4+len(key))
 	binary.BigEndian.PutUint32(body[:4], uint32(len(key)))
 	copy(body[4:], key)
 	if err := s.append(kindDel, body); err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	if old, ok := s.data[string(key)]; ok {
 		s.liveBytes -= int64(len(key) + len(old))
 	}
 	delete(s.data, string(key))
-	return nil
+	seq := s.seq
+	s.mu.Unlock()
+	return s.waitDurable(seq)
 }
 
 // Batch collects operations applied atomically by Apply.
@@ -398,8 +654,8 @@ func (s *Store) Apply(b *Batch) error {
 		}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	size := 4
@@ -423,10 +679,17 @@ func (s *Store) Apply(b *Batch) error {
 		off += len(o.val)
 	}
 	if err := s.append(kindBatch, body); err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	rec := &record{kind: kindBatch, ops: b.ops}
-	return s.applyRecord(rec)
+	err := s.applyRecord(rec)
+	seq := s.seq
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.waitDurable(seq)
 }
 
 // Len returns the number of live keys.
@@ -486,7 +749,11 @@ func (s *Store) Sync() error {
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
-	return s.file.Sync()
+	if err := s.file.Sync(); err != nil {
+		return err
+	}
+	s.markAllDurable()
+	return nil
 }
 
 // GarbageRatio reports wasted log fraction; callers compact when it grows.
@@ -554,22 +821,34 @@ func (s *Store) Compact() error {
 		os.Remove(tmpPath)
 		return err
 	}
-	// Swap: close old, rename, reopen for append.
+	// Swap: close old, rename, reopen for append. The commit window is
+	// held shut across the swap so no group leader fsyncs a dead file;
+	// the compacted log holds the full live set fsynced, so pending
+	// durability waiters are satisfied by endFileSwap.
+	s.beginFileSwap()
 	if err := s.w.Flush(); err != nil {
+		s.abortFileSwap(err)
 		return err
 	}
 	if err := s.file.Close(); err != nil {
+		s.abortFileSwap(err)
 		return err
 	}
 	livePath := filepath.Join(s.dir, "wal.log")
 	if err := os.Rename(tmpPath, livePath); err != nil {
+		s.abortFileSwap(err)
 		return fmt.Errorf("kvstore: compact swap: %w", err)
 	}
 	f, err := os.OpenFile(livePath, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
+		s.abortFileSwap(err)
 		return fmt.Errorf("kvstore: reopen after compact: %w", err)
 	}
 	s.file = f
+	// A successful compaction rewrote the full live set into a fresh
+	// fsynced log, so sticky append/fsync failures are genuinely healed.
+	s.walErr = nil
+	s.endFileSwap(true)
 	s.w = bufio.NewWriter(f)
 	s.bytesLogged = written
 	s.liveBytes = written - int64(9*len(keys)+4*len(keys)) // approximate
@@ -581,9 +860,11 @@ func (s *Store) Compact() error {
 	return nil
 }
 
-// Close flushes and closes the store. Further operations fail with
-// ErrClosed; Get/Has keep answering from memory for reads-after-close
-// safety in shutdown paths.
+// Close flushes, fsyncs and closes the store. Further operations fail
+// with ErrClosed; Get/Has keep answering from memory for
+// reads-after-close safety in shutdown paths. Pending group-commit
+// waiters are released: satisfied by the final fsync, or errored if it
+// fails.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -595,12 +876,16 @@ func (s *Store) Close() error {
 		return nil
 	}
 	if err := s.w.Flush(); err != nil {
+		s.abortFileSwap(err)
 		s.file.Close()
 		return err
 	}
 	if err := s.file.Sync(); err != nil {
+		s.abortFileSwap(err)
 		s.file.Close()
 		return err
 	}
+	s.beginFileSwap()
+	s.endFileSwap(false)
 	return s.file.Close()
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func openTemp(t *testing.T) (*Store, string) {
@@ -485,5 +486,161 @@ func TestPutIfAbsentConcurrentSingleWinner(t *testing.T) {
 	}
 	if wins != 1 {
 		t.Fatalf("%d racers won the insert, want exactly 1", wins)
+	}
+}
+
+func TestSyncPoliciesDurableAcrossReopen(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"on_close", Options{Sync: SyncOnClose}},
+		{"always", Options{Sync: SyncAlways}},
+		{"group_commit", Options{Sync: SyncGroupCommit}},
+		{"group_commit_window", Options{Sync: SyncGroupCommit, CommitInterval: time.Millisecond}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenWith(dir, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if ok, err := s.PutIfAbsent([]byte("cas"), []byte("w")); !ok || err != nil {
+				t.Fatalf("PutIfAbsent: %v %v", ok, err)
+			}
+			if err := s.Delete([]byte("k0")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Apply(new(Batch).Put([]byte("b1"), []byte("x")).Delete([]byte("k1"))); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := OpenWith(dir, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if s2.Len() != 20 { // 20 puts + cas + b1 - k0 - k1
+				t.Errorf("Len = %d, want 20", s2.Len())
+			}
+		})
+	}
+}
+
+// TestGroupCommitConcurrentWriters: every acknowledged write must be in
+// the log (verified by opening a byte-for-byte copy of the live WAL
+// WITHOUT closing the original, so Close's fsync cannot paper over a
+// missing flush), and the CAS primitive keeps its single-winner
+// guarantee while commits batch.
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{Sync: SyncGroupCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers, perWriter = 8, 40
+	wins := make([]int, writers)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.Put([]byte(fmt.Sprintf("g%d-k%d", g, i)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				ok, err := s.PutIfAbsent([]byte(fmt.Sprintf("cas-%d", i)), []byte{byte(g)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					wins[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != perWriter {
+		t.Errorf("CAS winners = %d, want %d", total, perWriter)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(copyDir, "wal.log"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(copyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if want := writers*perWriter + perWriter; s2.Len() != want {
+		t.Errorf("replayed Len = %d, want %d", s2.Len(), want)
+	}
+}
+
+// TestGroupCommitCompactUnderLoad races Compact's log swap against
+// concurrent durable writers: no write may fail, hang, or be lost.
+func TestGroupCommitCompactUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{Sync: SyncGroupCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 30
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.Put([]byte(fmt.Sprintf("g%d-k%d", g, i)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := s.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != writers*perWriter {
+		t.Errorf("Len after compacted reopen = %d, want %d", s2.Len(), writers*perWriter)
 	}
 }

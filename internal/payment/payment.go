@@ -9,6 +9,30 @@
 // Coins are single-denomination ("1 credit") bearer tokens; prices are
 // integer credit amounts. Double spending is prevented by a durable
 // spent-serial ledger at the bank.
+//
+// # Concurrency model
+//
+// The bank serves every deposit on the purchase path, so its hot state is
+// split so that no operation holds a global lock and no lock is held
+// across crypto or I/O:
+//
+//   - Balances live in N hash shards (FNV-1a over the account id), each
+//     with its own mutex. Withdraw and Deposit on different accounts in
+//     different shards never contend; the RSA blind signature in Withdraw
+//     runs with NO lock held (debit first, refund on signing failure).
+//   - The spent-serial ledger is gated by kvstore.PutIfAbsent — a
+//     lock-free-from-the-bank's-view CAS — so two concurrent deposits of
+//     one coin see exactly one winner, with no bank lock around the
+//     ledger write.
+//
+// Crash ordering: Deposit marks the serial spent in the durable ledger
+// BEFORE crediting the in-memory balance, so a crash between the two can
+// at worst lose the payee a credit, never mint one. With the ledger store
+// opened in kvstore group-commit (or fsync-per-write) mode, "Deposit
+// returned nil" implies the spent mark is on stable storage.
+//
+// Lock order is trivial: no code path holds two shard locks at once, and
+// the kvstore synchronizes internally.
 package payment
 
 import (
@@ -16,6 +40,7 @@ import (
 	"crypto/rsa"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sync"
 
@@ -82,13 +107,20 @@ func (r *CoinRequest) Finish(bankPub *rsa.PublicKey, blindSig []byte) (*Coin, er
 	return &Coin{Serial: r.serial, Sig: sig}, nil
 }
 
+// DefaultBankShards is the balance-shard count used by NewBank.
+const DefaultBankShards = 16
+
 // Bank issues coins and settles deposits.
 type Bank struct {
 	signer *rsablind.Signer
+	spent  *kvstore.Store
+	shards []*accountShard
+}
 
+// accountShard is one independently locked slice of the balance map.
+type accountShard struct {
 	mu       sync.Mutex
 	balances map[string]int64
-	spent    *kvstore.Store
 }
 
 // ErrInsufficientFunds is returned when a withdrawal exceeds the balance.
@@ -98,8 +130,15 @@ var ErrInsufficientFunds = errors.New("payment: insufficient funds")
 var ErrDoubleSpend = errors.New("payment: coin already spent")
 
 // NewBank creates a bank around a dedicated coin-signing key and a durable
-// spent-coin ledger.
+// spent-coin ledger, with DefaultBankShards balance shards.
 func NewBank(key *rsa.PrivateKey, spent *kvstore.Store) (*Bank, error) {
+	return NewBankSharded(key, spent, DefaultBankShards)
+}
+
+// NewBankSharded creates a bank with an explicit balance-shard count
+// (minimum 1). More shards reduce lock contention across accounts; the
+// double-spend ledger is shard-independent.
+func NewBankSharded(key *rsa.PrivateKey, spent *kvstore.Store, shards int) (*Bank, error) {
 	signer, err := rsablind.NewSigner(key)
 	if err != nil {
 		return nil, err
@@ -107,7 +146,24 @@ func NewBank(key *rsa.PrivateKey, spent *kvstore.Store) (*Bank, error) {
 	if spent == nil {
 		return nil, errors.New("payment: nil spent ledger")
 	}
-	return &Bank{signer: signer, balances: make(map[string]int64), spent: spent}, nil
+	if shards < 1 {
+		shards = 1
+	}
+	b := &Bank{signer: signer, spent: spent, shards: make([]*accountShard, shards)}
+	for i := range b.shards {
+		b.shards[i] = &accountShard{balances: make(map[string]int64)}
+	}
+	return b, nil
+}
+
+// Shards reports the balance-shard count.
+func (b *Bank) Shards() int { return len(b.shards) }
+
+// shard maps an account id to its balance shard.
+func (b *Bank) shard(accountID string) *accountShard {
+	h := fnv.New32a()
+	h.Write([]byte(accountID))
+	return b.shards[h.Sum32()%uint32(len(b.shards))]
 }
 
 // CoinPub returns the bank's coin verification key.
@@ -121,43 +177,69 @@ func (b *Bank) CreateAccount(id string, balance int64) error {
 	if balance < 0 {
 		return errors.New("payment: negative initial balance")
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, exists := b.balances[id]; exists {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.balances[id]; exists {
 		return fmt.Errorf("payment: account %q already exists", id)
 	}
-	b.balances[id] = balance
+	sh.balances[id] = balance
 	return nil
 }
 
 // Balance reports an account balance.
 func (b *Bank) Balance(id string) (int64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	bal, ok := b.balances[id]
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	bal, ok := sh.balances[id]
 	if !ok {
 		return 0, fmt.Errorf("payment: unknown account %q", id)
 	}
 	return bal, nil
 }
 
+// TotalBalance sums every account balance. Shards are read one at a
+// time, so under concurrent traffic the figure is a consistent total
+// only at quiescence (which is when the conservation tests call it).
+func (b *Bank) TotalBalance() int64 {
+	var total int64
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, bal := range sh.balances {
+			total += bal
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // Withdraw debits one credit from the account and blind-signs the
-// presented blinded coin. The bank never sees the coin serial.
+// presented blinded coin. The bank never sees the coin serial. The RSA
+// signature runs with no shard lock held: debit first, refund if signing
+// fails.
 func (b *Bank) Withdraw(accountID string, blinded []byte) ([]byte, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	bal, ok := b.balances[accountID]
+	sh := b.shard(accountID)
+	sh.mu.Lock()
+	bal, ok := sh.balances[accountID]
 	if !ok {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("payment: unknown account %q", accountID)
 	}
 	if bal < 1 {
+		sh.mu.Unlock()
 		return nil, ErrInsufficientFunds
 	}
+	sh.balances[accountID] = bal - 1
+	sh.mu.Unlock()
 	sig, err := b.signer.SignBlinded(blinded)
 	if err != nil {
+		// Accounts are never deleted, so the refund cannot miss.
+		sh.mu.Lock()
+		sh.balances[accountID]++
+		sh.mu.Unlock()
 		return nil, err
 	}
-	b.balances[accountID] = bal - 1
 	return sig, nil
 }
 
@@ -184,32 +266,42 @@ func (b *Bank) WithdrawCoins(accountID string, n int) ([]*Coin, error) {
 
 // Deposit verifies a coin, enforces single spending, and credits the
 // payee account. The double-spend mark and the credit are logically one
-// transaction; the spent mark is written first so a crash can at worst
-// lose the payee a credit, never mint one.
+// transaction; the spent mark is written (durably, per the ledger's sync
+// policy) first, so a crash can at worst lose the payee a credit, never
+// mint one. The ledger write is an atomic PutIfAbsent: of any number of
+// concurrent deposits of one coin, exactly one succeeds — there is no
+// check-then-act window.
 func (b *Bank) Deposit(payeeAccount string, c *Coin) error {
 	if err := VerifyCoin(b.CoinPub(), c); err != nil {
 		return err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.balances[payeeAccount]; !ok {
+	// Reject unknown payees before the ledger write so a misdirected
+	// deposit never burns the coin.
+	sh := b.shard(payeeAccount)
+	sh.mu.Lock()
+	_, ok := sh.balances[payeeAccount]
+	sh.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("payment: unknown account %q", payeeAccount)
 	}
 	key := append([]byte("spent:"), c.Serial[:]...)
-	if b.spent.Has(key) {
-		return ErrDoubleSpend
-	}
-	if err := b.spent.Put(key, []byte{1}); err != nil {
+	inserted, err := b.spent.PutIfAbsent(key, []byte{1})
+	if err != nil {
 		return fmt.Errorf("payment: ledger: %w", err)
 	}
-	b.balances[payeeAccount]++
+	if !inserted {
+		return ErrDoubleSpend
+	}
+	// Spent mark is on the ledger; crediting cannot race an account
+	// deletion because accounts are never deleted.
+	sh.mu.Lock()
+	sh.balances[payeeAccount]++
+	sh.mu.Unlock()
 	return nil
 }
 
 // SpentCount reports how many coins have been settled.
 func (b *Bank) SpentCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	n := 0
 	b.spent.PrefixScan([]byte("spent:"), func(k, v []byte) bool { n++; return true })
 	return n

@@ -3,6 +3,8 @@ package payment
 import (
 	"crypto/rand"
 	"crypto/rsa"
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -14,7 +16,7 @@ var (
 	bankKey *rsa.PrivateKey
 )
 
-func testBank(t *testing.T) *Bank {
+func testKey(t testing.TB) *rsa.PrivateKey {
 	t.Helper()
 	keyOnce.Do(func() {
 		var err error
@@ -23,8 +25,13 @@ func testBank(t *testing.T) *Bank {
 			panic(err)
 		}
 	})
+	return bankKey
+}
+
+func testBank(t *testing.T) *Bank {
+	t.Helper()
 	st, _ := kvstore.Open("")
-	b, err := NewBank(bankKey, st)
+	b, err := NewBank(testKey(t), st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,5 +189,101 @@ func TestDepositToUnknownAccount(t *testing.T) {
 	b.CreateAccount("shop", 0)
 	if err := b.Deposit("shop", coins[0]); err != nil {
 		t.Errorf("coin burned by failed deposit: %v", err)
+	}
+}
+
+// TestConcurrentDepositSingleWinner is the regression test for the
+// check-then-act race the ledger CAS closed: of N concurrent deposits of
+// ONE coin, exactly one may credit, no matter which shards the payees
+// land in.
+func TestConcurrentDepositSingleWinner(t *testing.T) {
+	b := testBank(t)
+	b.CreateAccount("alice", 1)
+	coins, err := b.WithdrawCoins("alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const racers = 16
+	payees := make([]string, racers)
+	for i := range payees {
+		payees[i] = fmt.Sprintf("shop-%d", i) // spread across shards
+		if err := b.CreateAccount(payees[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Deposit(payees[i], coins[0])
+		}(i)
+	}
+	wg.Wait()
+
+	wins := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			wins++
+		case errors.Is(err, ErrDoubleSpend):
+		default:
+			t.Errorf("racer %d: unexpected error %v", i, err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("coin deposited %d times, want exactly 1", wins)
+	}
+	var credited int64
+	for _, p := range payees {
+		bal, err := b.Balance(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		credited += bal
+	}
+	if credited != 1 {
+		t.Fatalf("total credited = %d, want 1", credited)
+	}
+	if b.SpentCount() != 1 {
+		t.Fatalf("spent count = %d, want 1", b.SpentCount())
+	}
+}
+
+// TestShardCountInvariance: the shard count is a pure performance knob —
+// the same operation sequence yields the same balances at 1, 3 and 16
+// shards.
+func TestShardCountInvariance(t *testing.T) {
+	for _, shards := range []int{1, 3, 16} {
+		st, _ := kvstore.Open("")
+		b, err := NewBankSharded(testKey(t), st, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", b.Shards(), shards)
+		}
+		b.CreateAccount("a", 5)
+		b.CreateAccount("b", 0)
+		coins, err := b.WithdrawCoins("a", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range coins[:2] {
+			if err := b.Deposit("b", c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bal, _ := b.Balance("a"); bal != 2 {
+			t.Errorf("shards=%d: a = %d, want 2", shards, bal)
+		}
+		if bal, _ := b.Balance("b"); bal != 2 {
+			t.Errorf("shards=%d: b = %d, want 2", shards, bal)
+		}
+		if got := b.TotalBalance(); got != 4 {
+			t.Errorf("shards=%d: total = %d, want 4 (1 coin in flight)", shards, got)
+		}
 	}
 }

@@ -1,0 +1,179 @@
+package payment
+
+// Property-based tests for the sharded bank. The model checked is value
+// conservation: withdrawals remove exactly one credit into a coin,
+// deposits move exactly one coin back into a balance, and nothing else
+// moves money. Run under -race in CI (see the race targets in the
+// Makefile) so the shard locking is exercised, not just the arithmetic.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"p2drm/internal/kvstore"
+)
+
+// TestQuickSequentialConservation drives random single-threaded op
+// sequences against banks of random shard counts: every reachable state
+// must conserve total value against a plain model.
+func TestQuickSequentialConservation(t *testing.T) {
+	key := testKey(t)
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(7))}
+	f := func(seed int64, shardSel, nOps uint8) bool {
+		st, _ := kvstore.Open("")
+		shards := 1 + int(shardSel)%16
+		b, err := NewBankSharded(key, st, shards)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		const accounts, initial = 5, 10
+		for i := 0; i < accounts; i++ {
+			if err := b.CreateAccount(fmt.Sprintf("acct-%d", i), initial); err != nil {
+				return false
+			}
+		}
+		var outstanding []*Coin // withdrawn, not yet deposited
+		spent := 0
+		for i := 0; i < int(nOps)+10; i++ {
+			acct := fmt.Sprintf("acct-%d", r.Intn(accounts))
+			switch {
+			case r.Intn(3) != 0 || len(outstanding) == 0: // withdraw
+				coins, err := b.WithdrawCoins(acct, 1)
+				if err == ErrInsufficientFunds {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				outstanding = append(outstanding, coins[0])
+			default: // deposit a random outstanding coin
+				j := r.Intn(len(outstanding))
+				if err := b.Deposit(acct, outstanding[j]); err != nil {
+					return false
+				}
+				outstanding = append(outstanding[:j], outstanding[j+1:]...)
+				spent++
+			}
+			if got, want := b.TotalBalance(), int64(accounts*initial-len(outstanding)); got != want {
+				t.Logf("seed %d op %d: total %d want %d (outstanding %d)", seed, i, got, want, len(outstanding))
+				return false
+			}
+		}
+		// Every outstanding coin deposits exactly once; replays fail.
+		for _, c := range outstanding {
+			if err := b.Deposit("acct-0", c); err != nil {
+				return false
+			}
+			if err := b.Deposit("acct-1", c); err != ErrDoubleSpend {
+				return false
+			}
+			spent++
+		}
+		return b.TotalBalance() == accounts*initial && b.SpentCount() == spent
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentConservationAcrossShards interleaves Withdraw and
+// Deposit from many goroutines over accounts spread across every shard:
+// at quiescence total value is conserved, every coin settled exactly
+// once, and double-spend attempts all lose.
+func TestConcurrentConservationAcrossShards(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			st, _ := kvstore.Open("")
+			b, err := NewBankSharded(testKey(t), st, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers, opsPerWorker, accounts, initial = 8, 12, 8, 40
+			for i := 0; i < accounts; i++ {
+				if err := b.CreateAccount(fmt.Sprintf("acct-%d", i), initial); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var (
+				withdrawn atomic.Int64
+				deposited atomic.Int64
+				doubles   atomic.Int64
+				coinCh    = make(chan *Coin, workers*opsPerWorker)
+				spentOnce = make(chan *Coin, workers*opsPerWorker)
+				wg        sync.WaitGroup
+			)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < opsPerWorker; i++ {
+						from := fmt.Sprintf("acct-%d", r.Intn(accounts))
+						to := fmt.Sprintf("acct-%d", r.Intn(accounts))
+						coins, err := b.WithdrawCoins(from, 1)
+						if err == ErrInsufficientFunds {
+							continue
+						}
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						withdrawn.Add(1)
+						coinCh <- coins[0]
+						// Deposit someone's coin, racing a second
+						// deposit of the same coin half the time.
+						c := <-coinCh
+						dep := func() {
+							switch err := b.Deposit(to, c); {
+							case err == nil:
+								deposited.Add(1)
+								spentOnce <- c
+							case err == ErrDoubleSpend:
+								doubles.Add(1)
+							default:
+								t.Error(err)
+							}
+						}
+						if r.Intn(2) == 0 {
+							var race sync.WaitGroup
+							race.Add(2)
+							go func() { defer race.Done(); dep() }()
+							go func() { defer race.Done(); dep() }()
+							race.Wait()
+						} else {
+							dep()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(coinCh)
+			close(spentOnce)
+
+			unspent := int64(len(coinCh))
+			if got, want := b.TotalBalance(), int64(accounts*initial)-unspent; got != want {
+				t.Errorf("total = %d, want %d (withdrawn %d, deposited %d, in flight %d)",
+					got, want, withdrawn.Load(), deposited.Load(), unspent)
+			}
+			if deposited.Load()+unspent != withdrawn.Load() {
+				t.Errorf("coins leaked: withdrawn %d != deposited %d + unspent %d",
+					withdrawn.Load(), deposited.Load(), unspent)
+			}
+			if int64(b.SpentCount()) != deposited.Load() {
+				t.Errorf("ledger %d entries, %d successful deposits", b.SpentCount(), deposited.Load())
+			}
+			// Replaying every settled coin must lose.
+			for c := range spentOnce {
+				if err := b.Deposit("acct-0", c); err != ErrDoubleSpend {
+					t.Errorf("replayed coin: err = %v, want ErrDoubleSpend", err)
+				}
+			}
+			t.Logf("withdrawn %d, deposited %d, raced doubles rejected %d", withdrawn.Load(), deposited.Load(), doubles.Load())
+		})
+	}
+}

@@ -346,3 +346,137 @@ func TestConcurrentExchangeSingleWinner(t *testing.T) {
 		t.Fatalf("license exchanged %d times, want exactly 1", wins)
 	}
 }
+
+// exchangeAttempt builds a valid (nonce, proof, blinded) triple for
+// exchanging lic held by pseudonym holderIdx.
+func exchangeAttempt(t *testing.T, w *world, lic *license.Personalized, holderIdx uint32) ExchangeItem {
+	t.Helper()
+	ctx := context.Background()
+	denomPub, denomID, err := w.prov.DenomPublic(lic.ContentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := license.NewSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blinded, _, err := rsablind.Blind(denomPub, license.AnonymousSigningBytes(serial, denomID), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, err := w.prov.Challenge(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := w.card.Prove(holderIdx, ExchangeContext(nonce, lic.Serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ExchangeItem{License: lic, Proof: proof, Nonce: nonce, Blinded: blinded}
+}
+
+func TestExchangeBatch(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+
+	const n = 4
+	items := make([]ExchangeItem, n)
+	for i := range items {
+		items[i] = exchangeAttempt(t, w, w.buy(t, 0), 0)
+	}
+	// Slot 2 presents the same license as slot 1: exactly one of the two
+	// may win, the rest of the batch is unaffected.
+	items[2] = exchangeAttempt(t, w, items[1].License, 0)
+
+	results := w.prov.ExchangeBatch(ctx, items)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	dupWins := 0
+	for i, res := range results {
+		if i == 1 || i == 2 {
+			switch {
+			case res.Err == nil:
+				dupWins++
+			case errors.Is(res.Err, ErrLicenseRevoked):
+			default:
+				t.Errorf("dup slot %d: unexpected error %v", i, res.Err)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Errorf("slot %d: %v", i, res.Err)
+		} else if len(res.BlindSig) == 0 {
+			t.Errorf("slot %d: empty blind signature", i)
+		}
+	}
+	if dupWins != 1 {
+		t.Fatalf("duplicate license exchanged %d times in one batch, want exactly 1", dupWins)
+	}
+
+	// A cancelled context fails the whole batch fast.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, res := range w.prov.ExchangeBatch(cancelled, items[:2]) {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("cancelled batch result %d: err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+	if len(w.prov.ExchangeBatch(ctx, nil)) != 0 {
+		t.Error("empty batch returned results")
+	}
+}
+
+func TestRedeemBatch(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	g := w.prov.Group()
+
+	const n = 3
+	items := make([]RedeemItem, n+1)
+	for i := 0; i < n; i++ {
+		anon := anonFor(t, w, w.buy(t, 0), 0)
+		card, err := smartcard.NewRandom(schnorr.Group768())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, _ := card.Pseudonym(0)
+		nonce, _ := w.prov.Challenge(ctx)
+		proof, _ := card.Prove(0, RegisterContext(nonce))
+		if err := w.prov.Register(ctx, ps.SignPublic(g), ps.EncPublic(g), proof, nonce); err != nil {
+			t.Fatal(err)
+		}
+		items[i] = RedeemItem{Anonymous: anon, SignPub: ps.SignPublic(g), EncPub: ps.EncPublic(g)}
+	}
+	// Slot n replays slot 0's serial: the durable CAS must admit exactly
+	// one of the two within the single batch.
+	items[n] = RedeemItem{Anonymous: items[0].Anonymous, SignPub: items[1].SignPub, EncPub: items[1].EncPub}
+
+	results := w.prov.RedeemBatch(ctx, items)
+	if len(results) != n+1 {
+		t.Fatalf("got %d results, want %d", len(results), n+1)
+	}
+	dupWins := 0
+	for i, res := range results {
+		if i == 0 || i == n {
+			switch {
+			case res.Err == nil:
+				dupWins++
+			case errors.Is(res.Err, ErrAlreadyRedeemed):
+			default:
+				t.Errorf("dup slot %d: unexpected error %v", i, res.Err)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Errorf("slot %d: %v", i, res.Err)
+			continue
+		}
+		if err := license.VerifyPersonalized(w.prov.Public(), res.License); err != nil {
+			t.Errorf("slot %d: invalid license: %v", i, err)
+		}
+	}
+	if dupWins != 1 {
+		t.Fatalf("duplicate serial redeemed %d times in one batch, want exactly 1", dupWins)
+	}
+}

@@ -493,22 +493,20 @@ type BatchResult struct {
 	Err     error
 }
 
-// IssueBatch settles a slice of purchases on a bounded worker pool and
-// returns per-request outcomes in request order. Each purchase succeeds
-// or fails independently; a cancelled context fails the requests that
-// have not started crypto yet. The pool exists to amortize scheduling
-// and lock overhead for bulk clients (storefront checkout carts, load
-// generators). Parallelism is bounded provider-wide by batchSlots, so
-// any number of concurrent IssueBatch calls together use at most
-// GOMAXPROCS crypto workers and cannot starve single-request traffic.
-func (p *Provider) IssueBatch(ctx context.Context, reqs []PurchaseRequest) []BatchResult {
-	results := make([]BatchResult, len(reqs))
-	if len(reqs) == 0 {
-		return results
+// runBatch drives do(i) for every index in [0, n) on a bounded worker
+// pool. Parallelism is bounded provider-wide by batchSlots, so any number
+// of concurrent batch calls (purchase, exchange, redeem) together use at
+// most GOMAXPROCS crypto workers and cannot starve single-request
+// traffic. Indexes whose slot acquisition loses to context cancellation
+// are reported through fail instead — don't queue for crypto on behalf
+// of a caller that is already gone.
+func (p *Provider) runBatch(ctx context.Context, n int, do func(i int), fail func(i int, err error)) {
+	if n == 0 {
+		return
 	}
 	workers := cap(p.batchSlots)
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if workers > n {
+		workers = n
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -517,25 +515,101 @@ func (p *Provider) IssueBatch(ctx context.Context, reqs []PurchaseRequest) []Bat
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				// Don't queue for crypto slots on behalf of a caller
-				// that is already gone.
 				select {
 				case p.batchSlots <- struct{}{}:
 				case <-ctx.Done():
-					results[i] = BatchResult{Err: ctx.Err()}
+					fail(i, ctx.Err())
 					continue
 				}
-				lic, err := p.Purchase(ctx, reqs[i])
+				do(i)
 				<-p.batchSlots
-				results[i] = BatchResult{License: lic, Err: err}
 			}
 		}()
 	}
-	for i := range reqs {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// IssueBatch settles a slice of purchases on the shared worker pool and
+// returns per-request outcomes in request order. Each purchase succeeds
+// or fails independently; a cancelled context fails the requests that
+// have not started crypto yet. The pool exists to amortize scheduling
+// and lock overhead for bulk clients (storefront checkout carts, load
+// generators).
+func (p *Provider) IssueBatch(ctx context.Context, reqs []PurchaseRequest) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	p.runBatch(ctx, len(reqs),
+		func(i int) {
+			lic, err := p.Purchase(ctx, reqs[i])
+			results[i] = BatchResult{License: lic, Err: err}
+		},
+		func(i int, err error) { results[i] = BatchResult{Err: err} })
+	return results
+}
+
+// ExchangeItem is one ExchangeBatch entry, mirroring Exchange's
+// arguments: a live license, an ownership proof bound to a fresh nonce,
+// and the blinded anonymous serial to sign.
+type ExchangeItem struct {
+	License *license.Personalized
+	Proof   *schnorr.Proof
+	Nonce   string
+	Blinded []byte
+}
+
+// ExchangeBatchResult is one ExchangeBatch outcome: exactly one of
+// BlindSig and Err is set.
+type ExchangeBatchResult struct {
+	BlindSig []byte
+	Err      error
+}
+
+// ExchangeBatch retires a slice of licenses on the shared worker pool,
+// pairing purchase batching on the deposit side: bulk wallets retire a
+// day's licenses in one call. Outcomes come back in request order; each
+// item keeps Exchange's single-winner and revoke-before-sign semantics.
+func (p *Provider) ExchangeBatch(ctx context.Context, items []ExchangeItem) []ExchangeBatchResult {
+	results := make([]ExchangeBatchResult, len(items))
+	p.runBatch(ctx, len(items),
+		func(i int) {
+			it := items[i]
+			sig, err := p.Exchange(ctx, it.License, it.Proof, it.Nonce, it.Blinded)
+			results[i] = ExchangeBatchResult{BlindSig: sig, Err: err}
+		},
+		func(i int, err error) { results[i] = ExchangeBatchResult{Err: err} })
+	return results
+}
+
+// RedeemItem is one RedeemBatch entry, mirroring Redeem's arguments.
+type RedeemItem struct {
+	Anonymous *license.Anonymous
+	SignPub   []byte
+	EncPub    []byte
+}
+
+// RedeemBatchResult is one RedeemBatch outcome: exactly one of License
+// and Err is set.
+type RedeemBatchResult struct {
+	License *license.Personalized
+	Err     error
+}
+
+// RedeemBatch redeems a slice of anonymous licenses on the shared worker
+// pool. Outcomes come back in request order; the durable redeemed-serial
+// CAS still guarantees a single winner per serial, even when the same
+// serial appears twice in one batch.
+func (p *Provider) RedeemBatch(ctx context.Context, items []RedeemItem) []RedeemBatchResult {
+	results := make([]RedeemBatchResult, len(items))
+	p.runBatch(ctx, len(items),
+		func(i int) {
+			it := items[i]
+			lic, err := p.Redeem(ctx, it.Anonymous, it.SignPub, it.EncPub)
+			results[i] = RedeemBatchResult{License: lic, Err: err}
+		},
+		func(i int, err error) { results[i] = RedeemBatchResult{Err: err} })
 	return results
 }
 

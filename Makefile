@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fuzz-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke fuzz-smoke kv-crash fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ bench:
 # One iteration per benchmark: proves they compile and run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkT1_ -benchtime=1x ./...
-	$(GO) test -run=NONE -bench='BenchmarkT3_(Purchase|Exchange|Deposit)' -benchtime=1x .
+	$(GO) test -run=NONE -bench='BenchmarkT3_(Purchase|Exchange|Deposit|Get|PutIfAbsent)' -benchtime=1x .
 
 # Short-deadline go-native fuzzing (one -fuzz target per package run):
 # corrupted WAL tails and license encodings must error, never panic or
@@ -32,6 +32,12 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/kvstore
 	$(GO) test -run=NONE -fuzz=FuzzLicenseCodec -fuzztime=10s ./internal/license
+
+# Subprocess crash/compaction suite: SIGKILL mid-group-commit, mid-
+# segment-roll and mid-incremental-compaction; -count=2 reruns each
+# scenario so the kill lands at different log positions.
+kv-crash:
+	$(GO) test -run 'TestCrashRecovery' -count=2 ./internal/kvstore
 
 fmt:
 	gofmt -w .
@@ -44,4 +50,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke
+ci: build vet fmt-check test race bench-smoke fuzz-smoke kv-crash

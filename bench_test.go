@@ -9,6 +9,7 @@ import (
 	"context"
 	"crypto/rand"
 	"crypto/rsa"
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
@@ -487,6 +488,75 @@ func BenchmarkT3_DepositParallel(b *testing.B) {
 				})
 			})
 		}
+	}
+}
+
+// BenchmarkT3_GetParallel sweeps the kvstore's index-shard count under
+// 8-way parallel reads against a preloaded in-memory store (disk is out
+// of the picture on purpose: this family measures index lock contention,
+// the bottleneck ROADMAP named after PR 2 batched the fsyncs).
+func BenchmarkT3_GetParallel(b *testing.B) {
+	const nKeys = 1 << 15
+	keys := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("serial-%08d", i))
+	}
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards_%d", shards), func(b *testing.B) {
+			s, err := kvstore.OpenWith("", kvstore.Options{IndexShards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, k := range keys {
+				if err := s.Put(k, []byte("v")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var ctr atomic.Int64
+			b.SetParallelism(8) // ≥4-way even on few cores
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(ctr.Add(1)) * 7919 // spread goroutines across keys
+				for pb.Next() {
+					if _, ok := s.Get(keys[i%nKeys]); !ok {
+						b.Error("preloaded key missing")
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkT3_PutIfAbsentParallel is the contention sweep for the
+// double-spend gate: 8 writers hammering the CAS primitive on disjoint
+// keys (the serving pattern — every coin serial is unique; same-key
+// races are rare). In-memory store: the sweep isolates shard-lock
+// contention from fsync policy, which T3_DepositParallel already covers.
+func BenchmarkT3_PutIfAbsentParallel(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards_%d", shards), func(b *testing.B) {
+			s, err := kvstore.OpenWith("", kvstore.Options{IndexShards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ctr atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var key [16]byte
+				for pb.Next() {
+					n := ctr.Add(1)
+					binary.BigEndian.PutUint64(key[:8], uint64(n))
+					ok, err := s.PutIfAbsent(key[:], []byte{1})
+					if err != nil || !ok {
+						b.Errorf("CAS winner lost its unique key: ok=%v err=%v", ok, err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	p2drmd -addr :8474 -state /var/lib/p2drm -rsa-bits 2048 -seed-demo \
-//	       -bank-shards 16 -wal-group-commit
+//	       -bank-shards 16 -wal-group-commit \
+//	       -kv-index-shards 16 -kv-segment-bytes 67108864
 //
 // With -seed-demo the catalog is populated with a few items and a funded
 // demo bank account ("demo", 100 credits), so the p2drm CLI works out of
@@ -17,6 +18,13 @@
 // sharing each fsync. Disabling it falls back to flush-on-write /
 // fsync-on-close (faster for single-user demos, loses the tail on an OS
 // crash).
+//
+// -kv-index-shards sizes the kvstore's lock-striped in-memory index
+// (rounded up to a power of two) and -kv-segment-bytes caps one WAL
+// segment file; stores with a state directory roll segments at that size
+// and compact them incrementally in the background. GET /v1/stats
+// reports the resulting engine shape (segments, live keys, dead bytes,
+// compactions) per store.
 package main
 
 import (
@@ -49,13 +57,24 @@ func main() {
 		seedDemo   = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
 		bankShards = flag.Int("bank-shards", payment.DefaultBankShards, "bank balance-shard count")
 		groupWAL   = flag.Bool("wal-group-commit", true, "fsync durable stores via group commit (off = fsync only on close)")
+		kvShards   = flag.Int("kv-index-shards", kvstore.DefaultIndexShards, "kvstore index lock-stripe count (rounded up to a power of two)")
+		kvSegBytes = flag.Int64("kv-segment-bytes", kvstore.DefaultSegmentBytes, "kvstore WAL segment size cap in bytes")
 	)
 	flag.Parse()
 
-	walOpts := kvstore.Options{Sync: kvstore.SyncOnClose}
+	walOpts := kvstore.Options{
+		Sync:         kvstore.SyncOnClose,
+		IndexShards:  *kvShards,
+		SegmentBytes: *kvSegBytes,
+		// Reclaim dead segment bytes continuously; compaction never
+		// blocks request-path writers.
+		CompactEvery: 30 * time.Second,
+	}
 	if *groupWAL {
 		walOpts.Sync = kvstore.SyncGroupCommit
 	}
+	log.Printf("p2drmd: bank-shards=%d wal-group-commit=%v kv-index-shards=%d kv-segment-bytes=%d kv-compact-every=%s",
+		*bankShards, *groupWAL, *kvShards, *kvSegBytes, walOpts.CompactEvery)
 
 	group := schnorr.Group2048()
 	bits := *rsaBits
@@ -145,8 +164,10 @@ valid until "2030-01-01T00:00:00Z";
 	defer stop()
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: httpapi.NewServer(prov).WithBank(bank),
+		Addr: *addr,
+		Handler: httpapi.NewServer(prov).WithBank(bank).
+			WithStoreStats("provider", store).
+			WithStoreStats("bank", spent),
 	}
 	// closeStores syncs the WALs; every serving-phase exit path must run
 	// it — under -wal-group-commit=false the stores only fsync on Close,

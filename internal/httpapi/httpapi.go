@@ -17,6 +17,7 @@
 //	POST /v1/redeem
 //	POST /v1/redeem/batch
 //	GET  /v1/revocation/filter
+//	GET  /v1/stats
 //
 // The three batch endpoints share one shape: up to maxBatchItems slots,
 // per-slot outcomes in request order (a malformed or failed slot never
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/kvstore"
 	"p2drm/internal/license"
 	"p2drm/internal/payment"
 	"p2drm/internal/provider"
@@ -50,6 +52,9 @@ type Server struct {
 	Provider *provider.Provider
 	Bank     *payment.Bank
 	mux      *http.ServeMux
+	// stores are the kvstore instances surfaced by GET /v1/stats, keyed
+	// by a human-readable name (registered before serving starts).
+	stores map[string]*kvstore.Store
 }
 
 // NewServer builds the handler tree.
@@ -67,6 +72,7 @@ func NewServer(p *provider.Provider) *Server {
 	s.mux.HandleFunc("POST /v1/redeem", s.handleRedeem)
 	s.mux.HandleFunc("POST /v1/redeem/batch", s.handleRedeemBatch)
 	s.mux.HandleFunc("GET /v1/revocation/filter", s.handleFilter)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/provider/key", s.handleProviderKey)
 	s.mux.HandleFunc("GET /v1/bank/coinkey", s.handleCoinKey)
 	s.mux.HandleFunc("POST /v1/bank/account", s.handleBankAccount)
@@ -77,6 +83,16 @@ func NewServer(p *provider.Provider) *Server {
 // WithBank attaches a demo bank.
 func (s *Server) WithBank(b *payment.Bank) *Server {
 	s.Bank = b
+	return s
+}
+
+// WithStoreStats registers a kvstore under name for GET /v1/stats.
+// Call before serving starts (registration is not synchronized).
+func (s *Server) WithStoreStats(name string, st *kvstore.Store) *Server {
+	if s.stores == nil {
+		s.stores = make(map[string]*kvstore.Store)
+	}
+	s.stores[name] = st
 	return s
 }
 
@@ -343,6 +359,13 @@ type FilterResponse struct {
 	Filter   string    `json:"filter"`
 	IssuedAt time.Time `json:"issued_at"`
 	Sig      string    `json:"sig"`
+}
+
+// StatsResponse reports per-store kvstore engine statistics (segments,
+// live keys, dead bytes, compactions), keyed by the name each store was
+// registered under.
+type StatsResponse struct {
+	Stores map[string]kvstore.Stats `json:"stores"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -661,6 +684,14 @@ func (s *Server) handleRedeemBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Stores: make(map[string]kvstore.Stats, len(s.stores))}
+	for name, st := range s.stores {
+		resp.Stores[name] = st.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	sf, err := s.Provider.RevocationFilter()
 	if err != nil {
@@ -960,6 +991,15 @@ func (c *Client) RedeemBatch(items []BatchRedeem) ([]*license.Personalized, []er
 		}
 	}
 	return lics, errs, nil
+}
+
+// Stats fetches the daemon's kvstore engine statistics.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.get("/v1/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // RevocationFilter fetches and reassembles the signed filter.

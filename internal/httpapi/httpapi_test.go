@@ -400,3 +400,55 @@ func TestBatchEndpointsRejectBadSizes(t *testing.T) {
 		t.Errorf("want one per-slot error, got %+v", out.Results)
 	}
 }
+
+// TestStatsEndpoint: GET /v1/stats reports the registered stores'
+// kvstore engine statistics through the client SDK.
+func TestStatsEndpoint(t *testing.T) {
+	pk, bk := keys()
+	dir := t.TempDir()
+	store, err := kvstore.OpenWith(dir, kvstore.Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	mem, _ := kvstore.Open("")
+	bank, err := payment.NewBank(bk, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank.CreateAccount("provider", 0)
+	prov, err := provider.New(provider.Config{
+		Group: schnorr.Group768(), SignerKey: pk, DenomKeyBits: 1024,
+		Store: store, Bank: bank, BankAccount: "provider",
+		Clock: func() time.Time { return time.Date(2004, 11, 1, 0, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(prov).
+		WithStoreStats("provider", store).
+		WithStoreStats("bank", mem))
+	t.Cleanup(srv.Close)
+	client := NewClient(srv.URL, schnorr.Group768())
+
+	if err := store.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Stores) != 2 {
+		t.Fatalf("stats for %d stores, want 2", len(resp.Stores))
+	}
+	ps, ok := resp.Stores["provider"]
+	if !ok {
+		t.Fatal("provider store missing from stats")
+	}
+	if ps.Segments < 1 || ps.LiveKeys < 1 || ps.IndexShards != kvstore.DefaultIndexShards {
+		t.Errorf("provider stats implausible: %+v", ps)
+	}
+	if bs := resp.Stores["bank"]; bs.Segments != 0 {
+		t.Errorf("in-memory bank store reports %d segments, want 0", bs.Segments)
+	}
+}

@@ -1,22 +1,29 @@
 package kvstore
 
 // Crash-recovery harness: TestMain re-execs the test binary as a writer
-// child that is SIGKILLed mid-group-commit, then the parent replays the
-// WAL and checks the two durability invariants the payment layer builds
-// on:
+// child that is SIGKILLed mid-flight, then the parent replays the log and
+// checks the durability invariants the payment layer builds on:
 //
 //  1. Acknowledged writes survive: every key the child reported AFTER its
-//     durable Put returned must be present after replay (a spent-serial
-//     is never lost once Deposit returned nil).
+//     durable PutIfAbsent returned must be present after replay (a
+//     spent-serial is never lost once Deposit returned nil).
 //  2. Ordering: the child writes "spent:X" durably before "credit:X", so
 //     replay may show a spent mark without its credit (lost credit, safe)
 //     but never a credit without its spent mark (minted money, unsafe).
+//  3. Compaction transparency: compacting whatever the crash left behind
+//     and reopening yields byte-for-byte the same live set.
+//
+// Three scenarios steer WHERE the SIGKILL lands: one big segment (kill
+// mid-group-commit), tiny segments (kill mid-roll — the child rolls
+// constantly), and tiny segments with a compaction loop (kill
+// mid-CompactStep, racing the rename/delete swaps).
 
 import (
 	"bufio"
 	"fmt"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -24,8 +31,10 @@ import (
 )
 
 const (
-	crashChildEnv = "KVSTORE_CRASH_CHILD"
-	crashDirEnv   = "KVSTORE_CRASH_DIR"
+	crashChildEnv    = "KVSTORE_CRASH_CHILD"
+	crashDirEnv      = "KVSTORE_CRASH_DIR"
+	crashSegBytesEnv = "KVSTORE_CRASH_SEGBYTES"
+	crashCompactEnv  = "KVSTORE_CRASH_COMPACT"
 )
 
 func TestMain(m *testing.M) {
@@ -39,15 +48,32 @@ func TestMain(m *testing.M) {
 // crashChildMain loops durable writes until the parent kills the process.
 // Each iteration: PutIfAbsent("spent:<id>") with a group-commit durability
 // wait, ACK the id on stdout, then Put("credit:<id>") — the same ordering
-// payment.Bank.Deposit uses.
+// payment.Bank.Deposit uses — plus an overwritten "hot:<g>" key so sealed
+// segments accumulate garbage for the compactor. With KVSTORE_CRASH_COMPACT
+// a goroutine runs CompactStep continuously, so the kill can land inside a
+// segment rewrite or swap.
 func crashChildMain() {
 	// Suicide watchdog: never outlive a parent that forgot to kill us.
 	time.AfterFunc(30*time.Second, func() { os.Exit(3) })
 
-	s, err := OpenWith(os.Getenv(crashDirEnv), Options{Sync: SyncGroupCommit})
+	opts := Options{Sync: SyncGroupCommit}
+	if sb, err := strconv.ParseInt(os.Getenv(crashSegBytesEnv), 10, 64); err == nil && sb > 0 {
+		opts.SegmentBytes = sb
+	}
+	s, err := OpenWith(os.Getenv(crashDirEnv), opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "child open: %v\n", err)
 		os.Exit(2)
+	}
+	if os.Getenv(crashCompactEnv) == "1" {
+		go func() {
+			for {
+				if _, err := s.CompactStep(); err != nil {
+					fmt.Fprintf(os.Stderr, "child compact: %v\n", err)
+					os.Exit(2)
+				}
+			}
+		}()
 	}
 	var mu sync.Mutex // serializes ACK lines
 	var wg sync.WaitGroup
@@ -70,61 +96,123 @@ func crashChildMain() {
 					fmt.Fprintf(os.Stderr, "child credit: %v\n", err)
 					os.Exit(2)
 				}
+				// Churn: the hot key is overwritten every iteration, so
+				// old segments are mostly dead bytes.
+				if err := s.Put([]byte(fmt.Sprintf("hot:%d", g)), []byte(id)); err != nil {
+					fmt.Fprintf(os.Stderr, "child hot: %v\n", err)
+					os.Exit(2)
+				}
 			}
 		}(g)
 	}
 	wg.Wait()
 }
 
-func TestCrashRecoveryGroupCommit(t *testing.T) {
+func TestCrashRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess crash test skipped in -short mode")
 	}
-	dir := t.TempDir()
-	cmd := exec.Command(os.Args[0], "-test.run=^$")
-	cmd.Env = append(os.Environ(), crashChildEnv+"=1", crashDirEnv+"="+dir)
-	cmd.Stderr = os.Stderr
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
+	for _, tc := range []struct {
+		name     string
+		segBytes int64 // 0 = default (one big segment)
+		compact  bool
+	}{
+		{"group_commit", 0, false},
+		{"segment_roll", 2048, false},
+		{"mid_compaction", 2048, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run=^$")
+			cmd.Env = append(os.Environ(),
+				crashChildEnv+"=1",
+				crashDirEnv+"="+dir,
+				crashSegBytesEnv+"="+strconv.FormatInt(tc.segBytes, 10))
+			if tc.compact {
+				cmd.Env = append(cmd.Env, crashCompactEnv+"=1")
+			}
+			cmd.Stderr = os.Stderr
+			stdout, err := cmd.StdoutPipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
 
-	// Collect ACKs until we have a healthy sample or a deadline passes,
-	// then SIGKILL the child mid-commit (its writers never stop, so the
-	// kill lands with appends and an fsync in flight).
-	acked := make([]string, 0, 512)
-	sc := bufio.NewScanner(stdout)
-	deadline := time.Now().Add(10 * time.Second)
-	for len(acked) < 200 && time.Now().Before(deadline) && sc.Scan() {
-		line := sc.Text()
-		if id, ok := strings.CutPrefix(line, "ack "); ok {
-			acked = append(acked, id)
-		}
-	}
-	if err := cmd.Process.Kill(); err != nil {
-		t.Logf("kill: %v (child may have exited)", err)
-	}
-	// Drain remaining ACKs: every line the child managed to print was
-	// preceded by a durable return, so they all count.
-	for sc.Scan() {
-		if id, ok := strings.CutPrefix(sc.Text(), "ack "); ok {
-			acked = append(acked, id)
-		}
-	}
-	cmd.Wait() // expected: signal: killed
-	if len(acked) == 0 {
-		t.Fatal("child produced no acknowledged writes before being killed")
-	}
+			// Collect ACKs until we have a healthy sample or a deadline
+			// passes, then SIGKILL the child mid-commit (its writers never
+			// stop, so the kill lands with appends, rolls and — in the
+			// compaction scenario — segment swaps in flight).
+			acked := make([]string, 0, 512)
+			sc := bufio.NewScanner(stdout)
+			deadline := time.Now().Add(10 * time.Second)
+			for len(acked) < 200 && time.Now().Before(deadline) && sc.Scan() {
+				line := sc.Text()
+				if id, ok := strings.CutPrefix(line, "ack "); ok {
+					acked = append(acked, id)
+				}
+			}
+			if err := cmd.Process.Kill(); err != nil {
+				t.Logf("kill: %v (child may have exited)", err)
+			}
+			// Drain remaining ACKs: every line the child managed to print
+			// was preceded by a durable return, so they all count.
+			for sc.Scan() {
+				if id, ok := strings.CutPrefix(sc.Text(), "ack "); ok {
+					acked = append(acked, id)
+				}
+			}
+			cmd.Wait() // expected: signal: killed
+			if len(acked) == 0 {
+				t.Fatal("child produced no acknowledged writes before being killed")
+			}
 
-	s, err := Open(dir)
-	if err != nil {
-		t.Fatalf("replay after crash: %v", err)
-	}
-	defer s.Close()
+			s, err := Open(dir)
+			if err != nil {
+				t.Fatalf("replay after crash: %v", err)
+			}
+			verifyInvariants(t, s, acked)
+			if tc.segBytes > 0 {
+				if st := s.Stats(); st.Segments < 2 {
+					t.Errorf("scenario expected multiple segments, got %d", st.Segments)
+				}
+			}
+			// The recovered store must be fully writable.
+			if err := s.Put([]byte("post-crash"), []byte{1}); err != nil {
+				t.Fatalf("store not writable after crash recovery: %v", err)
+			}
 
+			// Invariant 3: compacting whatever the crash left behind is
+			// invisible — the fully-compacted log replays to the same
+			// live set.
+			want := snapshotMap(s)
+			if err := s.Compact(); err != nil {
+				t.Fatalf("compact recovered log: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen after compaction: %v", err)
+			}
+			defer s2.Close()
+			got := snapshotMap(s2)
+			if len(got) != len(want) {
+				t.Fatalf("compacted replay has %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Errorf("compacted replay: %q = %q, want %q", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func verifyInvariants(t *testing.T, s *Store, acked []string) {
+	t.Helper()
 	// Invariant 1: no acknowledged spent-serial is lost.
 	for _, id := range acked {
 		if !s.Has([]byte("spent:" + id)) {
@@ -141,11 +229,15 @@ func TestCrashRecoveryGroupCommit(t *testing.T) {
 		}
 		return true
 	})
-	t.Logf("crash test: %d acked writes, %d credits replayed, store len %d",
-		len(acked), credits, s.Len())
+	t.Logf("crash test: %d acked writes, %d credits replayed, store len %d, %d segments",
+		len(acked), credits, s.Len(), s.Stats().Segments)
+}
 
-	// The recovered store must be fully writable.
-	if err := s.Put([]byte("post-crash"), []byte{1}); err != nil {
-		t.Fatalf("store not writable after crash recovery: %v", err)
-	}
+func snapshotMap(s *Store) map[string]string {
+	out := make(map[string]string)
+	s.ForEach(func(k, v []byte) bool {
+		out[string(k)] = string(v)
+		return true
+	})
+	return out
 }

@@ -5,18 +5,19 @@ import (
 	"bytes"
 	"fmt"
 	"os"
-	"path/filepath"
 	"testing"
 )
 
-// FuzzWALReplay feeds arbitrary bytes in as the tail of a WAL holding a
-// known committed prefix. Invariants:
+// FuzzWALReplay feeds arbitrary bytes in as the tail of a MULTI-SEGMENT
+// log holding a known committed prefix (SegmentBytes is tiny, so the
+// prefix spans several sealed segments plus the active one). Invariants:
 //
-//   - Open never panics and never errors on content corruption (a torn
-//     or corrupt tail is truncated, not fatal).
+//   - Open never panics and never errors on tail corruption of the last
+//     segment (a torn or corrupt tail there is truncated, not fatal).
 //   - Committed entries are never silently dropped: unless the tail
 //     itself decodes as valid records (which could legitimately
-//     overwrite or delete), every prefix key must replay intact.
+//     overwrite or delete), every prefix key must replay intact —
+//     including the ones in sealed segments before the corrupted one.
 //   - The recovered store is writable and survives a clean reopen.
 func FuzzWALReplay(f *testing.F) {
 	// Seed corpus: empty tail, garbage, a truncated valid record, and a
@@ -31,12 +32,14 @@ func FuzzWALReplay(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, tail []byte) {
 		dir := t.TempDir()
-		s, err := Open(dir)
+		// ~34-byte records against a 64-byte cap: every couple of puts
+		// rolls a segment.
+		s, err := OpenWith(dir, Options{SegmentBytes: 64})
 		if err != nil {
 			t.Fatal(err)
 		}
 		committed := map[string]string{}
-		for i := 0; i < 5; i++ {
+		for i := 0; i < 8; i++ {
 			k, v := fmt.Sprintf("committed-%d", i), fmt.Sprintf("val-%d", i)
 			if err := s.Put([]byte(k), []byte(v)); err != nil {
 				t.Fatal(err)
@@ -46,8 +49,15 @@ func FuzzWALReplay(f *testing.F) {
 		if err := s.Close(); err != nil {
 			t.Fatal(err)
 		}
-		path := filepath.Join(dir, "wal.log")
-		wal, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		ids, err := listSegmentIDs(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) < 2 {
+			t.Fatalf("prefix spans %d segments, want >=2", len(ids))
+		}
+		lastPath := fmt.Sprintf("%s/%s", dir, segmentName(ids[len(ids)-1]))
+		wal, err := os.OpenFile(lastPath, os.O_APPEND|os.O_WRONLY, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,9 +88,13 @@ func FuzzWALReplay(f *testing.F) {
 			}
 		}
 		// Recovery must leave a writable store whose state survives a
-		// clean close/reopen cycle.
+		// clean close/reopen cycle — and compaction of the recovered log
+		// must be invisible.
 		if err := s2.Put([]byte("post"), []byte("recovery")); err != nil {
 			t.Fatalf("recovered store not writable: %v", err)
+		}
+		if _, err := s2.CompactStep(); err != nil {
+			t.Fatalf("CompactStep on recovered store: %v", err)
 		}
 		want := s2.Len()
 		if err := s2.Close(); err != nil {

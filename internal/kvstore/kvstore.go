@@ -1,17 +1,35 @@
-// Package kvstore implements the embedded key-value store that backs every
+// Package kvstore implements the embedded storage engine that backs every
 // stateful P2DRM party: the provider's pseudonym registry, license ledger
 // and redeemed-serial list, the payment bank's double-spend ledger, and the
 // client wallet.
 //
-// The design is a write-ahead log with an in-memory index:
+// The design is a segmented write-ahead log under a sharded in-memory
+// index:
 //
+//   - The index is split into N lock-striped shards (Options.IndexShards,
+//     key-hash → shard), so Get/Has/Put/PutIfAbsent on different keys
+//     never contend on one mutex. Per-key operations take exactly one
+//     shard lock; batches lock their shards in index order.
 //   - Every mutation is appended to the log as a CRC-framed record before
 //     it is applied to the index, so a crash never loses acknowledged
 //     writes and never exposes half-applied batches.
-//   - Open replays the log; a torn tail (partial final record from a
-//     crash mid-write) is detected by CRC/length and truncated away.
-//   - Compact rewrites the live set into a fresh log and atomically swaps
-//     it in, bounding disk growth under churn.
+//   - The log is a sequence of capped segment files (000001.wal,
+//     000002.wal, …; Options.SegmentBytes). Appends go to the highest-
+//     numbered (active) segment; when it fills, it is fsynced, sealed and
+//     a fresh segment becomes active. Sealed segments are immutable.
+//   - Open replays segments in id order. Sealed segments must decode
+//     cleanly end to end (they were fsynced before being sealed); only
+//     the LAST segment may carry a torn tail (partial final record from a
+//     crash mid-write), which is detected by CRC/length and truncated.
+//   - Compaction is incremental: CompactStep rewrites ONE sealed segment
+//     at a time, keeping only records that still match the live index,
+//     and atomically renames the result over the original (or deletes it
+//     when nothing survives). Writers never wait on a rewrite — the only
+//     pauses they can observe are the one-segment file swap during a
+//     roll and one active-segment fsync per compaction step (which makes
+//     the index state that justified the step's drops durable first).
+//     Compact seals the active segment and runs a full CompactStep cycle;
+//     Options.CompactEvery starts a background compactor goroutine.
 //
 // Batches are single log records, so multi-key updates (e.g. "store new
 // license + mark old serial redeemed") are atomic across crashes.
@@ -19,58 +37,71 @@
 // # Durability policies
 //
 // Open gives the seed behavior (SyncOnClose): every record is flushed to
-// the OS on write but only fsynced by Sync/Close, so an OS crash can lose
-// the acknowledged tail. OpenWith selects stronger policies:
+// the OS on write but only fsynced by Sync/Close and at segment rolls, so
+// an OS crash can lose the acknowledged tail of the active segment.
+// OpenWith selects stronger policies:
 //
 //   - SyncAlways fsyncs inside every mutation — every acknowledged write
 //     survives power loss, at one fsync per write.
 //   - SyncGroupCommit gives the same guarantee at a fraction of the cost:
-//     writers append + flush their record under the store lock, then
-//     block on a shared commit window. The first blocked writer becomes
-//     the commit leader, issues ONE file.Sync() covering every record
+//     writers append + flush their record, then block on a shared commit
+//     window. The first blocked writer becomes the commit leader, issues
+//     ONE file.Sync() on the active segment covering every record
 //     appended so far, and wakes the whole window. Under concurrency the
 //     fsync cost is amortized across the window; a lone writer degrades
-//     to SyncAlways behavior.
+//     to SyncAlways behavior. Records in sealed segments are always
+//     durable: the roll fsyncs a segment before retiring it.
 //
 // Group-commit ordering guarantee: when a mutation returns nil its record
-// — and, because the log is append-only, every record acknowledged before
-// it — is on stable storage. Callers sequencing cross-store invariants
-// ("spent mark durable before balance credit", payment.Bank.Deposit) get
-// that ordering for free. A failed group fsync poisons the store: the
-// error is sticky and every subsequent durable wait returns it, because
-// after a failed fsync the kernel may have dropped the dirty pages and a
-// retry would falsely report durability.
+// — and, because the log is append-only across segments, every record
+// acknowledged before it — is on stable storage. Callers sequencing
+// cross-store invariants ("spent mark durable before balance credit",
+// payment.Bank.Deposit) get that ordering for free. A failed fsync
+// poisons the store: the error is sticky and every subsequent mutation or
+// durable wait returns it, because after a failed fsync the kernel may
+// have dropped the dirty pages and a retry would falsely report
+// durability.
 //
-// Lock order: s.mu (index + log writer) before gcMu (commit window
-// bookkeeping). The commit leader holds NEITHER lock during its
-// file.Sync(), so appends continue to land in the next window while the
-// current one is being made durable. Close and Compact mutate/close
-// s.file only after draining any in-flight leader under gcMu.
+// # Lock order
+//
+// shard locks → logMu → gcMu. Per-key writers hold one shard lock across
+// the append (logMu) and the index apply, so log order matches apply
+// order for any single key; batch writers hold every involved shard lock,
+// in ascending shard order. The group-commit leader holds NO lock during
+// its file.Sync(), so appends keep landing in the next window while the
+// current one is made durable. compactMu (serializes compactions) is
+// taken before any of the above and is never requested while holding
+// them. Close and segment rolls mutate s.file only after draining any
+// in-flight leader under gcMu (beginFileSwap/endFileSwap).
+//
+// # Segment lifecycle
+//
+//	active --roll (fsync, seal)--> sealed --CompactStep--> compacted (same id)
+//	                                  \--CompactStep, nothing live--> deleted
+//
+// A compacted segment keeps its id and log position, so replay order is
+// preserved: a surviving record is the newest write for its key, and any
+// newer write lives in a higher-numbered segment. Tombstones (deletes for
+// keys absent from the index) are dropped only when compacting the OLDEST
+// sealed segment — elsewhere they must survive to kill puts in older
+// segments. Crash-safety: the compactor writes NNNNNN.wal.tmp, fsyncs it,
+// then renames over the original; a crash leaves either the old or the
+// new file, both of which replay to the same state, and *.tmp leftovers
+// are removed at Open.
 package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"os"
-	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
-)
-
-const (
-	kindPut   byte = 1
-	kindDel   byte = 2
-	kindBatch byte = 3
-
-	// maxKeyLen/maxValLen bound a single record; larger values indicate
-	// corruption rather than legitimate data for this system.
-	maxKeyLen = 1 << 20
-	maxValLen = 1 << 26
 )
 
 var (
@@ -86,13 +117,28 @@ type SyncPolicy int
 
 const (
 	// SyncOnClose flushes every record to the OS on write but fsyncs
-	// only in Sync and Close. Fastest; an OS crash can lose the tail.
+	// only in Sync, Close and segment rolls. Fastest; an OS crash can
+	// lose the tail of the active segment.
 	SyncOnClose SyncPolicy = iota
 	// SyncAlways fsyncs inside every mutation before it returns.
 	SyncAlways
 	// SyncGroupCommit makes every mutation durable before it returns,
 	// amortizing the fsync across all writers in one commit window.
 	SyncGroupCommit
+)
+
+const (
+	// DefaultIndexShards is the index shard count when Options.IndexShards
+	// is zero.
+	DefaultIndexShards = 16
+	// DefaultSegmentBytes is the segment size cap when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 64 << 20
+	// defaultCompactMinGarbage is the background compactor's trigger
+	// threshold when Options.CompactMinGarbage is zero.
+	defaultCompactMinGarbage = 0.5
+	// maxIndexShards caps Options.IndexShards.
+	maxIndexShards = 1 << 12
 )
 
 // Options tune a store opened with OpenWith.
@@ -105,32 +151,115 @@ type Options struct {
 	// leader runs; natural batching still occurs because followers that
 	// arrive during an in-flight fsync join the next window.
 	CommitInterval time.Duration
+	// IndexShards is the lock-stripe count of the in-memory index,
+	// rounded up to a power of two (default DefaultIndexShards).
+	IndexShards int
+	// SegmentBytes caps one log segment; the active segment rolls after
+	// it grows past this (default DefaultSegmentBytes). A segment may
+	// exceed the cap by at most one record.
+	SegmentBytes int64
+	// CompactEvery, when positive, starts a background goroutine that
+	// runs one CompactStep per tick while GarbageRatio() ≥
+	// CompactMinGarbage. Zero disables background compaction.
+	CompactEvery time.Duration
+	// CompactMinGarbage is the background compactor's trigger threshold
+	// (default 0.5).
+	CompactMinGarbage float64
+}
+
+// shard is one lock stripe of the in-memory index.
+type shard struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// recordOverhead is the framing of a simple put record (9-byte header +
+// 4-byte key length). liveBytes charges it per live key so that a fully
+// compacted log — which re-encodes exactly one such record per live key —
+// converges to GarbageRatio 0 instead of reporting its own framing as
+// garbage forever (batch-record framing differs by a few bytes per op;
+// the ratio is an estimate either way).
+const recordOverhead = 13
+
+// apply mutates the shard map for one op and returns the live-byte delta
+// (estimated log bytes needed to re-encode the key's newest record). The
+// caller owns o.val (it is stored without copying) and holds sh.mu,
+// except during single-threaded replay at Open.
+func (sh *shard) apply(o op) int64 {
+	var delta int64
+	if o.del {
+		if old, ok := sh.data[string(o.key)]; ok {
+			delta -= int64(recordOverhead + len(o.key) + len(old))
+			delete(sh.data, string(o.key))
+		}
+		return delta
+	}
+	if old, ok := sh.data[string(o.key)]; ok {
+		delta -= int64(recordOverhead + len(o.key) + len(old))
+	}
+	sh.data[string(o.key)] = o.val
+	return delta + int64(recordOverhead+len(o.key)+len(o.val))
+}
+
+// segment is the in-memory metadata of one sealed (immutable) log segment.
+type segment struct {
+	id    uint64
+	bytes int64
 }
 
 // Store is a durable (or, with Dir "", purely in-memory) key-value map.
 type Store struct {
-	mu     sync.RWMutex
-	data   map[string][]byte
-	file   *os.File
-	w      *bufio.Writer
-	dir    string
-	opts   Options
-	closed bool
-	// seq counts records appended to the log; assigned under s.mu.
-	seq int64
-	// bytesLogged tracks log growth to advise compaction.
-	bytesLogged int64
-	liveBytes   int64
+	shards    []*shard
+	shardMask uint64
 
+	// liveBytes tracks key+value bytes of the live set (atomic because
+	// different shards mutate it concurrently).
+	liveBytes atomic.Int64
+	// seqNow mirrors seq for lock-free reads (PutIfAbsent losers).
+	seqNow atomic.Int64
+	// closedFlag mirrors closed for lock-free reads.
+	closedFlag atomic.Bool
+	// compactions counts completed CompactStep passes.
+	compactions atomic.Int64
+
+	// durable is true when the store is disk-backed. Immutable after
+	// Open, so lock-free paths may branch on it (s.file itself is
+	// guarded by logMu plus the gc swap protocol).
+	durable bool
+
+	// logMu guards the log-writer state below: the active segment file
+	// and writer, the sealed-segment list, seq and byte accounting, and
+	// the sticky append error. Taken AFTER shard locks, BEFORE gcMu.
+	logMu       sync.Mutex
+	file        *os.File // active segment; nil for in-memory stores
+	w           *bufio.Writer
+	dir         string
+	opts        Options
+	closed      bool
+	seq         int64 // records appended to the log
+	activeID    uint64
+	activeBytes int64
+	sealed      []segment // ascending id order
+	bytesLogged int64     // total bytes across all segments
 	// walErr is the sticky append-path failure (write, flush or
 	// SyncAlways fsync). After one, later records could sit beyond a
 	// hole replay can't cross, so every further mutation is refused
-	// rather than falsely acknowledged. Guarded by s.mu; only a
-	// successful Compact (full rewrite into a fresh fsynced log) clears
-	// it.
+	// rather than falsely acknowledged.
 	walErr error
 
-	// Group-commit window state. Guarded by gcMu (taken after s.mu when
+	// compactMu serializes CompactStep/Compact. Taken before shard locks
+	// and logMu, never while holding them.
+	compactMu sync.Mutex
+	// compactCursor indexes the next sealed segment to compact; it wraps
+	// to 0 when a CompactStep cycle completes. Guarded by logMu.
+	compactCursor int
+
+	// compactStop/compactWG manage the background compactor goroutine.
+	compactStop chan struct{}
+	compactOnce sync.Once
+	compactWG   sync.WaitGroup
+
+	// Group-commit window state. Guarded by gcMu (taken after logMu when
 	// both are held). gcAppended is the highest seq known flushed to the
 	// OS, gcDurable the highest seq known fsynced; gcErr is the sticky
 	// fsync failure.
@@ -150,203 +279,70 @@ func Open(dir string) (*Store, error) {
 	return OpenWith(dir, Options{})
 }
 
-// OpenWith opens a store with explicit durability options.
+// OpenWith opens a store with explicit durability and engine options.
 func OpenWith(dir string, opts Options) (*Store, error) {
 	if opts.CommitInterval < 0 {
 		opts.CommitInterval = 0
 	}
-	s := &Store{data: make(map[string][]byte), dir: dir, opts: opts}
+	if opts.IndexShards <= 0 {
+		opts.IndexShards = DefaultIndexShards
+	}
+	if opts.IndexShards > maxIndexShards {
+		opts.IndexShards = maxIndexShards
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.CompactMinGarbage <= 0 {
+		opts.CompactMinGarbage = defaultCompactMinGarbage
+	}
+	nShards := 1
+	for nShards < opts.IndexShards {
+		nShards <<= 1
+	}
+	s := &Store{dir: dir, opts: opts, shardMask: uint64(nShards - 1)}
+	s.shards = make([]*shard, nShards)
+	for i := range s.shards {
+		s.shards[i] = &shard{data: make(map[string][]byte)}
+	}
 	s.gcCond = sync.NewCond(&s.gcMu)
 	if dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("kvstore: create dir: %w", err)
-	}
-	path := filepath.Join(dir, "wal.log")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("kvstore: open log: %w", err)
-	}
-	valid, err := s.replay(f)
-	if err != nil {
-		f.Close()
+	s.durable = true
+	if err := s.openSegments(); err != nil {
 		return nil, err
 	}
-	// Truncate any torn tail so future appends start at a clean boundary.
-	if err := f.Truncate(valid); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("kvstore: truncate torn tail: %w", err)
+	if opts.CompactEvery > 0 {
+		s.compactStop = make(chan struct{})
+		s.compactWG.Add(1)
+		go s.compactLoop()
 	}
-	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
-	}
-	s.file = f
-	s.w = bufio.NewWriter(f)
-	s.bytesLogged = valid
 	return s, nil
 }
 
-// replay applies every intact record and returns the offset of the last
-// intact record's end.
-func (s *Store) replay(f *os.File) (int64, error) {
-	r := bufio.NewReader(f)
-	var offset int64
-	for {
-		rec, n, err := readRecord(r)
-		if err == io.EOF {
-			return offset, nil
-		}
-		if err != nil {
-			// Corrupt or torn record: stop replay here; caller truncates.
-			return offset, nil
-		}
-		if aerr := s.applyRecord(rec); aerr != nil {
-			return offset, aerr
-		}
-		offset += n
-	}
+// shardFor hashes key (FNV-1a) onto its lock stripe.
+func (s *Store) shardFor(key []byte) *shard {
+	return s.shards[s.shardIndex(key)]
 }
 
-// record is a decoded log record.
-type record struct {
-	kind byte
-	ops  []op
+func (s *Store) shardIndex(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h & s.shardMask
 }
 
-type op struct {
-	del bool
-	key []byte
-	val []byte
-}
-
-func (s *Store) applyRecord(rec *record) error {
-	for _, o := range rec.ops {
-		if o.del {
-			if old, ok := s.data[string(o.key)]; ok {
-				s.liveBytes -= int64(len(o.key) + len(old))
-			}
-			delete(s.data, string(o.key))
-		} else {
-			if old, ok := s.data[string(o.key)]; ok {
-				s.liveBytes -= int64(len(o.key) + len(old))
-			}
-			s.data[string(o.key)] = o.val
-			s.liveBytes += int64(len(o.key) + len(o.val))
-		}
-	}
-	return nil
-}
-
-// Record wire format:
-//
-//	crc32[4] | kind[1] | bodyLen[4] | body
-//
-// body for put/del:   keyLen[4] | key | val
-// body for batch:     count[4] | (del[1] | keyLen[4] | key | valLen[4] | val)*
-// The CRC covers kind|bodyLen|body.
-func encodeRecord(kind byte, body []byte) []byte {
-	out := make([]byte, 4+1+4+len(body))
-	out[4] = kind
-	binary.BigEndian.PutUint32(out[5:9], uint32(len(body)))
-	copy(out[9:], body)
-	crc := crc32.ChecksumIEEE(out[4:])
-	binary.BigEndian.PutUint32(out[:4], crc)
-	return out
-}
-
-func readRecord(r *bufio.Reader) (*record, int64, error) {
-	var hdr [9]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return nil, 0, errors.New("kvstore: torn header")
-		}
-		return nil, 0, err
-	}
-	wantCRC := binary.BigEndian.Uint32(hdr[:4])
-	kind := hdr[4]
-	bodyLen := binary.BigEndian.Uint32(hdr[5:9])
-	if bodyLen > maxValLen+maxKeyLen+16 {
-		return nil, 0, errors.New("kvstore: implausible record length")
-	}
-	body := make([]byte, bodyLen)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, 0, errors.New("kvstore: torn body")
-	}
-	check := crc32.NewIEEE()
-	check.Write(hdr[4:])
-	check.Write(body)
-	if check.Sum32() != wantCRC {
-		return nil, 0, errors.New("kvstore: crc mismatch")
-	}
-	rec := &record{kind: kind}
-	switch kind {
-	case kindPut, kindDel:
-		if len(body) < 4 {
-			return nil, 0, errors.New("kvstore: short body")
-		}
-		kl := binary.BigEndian.Uint32(body[:4])
-		if int(kl) > len(body)-4 || kl > maxKeyLen {
-			return nil, 0, errors.New("kvstore: bad key length")
-		}
-		key := body[4 : 4+kl]
-		val := body[4+kl:]
-		rec.ops = append(rec.ops, op{del: kind == kindDel, key: key, val: val})
-	case kindBatch:
-		ops, err := decodeBatchBody(body)
-		if err != nil {
-			return nil, 0, err
-		}
-		rec.ops = ops
-	default:
-		return nil, 0, fmt.Errorf("kvstore: unknown record kind %d", kind)
-	}
-	return rec, int64(9 + len(body)), nil
-}
-
-func decodeBatchBody(body []byte) ([]op, error) {
-	if len(body) < 4 {
-		return nil, errors.New("kvstore: short batch")
-	}
-	count := binary.BigEndian.Uint32(body[:4])
-	body = body[4:]
-	ops := make([]op, 0, count)
-	for i := uint32(0); i < count; i++ {
-		if len(body) < 5 {
-			return nil, errors.New("kvstore: truncated batch op")
-		}
-		del := body[0] == 1
-		kl := binary.BigEndian.Uint32(body[1:5])
-		body = body[5:]
-		if uint32(len(body)) < kl {
-			return nil, errors.New("kvstore: truncated batch key")
-		}
-		key := body[:kl]
-		body = body[kl:]
-		if len(body) < 4 {
-			return nil, errors.New("kvstore: truncated batch val header")
-		}
-		vl := binary.BigEndian.Uint32(body[:4])
-		body = body[4:]
-		if uint32(len(body)) < vl {
-			return nil, errors.New("kvstore: truncated batch val")
-		}
-		val := body[:vl]
-		body = body[vl:]
-		ops = append(ops, op{del: del, key: key, val: val})
-	}
-	if len(body) != 0 {
-		return nil, errors.New("kvstore: trailing batch bytes")
-	}
-	return ops, nil
-}
-
-// append writes a record to the log and flushes it to the OS. Under
-// SyncAlways it also fsyncs before returning; under SyncGroupCommit the
-// caller must wait on waitDurable(s.seq) AFTER releasing s.mu.
+// append writes a record to the active segment and flushes it to the OS,
+// rolling the segment when it fills. Under SyncAlways it also fsyncs
+// before returning; under SyncGroupCommit the caller must wait on
+// waitDurable(seq) AFTER releasing its locks. Caller holds logMu.
 func (s *Store) append(kind byte, body []byte) error {
 	if s.file == nil {
+		s.seq++
+		s.seqNow.Store(s.seq)
 		return nil // in-memory store
 	}
 	if s.walErr != nil {
@@ -371,17 +367,29 @@ func (s *Store) append(kind byte, body []byte) error {
 		}
 	}
 	s.bytesLogged += int64(len(rec))
+	s.activeBytes += int64(len(rec))
 	s.seq++
+	s.seqNow.Store(s.seq)
+	if s.activeBytes >= s.opts.SegmentBytes {
+		if err := s.roll(); err != nil {
+			// The record itself is flushed, but the store can no longer
+			// promise clean segment boundaries: refuse further writes.
+			s.walErr = err
+			return fmt.Errorf("kvstore: segment roll: %w", err)
+		}
+	}
 	return nil
 }
 
 // waitDurable blocks until record seq is on stable storage (group-commit
-// stores only; a no-op otherwise). Must be called WITHOUT s.mu held: the
-// commit leader fsyncs lock-free so new appends keep landing in the next
-// window. The first waiter of a window becomes the leader, issues one
-// file.Sync() covering every record appended so far, and wakes the rest.
+// stores only; a no-op otherwise). Must be called WITHOUT any store lock
+// held: the commit leader fsyncs lock-free so new appends keep landing in
+// the next window. The first waiter of a window becomes the leader,
+// issues one file.Sync() on the active segment covering every record
+// appended so far (sealed segments are already durable), and wakes the
+// rest.
 func (s *Store) waitDurable(seq int64) error {
-	if s.file == nil || s.opts.Sync != SyncGroupCommit {
+	if !s.durable || s.opts.Sync != SyncGroupCommit {
 		return nil
 	}
 	s.gcMu.Lock()
@@ -423,12 +431,12 @@ func (s *Store) waitDurable(seq int64) error {
 }
 
 // markAllDurable records that every record appended so far is fsynced,
-// waking pending group-commit waiters. Called with s.mu held right after
-// a successful full-file sync. A poisoned window (gcErr set) stays
-// poisoned: after any failed fsync the kernel may already have dropped
-// dirty pages, leaving a hole earlier in the log that a later successful
-// full-file sync cannot fill — records after the hole are unreachable by
-// replay, so they must never be acknowledged as durable.
+// waking pending group-commit waiters. Called with logMu held right after
+// a successful full sync. A poisoned window (gcErr set) stays poisoned:
+// after any failed fsync the kernel may already have dropped dirty pages,
+// leaving a hole earlier in the log that a later successful sync cannot
+// fill — records after the hole are unreachable by replay, so they must
+// never be acknowledged as durable.
 func (s *Store) markAllDurable() {
 	if s.opts.Sync != SyncGroupCommit {
 		return
@@ -445,8 +453,8 @@ func (s *Store) markAllDurable() {
 }
 
 // beginFileSwap blocks new commit leaders and drains the in-flight one,
-// so the caller (Close, Compact) may close or replace s.file without
-// racing a leader's file.Sync(). Called with s.mu held, so no new record
+// so the caller (Close, segment roll) may close or replace s.file without
+// racing a leader's file.Sync(). Called with logMu held, so no new record
 // can be appended during the swap. Must be paired with endFileSwap or
 // abortFileSwap.
 func (s *Store) beginFileSwap() {
@@ -462,21 +470,15 @@ func (s *Store) beginFileSwap() {
 }
 
 // endFileSwap reopens the commit window and marks every record appended
-// before the swap durable (the swap itself fsynced them). One exception
-// to the poisoned-stays-poisoned rule in markAllDurable: a COMPACTION
-// swap rewrites the entire live set into a fresh file and fsyncs it, so
-// it genuinely restores durability and may clear gcErr. Close's swap
-// only fsyncs the existing (possibly holed) log, so its caller must not
-// rely on this clearing — Close keeps gcErr via markAllDurable instead.
-func (s *Store) endFileSwap(clearErr bool) {
+// before the swap durable: the swap fsynced the outgoing segment, and the
+// incoming one is empty. Poisoned windows stay poisoned (see
+// markAllDurable).
+func (s *Store) endFileSwap() {
 	if s.opts.Sync != SyncGroupCommit {
 		return
 	}
 	s.gcMu.Lock()
 	s.gcSwapping = false
-	if clearErr {
-		s.gcErr = nil
-	}
 	if s.seq > s.gcAppended {
 		s.gcAppended = s.seq
 	}
@@ -485,6 +487,17 @@ func (s *Store) endFileSwap(clearErr bool) {
 	}
 	s.gcCond.Broadcast()
 	s.gcMu.Unlock()
+}
+
+// gcPoisoned reports the sticky group-commit fsync error, if any. Safe
+// under logMu (lock order logMu → gcMu).
+func (s *Store) gcPoisoned() error {
+	if s.opts.Sync != SyncGroupCommit {
+		return nil
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	return s.gcErr
 }
 
 // abortFileSwap poisons the commit window after a failed swap so waiters
@@ -502,40 +515,55 @@ func (s *Store) abortFileSwap(err error) {
 	s.gcMu.Unlock()
 }
 
-// putLocked validates, logs and applies one put. Caller holds s.mu.
-func (s *Store) putLocked(key, val []byte) error {
-	if s.closed {
-		return ErrClosed
-	}
+func validateKV(key, val []byte) error {
 	if len(key) == 0 {
 		return ErrEmptyKey
 	}
 	if len(key) > maxKeyLen || len(val) > maxValLen {
 		return errors.New("kvstore: key or value too large")
 	}
-	body := make([]byte, 4+len(key)+len(val))
-	binary.BigEndian.PutUint32(body[:4], uint32(len(key)))
-	copy(body[4:], key)
-	copy(body[4+len(key):], val)
-	if err := s.append(kindPut, body); err != nil {
-		return err
-	}
-	if old, ok := s.data[string(key)]; ok {
-		s.liveBytes -= int64(len(key) + len(old))
-	}
-	v := append([]byte(nil), val...)
-	s.data[string(key)] = v
-	s.liveBytes += int64(len(key) + len(v))
 	return nil
+}
+
+// put logs and applies one put under its shard lock, returning the
+// record's seq for the caller's durability wait.
+func (s *Store) put(key, val []byte) (int64, error) {
+	if err := validateKV(key, val); err != nil {
+		return 0, err
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	seq, err := s.logAndApply(sh, op{key: key, val: append([]byte(nil), val...)})
+	sh.mu.Unlock()
+	return seq, err
+}
+
+// logAndApply appends one put/del record and applies it to sh. Caller
+// holds sh.mu; o.val must be owned by the store.
+func (s *Store) logAndApply(sh *shard, o op) (int64, error) {
+	kind := kindPut
+	if o.del {
+		kind = kindDel
+	}
+	s.logMu.Lock()
+	if s.closed {
+		s.logMu.Unlock()
+		return 0, ErrClosed
+	}
+	err := s.append(kind, encodePutBody(o.key, o.val))
+	seq := s.seq
+	s.logMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	s.liveBytes.Add(sh.apply(o))
+	return seq, nil
 }
 
 // Put stores val under key. Under SyncAlways/SyncGroupCommit the value
 // is on stable storage when Put returns nil.
 func (s *Store) Put(key, val []byte) error {
-	s.mu.Lock()
-	err := s.putLocked(key, val)
-	seq := s.seq
-	s.mu.Unlock()
+	seq, err := s.put(key, val)
 	if err != nil {
 		return err
 	}
@@ -544,7 +572,7 @@ func (s *Store) Put(key, val []byte) error {
 
 // PutIfAbsent stores val under key only if the key is currently absent
 // and reports whether the write happened. Check and write are atomic
-// under the store lock, making this the store's compare-and-set
+// under the key's shard lock, making this the store's compare-and-set
 // primitive: concurrent callers racing on the same key see exactly one
 // true. The provider's redeemed-serial set and the bank's spent-coin
 // ledger rely on this for their double-spend gates. Both answers obey
@@ -553,21 +581,24 @@ func (s *Store) Put(key, val []byte) error {
 // observed "already present" must not be rolled back by a crash after
 // the caller has acted on it (e.g. reported a coin double-spent).
 func (s *Store) PutIfAbsent(key, val []byte) (bool, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if err := validateKV(key, val); err != nil {
+		return false, err
+	}
+	if s.closedFlag.Load() {
 		return false, ErrClosed
 	}
-	if _, ok := s.data[string(key)]; ok {
-		// The record establishing the key was appended (under this
-		// lock) before the map insert, so s.seq now covers it.
-		seq := s.seq
-		s.mu.Unlock()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if _, ok := sh.data[string(key)]; ok {
+		// The record establishing the key was appended (and its seq
+		// published) before the winner's map insert under this shard
+		// lock, so the current seq covers it.
+		seq := s.seqNow.Load()
+		sh.mu.Unlock()
 		return false, s.waitDurable(seq)
 	}
-	err := s.putLocked(key, val)
-	seq := s.seq
-	s.mu.Unlock()
+	seq, err := s.logAndApply(sh, op{key: key, val: append([]byte(nil), val...)})
+	sh.mu.Unlock()
 	if err != nil {
 		return false, err
 	}
@@ -576,9 +607,10 @@ func (s *Store) PutIfAbsent(key, val []byte) (bool, error) {
 
 // Get returns a copy of the value for key.
 func (s *Store) Get(key []byte) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.data[string(key)]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.data[string(key)]
 	if !ok {
 		return nil, false
 	}
@@ -587,36 +619,29 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 
 // Has reports presence without copying the value.
 func (s *Store) Has(key []byte) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.data[string(key)]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.data[string(key)]
 	return ok
 }
 
 // Delete removes key; deleting an absent key is a no-op (but still logged
 // for idempotent replay).
 func (s *Store) Delete(key []byte) error {
-	if len(key) == 0 {
-		return ErrEmptyKey
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
-	}
-	body := make([]byte, 4+len(key))
-	binary.BigEndian.PutUint32(body[:4], uint32(len(key)))
-	copy(body[4:], key)
-	if err := s.append(kindDel, body); err != nil {
-		s.mu.Unlock()
+	// Full validation, not just the empty-key check: an oversized key
+	// would be acknowledged here and then rejected by readRecord at
+	// replay — fatal once the segment seals.
+	if err := validateKV(key, nil); err != nil {
 		return err
 	}
-	if old, ok := s.data[string(key)]; ok {
-		s.liveBytes -= int64(len(key) + len(old))
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	seq, err := s.logAndApply(sh, op{del: true, key: key})
+	sh.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	delete(s.data, string(key))
-	seq := s.seq
-	s.mu.Unlock()
 	return s.waitDurable(seq)
 }
 
@@ -641,26 +666,29 @@ func (b *Batch) Delete(key []byte) *Batch {
 func (b *Batch) Len() int { return len(b.ops) }
 
 // Apply writes the batch as a single atomic log record and applies it.
+// Every shard the batch touches is locked (in ascending shard order, to
+// stay deadlock-free against other batches) across the append and the
+// index update, so concurrent per-key CAS operations serialize against
+// the whole batch.
 func (s *Store) Apply(b *Batch) error {
 	if b == nil || len(b.ops) == 0 {
 		return nil
 	}
 	for _, o := range b.ops {
-		if len(o.key) == 0 {
-			return ErrEmptyKey
-		}
-		if len(o.key) > maxKeyLen || len(o.val) > maxValLen {
-			return errors.New("kvstore: key or value too large")
+		if err := validateKV(o.key, o.val); err != nil {
+			return err
 		}
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
-	}
+	// Encode the record body BEFORE taking any lock — it depends only on
+	// the batch — and bound it by what readRecord will accept on replay:
+	// a larger record would be acknowledged now and then rejected at
+	// Open, which strict sealed-segment replay treats as corruption.
 	size := 4
 	for _, o := range b.ops {
 		size += 1 + 4 + len(o.key) + 4 + len(o.val)
+	}
+	if size > maxRecordBody {
+		return fmt.Errorf("kvstore: batch encodes to %d bytes, limit %d", size, maxRecordBody)
 	}
 	body := make([]byte, size)
 	binary.BigEndian.PutUint32(body[:4], uint32(len(b.ops)))
@@ -678,43 +706,85 @@ func (s *Store) Apply(b *Batch) error {
 		copy(body[off:], o.val)
 		off += len(o.val)
 	}
-	if err := s.append(kindBatch, body); err != nil {
-		s.mu.Unlock()
-		return err
+	// Collect the distinct shards, lock them in index order.
+	touched := make([]bool, len(s.shards))
+	for _, o := range b.ops {
+		touched[s.shardIndex(o.key)] = true
 	}
-	rec := &record{kind: kindBatch, ops: b.ops}
-	err := s.applyRecord(rec)
+	locked := make([]int, 0, len(b.ops))
+	for i, t := range touched {
+		if t {
+			s.shards[i].mu.Lock()
+			locked = append(locked, i)
+		}
+	}
+	unlock := func() {
+		for _, i := range locked {
+			s.shards[i].mu.Unlock()
+		}
+	}
+
+	s.logMu.Lock()
+	if s.closed {
+		s.logMu.Unlock()
+		unlock()
+		return ErrClosed
+	}
+	err := s.append(kindBatch, body)
 	seq := s.seq
-	s.mu.Unlock()
+	s.logMu.Unlock()
 	if err != nil {
+		unlock()
 		return err
 	}
+	var delta int64
+	for _, o := range b.ops {
+		delta += s.shardFor(o.key).apply(o)
+	}
+	unlock()
+	s.liveBytes.Add(delta)
 	return s.waitDurable(seq)
 }
 
 // Len returns the number of live keys.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// snapshot copies the full live set while holding every shard read lock,
+// so it is a consistent point-in-time view even against batch writers.
+func (s *Store) snapshot() []op {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.data)
+	}
+	pairs := make([]op, 0, n)
+	for _, sh := range s.shards {
+		for k, v := range sh.data {
+			pairs = append(pairs, op{key: []byte(k), val: append([]byte(nil), v...)})
+		}
+	}
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
+	}
+	sort.Slice(pairs, func(i, j int) bool { return bytes.Compare(pairs[i].key, pairs[j].key) < 0 })
+	return pairs
 }
 
 // ForEach visits every live pair in sorted key order. The callback
 // receives copies and may not mutate the store; returning false stops
 // iteration early.
 func (s *Store) ForEach(fn func(key, val []byte) bool) {
-	s.mu.RLock()
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	pairs := make([]op, len(keys))
-	for i, k := range keys {
-		pairs[i] = op{key: []byte(k), val: append([]byte(nil), s.data[k]...)}
-	}
-	s.mu.RUnlock()
-	for _, p := range pairs {
+	for _, p := range s.snapshot() {
 		if !fn(p.key, p.val) {
 			return
 		}
@@ -724,27 +794,60 @@ func (s *Store) ForEach(fn func(key, val []byte) bool) {
 // PrefixScan visits live pairs whose key begins with prefix, sorted.
 func (s *Store) PrefixScan(prefix []byte, fn func(key, val []byte) bool) {
 	s.ForEach(func(k, v []byte) bool {
-		if len(k) < len(prefix) {
+		if !bytes.HasPrefix(k, prefix) {
 			return true
-		}
-		for i := range prefix {
-			if k[i] != prefix[i] {
-				return true
-			}
 		}
 		return fn(k, v)
 	})
 }
 
-// Sync forces the log to stable storage.
+// PrefixScanRelaxed visits live pairs whose key begins with prefix
+// WITHOUT a global snapshot: shards are scanned one at a time under
+// their own read lock, so at no point do all writers wait at once, and
+// only matching pairs are copied. The trade-offs versus PrefixScan:
+// order is unspecified, and the view is only per-shard consistent — a
+// key inserted or deleted mid-scan may or may not be visited (a key
+// live for the whole scan is visited exactly once). Long background
+// scans over large stores (the revocation list's async filter rebuild)
+// use this so they never stall the write path.
+func (s *Store) PrefixScanRelaxed(prefix []byte, fn func(key, val []byte) bool) {
+	p := string(prefix) // one conversion, not one per key
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		var pairs []op
+		for k, v := range sh.data {
+			if strings.HasPrefix(k, p) {
+				pairs = append(pairs, op{key: []byte(k), val: append([]byte(nil), v...)})
+			}
+		}
+		sh.mu.RUnlock()
+		for _, p := range pairs {
+			if !fn(p.key, p.val) {
+				return
+			}
+		}
+	}
+}
+
+// Sync forces the active segment to stable storage (sealed segments
+// already are). A poisoned store (sticky append or group-fsync failure)
+// reports its poison instead of syncing: after a failed fsync the kernel
+// may have dropped pages mid-segment, so a later successful file.Sync()
+// must not be read as "everything before here is durable".
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
 	if s.file == nil {
 		return nil
+	}
+	if s.walErr != nil {
+		return fmt.Errorf("kvstore: log failed: %w", s.walErr)
+	}
+	if err := s.gcPoisoned(); err != nil {
+		return err
 	}
 	if err := s.w.Flush(); err != nil {
 		return err
@@ -758,120 +861,78 @@ func (s *Store) Sync() error {
 
 // GarbageRatio reports wasted log fraction; callers compact when it grows.
 func (s *Store) GarbageRatio() float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.bytesLogged == 0 {
+	s.logMu.Lock()
+	logged := s.bytesLogged
+	s.logMu.Unlock()
+	if logged == 0 {
 		return 0
 	}
-	waste := float64(s.bytesLogged-s.liveBytes) / float64(s.bytesLogged)
+	waste := float64(logged-s.liveBytes.Load()) / float64(logged)
 	if waste < 0 {
 		return 0
 	}
 	return waste
 }
 
-// Compact rewrites the live set into a fresh log and atomically replaces
-// the old one. No-op for in-memory stores.
-func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if s.file == nil {
-		return nil
-	}
-	tmpPath := filepath.Join(s.dir, "wal.log.compact")
-	tmp, err := os.Create(tmpPath)
-	if err != nil {
-		return fmt.Errorf("kvstore: compact: %w", err)
-	}
-	bw := bufio.NewWriter(tmp)
-	var written int64
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		v := s.data[k]
-		body := make([]byte, 4+len(k)+len(v))
-		binary.BigEndian.PutUint32(body[:4], uint32(len(k)))
-		copy(body[4:], k)
-		copy(body[4+len(k):], v)
-		rec := encodeRecord(kindPut, body)
-		if _, err := bw.Write(rec); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return err
-		}
-		written += int64(len(rec))
-	}
-	if err := bw.Flush(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
-		return err
-	}
-	// Swap: close old, rename, reopen for append. The commit window is
-	// held shut across the swap so no group leader fsyncs a dead file;
-	// the compacted log holds the full live set fsynced, so pending
-	// durability waiters are satisfied by endFileSwap.
-	s.beginFileSwap()
-	if err := s.w.Flush(); err != nil {
-		s.abortFileSwap(err)
-		return err
-	}
-	if err := s.file.Close(); err != nil {
-		s.abortFileSwap(err)
-		return err
-	}
-	livePath := filepath.Join(s.dir, "wal.log")
-	if err := os.Rename(tmpPath, livePath); err != nil {
-		s.abortFileSwap(err)
-		return fmt.Errorf("kvstore: compact swap: %w", err)
-	}
-	f, err := os.OpenFile(livePath, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		s.abortFileSwap(err)
-		return fmt.Errorf("kvstore: reopen after compact: %w", err)
-	}
-	s.file = f
-	// A successful compaction rewrote the full live set into a fresh
-	// fsynced log, so sticky append/fsync failures are genuinely healed.
-	s.walErr = nil
-	s.endFileSwap(true)
-	s.w = bufio.NewWriter(f)
-	s.bytesLogged = written
-	s.liveBytes = written - int64(9*len(keys)+4*len(keys)) // approximate
-	// Recompute precisely: liveBytes is key+val bytes only.
-	s.liveBytes = 0
-	for k, v := range s.data {
-		s.liveBytes += int64(len(k) + len(v))
-	}
-	return nil
+// Stats is a point-in-time snapshot of the engine's shape, surfaced by
+// the daemon's GET /v1/stats.
+type Stats struct {
+	// Segments counts log segment files, including the active one
+	// (0 for in-memory stores).
+	Segments int `json:"segments"`
+	// LiveKeys is the number of live keys in the index.
+	LiveKeys int `json:"live_keys"`
+	// LiveBytes estimates the log bytes a fully compacted live set would
+	// occupy (key + value + per-record framing for each live key).
+	LiveBytes int64 `json:"live_bytes"`
+	// LoggedBytes is the on-disk byte total across all segments.
+	LoggedBytes int64 `json:"logged_bytes"`
+	// DeadBytes is LoggedBytes minus LiveBytes, floored at zero — the
+	// incremental compactor's food supply.
+	DeadBytes int64 `json:"dead_bytes"`
+	// Compactions counts completed incremental compaction steps.
+	Compactions int64 `json:"compactions"`
+	// IndexShards is the index lock-stripe count.
+	IndexShards int `json:"index_shards"`
 }
 
-// Close flushes, fsyncs and closes the store. Further operations fail
-// with ErrClosed; Get/Has keep answering from memory for
-// reads-after-close safety in shutdown paths. Pending group-commit
-// waiters are released: satisfied by the final fsync, or errored if it
-// fails.
+// Stats returns current engine statistics.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		LiveKeys:    s.Len(),
+		LiveBytes:   s.liveBytes.Load(),
+		Compactions: s.compactions.Load(),
+		IndexShards: len(s.shards),
+	}
+	s.logMu.Lock()
+	st.LoggedBytes = s.bytesLogged
+	if s.file != nil {
+		st.Segments = len(s.sealed) + 1
+	}
+	s.logMu.Unlock()
+	if st.DeadBytes = st.LoggedBytes - st.LiveBytes; st.DeadBytes < 0 {
+		st.DeadBytes = 0
+	}
+	return st
+}
+
+// Close flushes, fsyncs and closes the store, stopping the background
+// compactor first. Further operations fail with ErrClosed; Get/Has keep
+// answering from memory for reads-after-close safety in shutdown paths.
+// Pending group-commit waiters are released: satisfied by the final
+// fsync, or errored if it fails.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.compactStop != nil {
+		s.compactOnce.Do(func() { close(s.compactStop) })
+		s.compactWG.Wait()
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	if s.closed {
 		return nil
 	}
 	s.closed = true
+	s.closedFlag.Store(true)
 	if s.file == nil {
 		return nil
 	}
@@ -886,6 +947,6 @@ func (s *Store) Close() error {
 		return err
 	}
 	s.beginFileSwap()
-	s.endFileSwap(false)
+	s.endFileSwap()
 	return s.file.Close()
 }

@@ -22,6 +22,34 @@ func openTemp(t *testing.T) (*Store, string) {
 	return s, dir
 }
 
+// segmentFiles lists the segment files in dir, sorted by id.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ids, err := listSegmentIDs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = filepath.Join(dir, segmentName(id))
+	}
+	return out
+}
+
+// logBytes sums the on-disk size of every segment file.
+func logBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	for _, p := range segmentFiles(t, dir) {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	return total
+}
+
 func TestPutGetDelete(t *testing.T) {
 	s, _ := openTemp(t)
 	defer s.Close()
@@ -109,8 +137,9 @@ func TestTornTailRecovery(t *testing.T) {
 	s.Put([]byte("good2"), []byte("b"))
 	s.Close()
 
-	// Simulate a crash mid-append: write half a record at the tail.
-	path := filepath.Join(dir, "wal.log")
+	// Simulate a crash mid-append: write half a record at the tail of
+	// the active (last) segment.
+	path := filepath.Join(dir, segmentName(1))
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +176,7 @@ func TestCorruptRecordStopsReplay(t *testing.T) {
 	s.Close()
 
 	// Flip a byte inside the second record's body.
-	path := filepath.Join(dir, "wal.log")
+	path := filepath.Join(dir, segmentName(1))
 	data, _ := os.ReadFile(path)
 	data[len(data)-1] ^= 0xFF
 	os.WriteFile(path, data, 0o644)
@@ -266,16 +295,15 @@ func TestCompactPreservesDataAndShrinksLog(t *testing.T) {
 			s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("val-%d-%d", round, i)))
 		}
 	}
-	before, _ := os.Stat(filepath.Join(dir, "wal.log"))
+	before := logBytes(t, dir)
 	if s.GarbageRatio() < 0.5 {
 		t.Logf("garbage ratio unexpectedly low: %v", s.GarbageRatio())
 	}
 	if err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := os.Stat(filepath.Join(dir, "wal.log"))
-	if after.Size() >= before.Size() {
-		t.Errorf("compaction did not shrink log: %d -> %d", before.Size(), after.Size())
+	if after := logBytes(t, dir); after >= before {
+		t.Errorf("compaction did not shrink log: %d -> %d", before, after)
 	}
 	// All live data still present, and the store still writable.
 	for i := 0; i < 50; i++ {
@@ -580,13 +608,15 @@ func TestGroupCommitConcurrentWriters(t *testing.T) {
 		t.Errorf("CAS winners = %d, want %d", total, perWriter)
 	}
 
-	data, err := os.ReadFile(filepath.Join(dir, "wal.log"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	copyDir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(copyDir, "wal.log"), data, 0o644); err != nil {
-		t.Fatal(err)
+	for _, p := range segmentFiles(t, dir) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(copyDir, filepath.Base(p)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 	s2, err := Open(copyDir)
 	if err != nil {

@@ -1,0 +1,151 @@
+package kvstore
+
+// WAL wire format, shared by the append path, replay, fuzzing and the
+// compactor. One record:
+//
+//	crc32[4] | kind[1] | bodyLen[4] | body
+//
+// body for put/del:   keyLen[4] | key | val
+// body for batch:     count[4] | (del[1] | keyLen[4] | key | valLen[4] | val)*
+// The CRC covers kind|bodyLen|body.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	kindPut   byte = 1
+	kindDel   byte = 2
+	kindBatch byte = 3
+
+	// maxKeyLen/maxValLen bound a single record; larger values indicate
+	// corruption rather than legitimate data for this system.
+	maxKeyLen = 1 << 20
+	maxValLen = 1 << 26
+	// maxRecordBody is the replay-side cap on one record's body; the
+	// write side (Apply) must never acknowledge a record readRecord
+	// would reject.
+	maxRecordBody = maxValLen + maxKeyLen + 16
+)
+
+// record is a decoded log record.
+type record struct {
+	kind byte
+	ops  []op
+}
+
+type op struct {
+	del bool
+	key []byte
+	val []byte
+}
+
+func encodeRecord(kind byte, body []byte) []byte {
+	out := make([]byte, 4+1+4+len(body))
+	out[4] = kind
+	binary.BigEndian.PutUint32(out[5:9], uint32(len(body)))
+	copy(out[9:], body)
+	crc := crc32.ChecksumIEEE(out[4:])
+	binary.BigEndian.PutUint32(out[:4], crc)
+	return out
+}
+
+// encodePutBody frames a single put/del body (val nil for del).
+func encodePutBody(key, val []byte) []byte {
+	body := make([]byte, 4+len(key)+len(val))
+	binary.BigEndian.PutUint32(body[:4], uint32(len(key)))
+	copy(body[4:], key)
+	copy(body[4+len(key):], val)
+	return body
+}
+
+func readRecord(r *bufio.Reader) (*record, int64, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, 0, errors.New("kvstore: torn header")
+		}
+		return nil, 0, err
+	}
+	wantCRC := binary.BigEndian.Uint32(hdr[:4])
+	kind := hdr[4]
+	bodyLen := binary.BigEndian.Uint32(hdr[5:9])
+	if bodyLen > maxRecordBody {
+		return nil, 0, errors.New("kvstore: implausible record length")
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, errors.New("kvstore: torn body")
+	}
+	check := crc32.NewIEEE()
+	check.Write(hdr[4:])
+	check.Write(body)
+	if check.Sum32() != wantCRC {
+		return nil, 0, errors.New("kvstore: crc mismatch")
+	}
+	rec := &record{kind: kind}
+	switch kind {
+	case kindPut, kindDel:
+		if len(body) < 4 {
+			return nil, 0, errors.New("kvstore: short body")
+		}
+		kl := binary.BigEndian.Uint32(body[:4])
+		if int(kl) > len(body)-4 || kl > maxKeyLen {
+			return nil, 0, errors.New("kvstore: bad key length")
+		}
+		key := body[4 : 4+kl]
+		val := body[4+kl:]
+		rec.ops = append(rec.ops, op{del: kind == kindDel, key: key, val: val})
+	case kindBatch:
+		ops, err := decodeBatchBody(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		rec.ops = ops
+	default:
+		return nil, 0, fmt.Errorf("kvstore: unknown record kind %d", kind)
+	}
+	return rec, int64(9 + len(body)), nil
+}
+
+func decodeBatchBody(body []byte) ([]op, error) {
+	if len(body) < 4 {
+		return nil, errors.New("kvstore: short batch")
+	}
+	count := binary.BigEndian.Uint32(body[:4])
+	body = body[4:]
+	ops := make([]op, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(body) < 5 {
+			return nil, errors.New("kvstore: truncated batch op")
+		}
+		del := body[0] == 1
+		kl := binary.BigEndian.Uint32(body[1:5])
+		body = body[5:]
+		if uint32(len(body)) < kl {
+			return nil, errors.New("kvstore: truncated batch key")
+		}
+		key := body[:kl]
+		body = body[kl:]
+		if len(body) < 4 {
+			return nil, errors.New("kvstore: truncated batch val header")
+		}
+		vl := binary.BigEndian.Uint32(body[:4])
+		body = body[4:]
+		if uint32(len(body)) < vl {
+			return nil, errors.New("kvstore: truncated batch val")
+		}
+		val := body[:vl]
+		body = body[vl:]
+		ops = append(ops, op{del: del, key: key, val: val})
+	}
+	if len(body) != 0 {
+		return nil, errors.New("kvstore: trailing batch bytes")
+	}
+	return ops, nil
+}

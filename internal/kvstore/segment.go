@@ -1,0 +1,240 @@
+package kvstore
+
+// Segment-file management: naming, Open-time discovery and replay, and
+// the active-segment roll. Segment files are named 000001.wal,
+// 000002.wal, … and replayed in ascending id order. Ids are monotonic
+// over a store's life (compaction may delete a segment, leaving a gap,
+// but never renumbers), so lexical order == log order.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segmentSuffix = ".wal"
+	// segmentTmpSuffix marks in-flight compactor output; leftovers are
+	// removed at Open.
+	segmentTmpSuffix = ".wal.tmp"
+	// legacyLogName is the pre-segmentation single-file log; it is
+	// migrated to segment 1 at Open.
+	legacyLogName = "wal.log"
+)
+
+func segmentName(id uint64) string {
+	return fmt.Sprintf("%06d%s", id, segmentSuffix)
+}
+
+func (s *Store) segmentPath(id uint64) string {
+	return filepath.Join(s.dir, segmentName(id))
+}
+
+// syncDir fsyncs the store directory so renames/creates/removes of
+// segment files are themselves durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// parseSegmentID extracts the id from a segment file name, reporting
+// whether name is a segment file at all.
+func parseSegmentID(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, segmentSuffix) || strings.HasSuffix(name, segmentTmpSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(name, segmentSuffix)
+	if len(digits) < 6 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// listSegmentIDs returns the sorted segment ids present in dir, removing
+// stale compactor temp files as it goes.
+func listSegmentIDs(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: list segments: %w", err)
+	}
+	var ids []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, segmentTmpSuffix) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if id, ok := parseSegmentID(name); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// openSegments discovers, replays and opens the log in s.dir: sealed
+// segments are replayed strictly (they were fsynced before being sealed,
+// so any decode failure is real corruption, not a torn tail), the last
+// segment tolerates a torn tail which is truncated away, and the last
+// segment becomes the active one.
+func (s *Store) openSegments() error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("kvstore: create dir: %w", err)
+	}
+	ids, err := listSegmentIDs(s.dir)
+	if err != nil {
+		return err
+	}
+	// Migrate a pre-segmentation wal.log in place as segment 1.
+	if legacy := filepath.Join(s.dir, legacyLogName); len(ids) == 0 {
+		if _, err := os.Stat(legacy); err == nil {
+			if err := os.Rename(legacy, s.segmentPath(1)); err != nil {
+				return fmt.Errorf("kvstore: migrate legacy log: %w", err)
+			}
+			if err := syncDir(s.dir); err != nil {
+				return err
+			}
+			ids = []uint64{1}
+		}
+	}
+	if len(ids) == 0 {
+		ids = []uint64{1}
+		f, err := os.OpenFile(s.segmentPath(1), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("kvstore: create segment: %w", err)
+		}
+		f.Close()
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	for i, id := range ids {
+		last := i == len(ids)-1
+		valid, err := s.replaySegment(id, last)
+		if err != nil {
+			return err
+		}
+		s.bytesLogged += valid
+		if !last {
+			s.sealed = append(s.sealed, segment{id: id, bytes: valid})
+			continue
+		}
+		// Truncate any torn tail so future appends start at a clean
+		// boundary, and keep this segment open as the active one.
+		f, err := os.OpenFile(s.segmentPath(id), os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("kvstore: open active segment: %w", err)
+		}
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return fmt.Errorf("kvstore: truncate torn tail: %w", err)
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+		s.file = f
+		s.w = bufio.NewWriter(f)
+		s.activeID = id
+		s.activeBytes = valid
+	}
+	s.seqNow.Store(s.seq)
+	return nil
+}
+
+// replaySegment applies every record of segment id to the index and
+// returns the offset of the last intact record's end. In lenient mode
+// (last segment only) a torn or corrupt record stops replay there; in
+// strict mode it is a hard error, because truncating inside a sealed
+// segment would silently drop every later segment's committed records
+// from the caller's view of history.
+func (s *Store) replaySegment(id uint64, lenient bool) (int64, error) {
+	f, err := os.Open(s.segmentPath(id))
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: open segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var offset int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			return offset, nil
+		}
+		if err != nil {
+			if lenient {
+				return offset, nil
+			}
+			return 0, fmt.Errorf("kvstore: sealed segment %s corrupt at offset %d: %w",
+				segmentName(id), offset, err)
+		}
+		for _, o := range rec.ops {
+			// Single-threaded at Open: no shard locks needed, and the
+			// decoded buffers are owned by the record.
+			s.liveBytes.Add(s.shardFor(o.key).apply(o))
+		}
+		s.seq++
+		offset += n
+	}
+}
+
+// roll seals the active segment and starts a fresh one: flush + fsync the
+// outgoing segment (so sealed segments are always fully durable and
+// strict replay is sound), create the next segment file, then swap the
+// writer under the group-commit window guard. Caller holds logMu. On
+// error the caller poisons the store (sticky walErr): a half-rolled log
+// cannot promise clean segment boundaries.
+func (s *Store) roll() error {
+	// A poisoned commit window means a group fsync already failed: the
+	// kernel may have dropped pages mid-segment, so fsyncing again here
+	// could "succeed" and seal a segment with a hole in it — which
+	// strict sealed-segment replay would then refuse forever. Keep the
+	// holed segment as the last (lenient) one instead.
+	if err := s.gcPoisoned(); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.file.Sync(); err != nil {
+		return err
+	}
+	newID := s.activeID + 1
+	f, err := os.OpenFile(s.segmentPath(newID), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		os.Remove(s.segmentPath(newID))
+		return err
+	}
+	s.beginFileSwap()
+	if err := s.file.Close(); err != nil {
+		s.abortFileSwap(err)
+		f.Close()
+		return err
+	}
+	s.sealed = append(s.sealed, segment{id: s.activeID, bytes: s.activeBytes})
+	s.file = f
+	s.w = bufio.NewWriter(f)
+	s.activeID = newID
+	s.activeBytes = 0
+	// Everything appended so far is durable: the outgoing segment was
+	// fsynced above and the incoming one is empty.
+	s.endFileSwap()
+	return nil
+}

@@ -43,16 +43,40 @@ const DefaultFilterCapacity = 1 << 16
 const DefaultFalsePositiveRate = 1e-4
 
 // List is the durable revocation list.
+//
+// The Bloom fast path is self-maintaining: when the live count outgrows
+// the filter's design capacity (so its false-positive rate drifts past
+// the design point), a rebuild into a doubled filter runs on a
+// BACKGROUND goroutine — TryAdd and Contains never block on it. Serials
+// added while a rebuild is in flight are queued and folded into the new
+// filter before the swap, so the invariant "every revoked serial is in
+// the current filter" holds across generations; Contains may
+// conservatively fall back to the exact store a little more often until
+// the swap lands, never the reverse. Generation() counts swaps.
 type List struct {
 	mu     sync.RWMutex
 	store  *kvstore.Store
 	filter *bloom.Filter
 	count  int
+
+	// capacity is the current filter's design capacity; exceeding it
+	// triggers an async rebuild into a doubled filter.
+	capacity uint64
+	// rebuilding is true while a background rebuild goroutine runs.
+	rebuilding bool
+	// pending holds serials added during a rebuild; they are folded into
+	// the new filter before the swap.
+	pending [][]byte
+	// gen increments on every completed filter swap.
+	gen uint64
+	// rebuildWG lets tests and shutdown paths drain the rebuild.
+	rebuildWG sync.WaitGroup
 }
 
 // Open loads (or creates) a list backed by store. expected sizes the Bloom
 // filter; pass 0 for the default. Existing entries are replayed into the
-// filter.
+// filter; if they already exceed expected, the first rebuild is triggered
+// asynchronously rather than blocking Open.
 func Open(store *kvstore.Store, expected uint64) (*List, error) {
 	if store == nil {
 		return nil, errors.New("revocation: nil store")
@@ -64,14 +88,88 @@ func Open(store *kvstore.Store, expected uint64) (*List, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &List{store: store, filter: f}
+	l := &List{store: store, filter: f, capacity: expected}
 	store.PrefixScan([]byte(keyPrefix), func(k, v []byte) bool {
 		f.Add(k[len(keyPrefix):])
 		l.count++
 		return true
 	})
+	l.mu.Lock()
+	l.maybeRebuildLocked()
+	l.mu.Unlock()
 	return l, nil
 }
+
+// maybeRebuildLocked launches a background rebuild when the live count
+// has outgrown the filter. Caller holds l.mu.
+func (l *List) maybeRebuildLocked() {
+	if l.rebuilding || uint64(l.count) <= l.capacity {
+		return
+	}
+	target := l.capacity * 2
+	for target < uint64(l.count) {
+		target *= 2
+	}
+	l.rebuilding = true
+	l.rebuildWG.Add(1)
+	go l.rebuild(target)
+}
+
+// rebuild scans the exact store into a filter sized for target and swaps
+// it in. It holds l.mu only for the final swap, and the store scan uses
+// the kvstore's relaxed per-shard iteration — no global store snapshot
+// is taken, so adds and lookups (on this list AND on everything else
+// sharing the store) proceed throughout; any serial the relaxed scan
+// misses was added after the rebuild started and is covered by the
+// pending queue.
+func (l *List) rebuild(target uint64) {
+	defer l.rebuildWG.Done()
+	f, err := bloom.NewWithEstimates(target, DefaultFalsePositiveRate)
+	if err != nil {
+		// Can't size a new filter: keep the old one (correct, just a
+		// higher false-positive rate) and allow a future retry.
+		l.mu.Lock()
+		l.rebuilding = false
+		l.pending = nil
+		l.mu.Unlock()
+		return
+	}
+	l.store.PrefixScanRelaxed([]byte(keyPrefix), func(k, v []byte) bool {
+		f.Add(k[len(keyPrefix):])
+		return true
+	})
+	l.mu.Lock()
+	// Serials revoked while we scanned may have missed the snapshot;
+	// fold them in before the swap (double-adds are harmless).
+	for _, s := range l.pending {
+		f.Add(s)
+	}
+	l.pending = nil
+	l.filter = f
+	l.capacity = target
+	l.rebuilding = false
+	l.gen++
+	// The count may have grown past the new target while scanning.
+	l.maybeRebuildLocked()
+	l.mu.Unlock()
+}
+
+// Generation reports how many background filter rebuilds have completed.
+func (l *List) Generation() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.gen
+}
+
+// FilterCapacity reports the current filter's design capacity.
+func (l *List) FilterCapacity() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.capacity
+}
+
+// waitRebuild drains any in-flight rebuild (tests and shutdown paths).
+func (l *List) waitRebuild() { l.rebuildWG.Wait() }
 
 // Add marks a serial revoked. Idempotent.
 func (l *List) Add(s license.Serial) error {
@@ -94,9 +192,21 @@ func (l *List) TryAdd(s license.Serial) (fresh bool, err error) {
 	if err := l.store.Put(key, []byte{1}); err != nil {
 		return false, fmt.Errorf("revocation: persist: %w", err)
 	}
-	l.filter.Add(s[:])
-	l.count++
+	l.addToFilterLocked(s[:])
 	return true, nil
+}
+
+// addToFilterLocked records one freshly revoked serial in the fast path:
+// into the current filter always, into the pending queue too while a
+// rebuild is in flight (the rebuild's store scan may have already passed
+// this serial's position). Caller holds l.mu.
+func (l *List) addToFilterLocked(serial []byte) {
+	l.filter.Add(serial)
+	l.count++
+	if l.rebuilding {
+		l.pending = append(l.pending, append([]byte(nil), serial...))
+	}
+	l.maybeRebuildLocked()
 }
 
 // AddBatch revokes several serials atomically (one WAL record).
@@ -120,8 +230,7 @@ func (l *List) AddBatch(serials []license.Serial) error {
 		return fmt.Errorf("revocation: persist batch: %w", err)
 	}
 	for _, s := range fresh {
-		l.filter.Add(s[:])
-		l.count++
+		l.addToFilterLocked(s[:])
 	}
 	return nil
 }

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fuzz-smoke kv-crash fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke fuzz-smoke kv-crash replica-crash fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test:
 # drives it concurrently (workload generator, revocation list, sharded
 # bank property tests, root integration tests).
 race:
-	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/payment ./internal/revocation ./internal/workload .
+	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/payment ./internal/replica ./internal/revocation ./internal/workload .
 
 # Full evaluation benchmarks (minutes; see bench_test.go for families).
 bench:
@@ -25,6 +25,7 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkT1_ -benchtime=1x ./...
 	$(GO) test -run=NONE -bench='BenchmarkT3_(Purchase|Exchange|Deposit|Get|PutIfAbsent)' -benchtime=1x .
+	$(GO) test -run=NONE -bench=BenchmarkT3_ReplicaCatchup -benchtime=1x ./internal/replica
 
 # Short-deadline go-native fuzzing (one -fuzz target per package run):
 # corrupted WAL tails and license encodings must error, never panic or
@@ -39,6 +40,13 @@ fuzz-smoke:
 kv-crash:
 	$(GO) test -run 'TestCrashRecovery' -count=2 ./internal/kvstore
 
+# Replication crash suite: SIGKILL the follower mid-apply and the
+# primary mid-stream (with compaction racing the segment streams); the
+# follower's recovered state must be a consistent prefix and converge
+# to the primary's durable prefix. -count=2 varies the kill position.
+replica-crash:
+	$(GO) test -run 'TestReplicaCrash' -count=2 ./internal/replica
+
 fmt:
 	gofmt -w .
 
@@ -50,4 +58,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke kv-crash
+ci: build vet fmt-check test race bench-smoke fuzz-smoke kv-crash replica-crash

@@ -25,6 +25,24 @@
 // and compact them incrementally in the background. GET /v1/stats
 // reports the resulting engine shape (segments, live keys, dead bytes,
 // compactions) per store.
+//
+// # Replication
+//
+// A primary daemon automatically serves its provider and bank stores
+// under /v1/replica/* (manifest, segment shipping, status). A second
+// daemon started with
+//
+//	p2drmd -addr :8475 -state /var/lib/p2drm-replica -replica-of http://primary:8474
+//
+// runs as a READ REPLICA instead: no keys are generated, no provider or
+// bank is mounted; the daemon tails both stores from the primary
+// (snapshot bootstrap, then incremental WAL-segment shipping with
+// reconnect/backoff, -replica-poll tunes the idle poll) and serves
+// read-only traffic — /v1/kv/get, /v1/kv/has, /v1/stats,
+// /v1/revocation/contains, /v1/replica/status — while rejecting writes
+// with 403. POST /v1/replica/promote stops replication and opens the
+// local stores for writes (see internal/replica for the protocol and
+// failover semantics).
 package main
 
 import (
@@ -46,19 +64,22 @@ import (
 	"p2drm/internal/payment"
 	"p2drm/internal/provider"
 	"p2drm/internal/rel"
+	"p2drm/internal/replica"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8474", "listen address")
-		stateDir   = flag.String("state", "", "state directory (empty = in-memory)")
-		rsaBits    = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
-		lab        = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
-		seedDemo   = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
-		bankShards = flag.Int("bank-shards", payment.DefaultBankShards, "bank balance-shard count")
-		groupWAL   = flag.Bool("wal-group-commit", true, "fsync durable stores via group commit (off = fsync only on close)")
-		kvShards   = flag.Int("kv-index-shards", kvstore.DefaultIndexShards, "kvstore index lock-stripe count (rounded up to a power of two)")
-		kvSegBytes = flag.Int64("kv-segment-bytes", kvstore.DefaultSegmentBytes, "kvstore WAL segment size cap in bytes")
+		addr        = flag.String("addr", ":8474", "listen address")
+		stateDir    = flag.String("state", "", "state directory (empty = in-memory)")
+		rsaBits     = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
+		lab         = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
+		seedDemo    = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
+		bankShards  = flag.Int("bank-shards", payment.DefaultBankShards, "bank balance-shard count")
+		groupWAL    = flag.Bool("wal-group-commit", true, "fsync durable stores via group commit (off = fsync only on close)")
+		kvShards    = flag.Int("kv-index-shards", kvstore.DefaultIndexShards, "kvstore index lock-stripe count (rounded up to a power of two)")
+		kvSegBytes  = flag.Int64("kv-segment-bytes", kvstore.DefaultSegmentBytes, "kvstore WAL segment size cap in bytes")
+		replicaOf   = flag.String("replica-of", "", "run as a read replica of the primary daemon at this base URL")
+		replicaPoll = flag.Duration("replica-poll", 500*time.Millisecond, "replica idle tail poll interval")
 	)
 	flag.Parse()
 
@@ -72,6 +93,11 @@ func main() {
 	}
 	if *groupWAL {
 		walOpts.Sync = kvstore.SyncGroupCommit
+	}
+
+	if *replicaOf != "" {
+		runReplica(*addr, *stateDir, *replicaOf, *replicaPoll, walOpts)
+		return
 	}
 	log.Printf("p2drmd: bank-shards=%d wal-group-commit=%v kv-index-shards=%d kv-segment-bytes=%d kv-compact-every=%s",
 		*bankShards, *groupWAL, *kvShards, *kvSegBytes, walOpts.CompactEvery)
@@ -167,7 +193,9 @@ valid until "2030-01-01T00:00:00Z";
 		Addr: *addr,
 		Handler: httpapi.NewServer(prov).WithBank(bank).
 			WithStoreStats("provider", store).
-			WithStoreStats("bank", spent),
+			WithStoreStats("bank", spent).
+			WithReplicaSource("provider", replica.NewSource(store)).
+			WithReplicaSource("bank", replica.NewSource(spent)),
 	}
 	// closeStores syncs the WALs; every serving-phase exit path must run
 	// it — under -wal-group-commit=false the stores only fsync on Close,
@@ -203,4 +231,66 @@ valid until "2030-01-01T00:00:00Z";
 		log.Printf("p2drmd: shutdown: %v", err)
 	}
 	closeStores()
+}
+
+// runReplica is follower mode: tail the primary's provider and bank
+// stores (snapshot bootstrap + incremental segment shipping with
+// reconnect/backoff) and serve the read-only replica HTTP surface. No
+// keys are generated — a replica holds replicated state, not signing
+// capability; POST /v1/replica/promote opens the stores for writes.
+func runReplica(addr, stateDir, primaryURL string, poll time.Duration, walOpts kvstore.Options) {
+	log.Printf("p2drmd: replica mode, tailing %s (poll %s)", primaryURL, poll)
+	client := httpapi.NewClient(primaryURL, nil)
+	followers := make(map[string]*replica.Follower, 2)
+	for _, name := range []string{"provider", "bank"} {
+		dir := ""
+		if stateDir != "" {
+			dir = stateDir + "/replica-" + name
+		}
+		f, err := replica.Open(replica.Options{
+			Dir:          dir,
+			Fetch:        httpapi.NewReplicaFetcher(client, name),
+			KV:           walOpts,
+			PollInterval: poll,
+			Logf: func(format string, args ...any) {
+				log.Printf("p2drmd[%s]: "+format, append([]any{name}, args...)...)
+			},
+		})
+		if err != nil {
+			log.Fatalf("replica %s: %v", name, err)
+		}
+		f.Start()
+		followers[name] = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: addr, Handler: httpapi.NewReplicaServer(followers)}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("p2drmd: replica listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	closeFollowers := func() {
+		for name, f := range followers {
+			if err := f.Close(); err != nil {
+				log.Printf("p2drmd: close replica %s: %v", name, err)
+			}
+		}
+	}
+	select {
+	case err := <-errc:
+		log.Printf("p2drmd: serve: %v", err)
+		closeFollowers()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("p2drmd: replica shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("p2drmd: shutdown: %v", err)
+	}
+	closeFollowers()
 }

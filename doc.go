@@ -9,8 +9,13 @@
 // exposes one testing.B benchmark per evaluation table/figure; BENCH.md
 // tracks the benchmark trajectory across PRs.
 //
+// Deployment shape: cmd/p2drmd serves the provider + demo bank over
+// HTTP; a second daemon started with -replica-of=<primary-url> runs as
+// a read replica (snapshot + WAL-segment shipping, promotion on
+// failover) — see internal/replica for the replication protocol.
+//
 // Development workflow: the Makefile mirrors the CI pipeline
 // (.github/workflows/ci.yml) — `make ci` runs build, vet, gofmt check,
-// tests, the -race suite over the concurrent serving path, and a
-// benchmark smoke pass.
+// tests, the -race suite over the concurrent serving path, a benchmark
+// smoke pass, and the kvstore + replication SIGKILL crash suites.
 package p2drm

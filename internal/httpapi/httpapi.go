@@ -42,6 +42,7 @@ import (
 	"p2drm/internal/license"
 	"p2drm/internal/payment"
 	"p2drm/internal/provider"
+	"p2drm/internal/replica"
 	"p2drm/internal/revocation"
 )
 
@@ -52,9 +53,13 @@ type Server struct {
 	Provider *provider.Provider
 	Bank     *payment.Bank
 	mux      *http.ServeMux
-	// stores are the kvstore instances surfaced by GET /v1/stats, keyed
-	// by a human-readable name (registered before serving starts).
+	// stores are the kvstore instances surfaced by GET /v1/stats and
+	// /v1/kv/get|has, keyed by a human-readable name (registered before
+	// serving starts).
 	stores map[string]*kvstore.Store
+	// replicas are the replication sources served under /v1/replica/*,
+	// keyed like stores (registered before serving starts).
+	replicas map[string]*replica.Source
 }
 
 // NewServer builds the handler tree.
@@ -73,6 +78,12 @@ func NewServer(p *provider.Provider) *Server {
 	s.mux.HandleFunc("POST /v1/redeem/batch", s.handleRedeemBatch)
 	s.mux.HandleFunc("GET /v1/revocation/filter", s.handleFilter)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/kv/get", s.handleKVGet)
+	s.mux.HandleFunc("GET /v1/kv/has", s.handleKVHas)
+	s.mux.HandleFunc("GET /v1/replica/manifest", s.handleReplicaManifest)
+	s.mux.HandleFunc("GET /v1/replica/segment/{id}", s.handleReplicaSegment)
+	s.mux.HandleFunc("POST /v1/replica/release", s.handleReplicaRelease)
+	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
 	s.mux.HandleFunc("GET /v1/provider/key", s.handleProviderKey)
 	s.mux.HandleFunc("GET /v1/bank/coinkey", s.handleCoinKey)
 	s.mux.HandleFunc("POST /v1/bank/account", s.handleBankAccount)

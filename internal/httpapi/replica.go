@@ -1,0 +1,522 @@
+package httpapi
+
+// Replication transport: the primary side serves a store's WAL segments
+// to followers, the follower side serves read-only traffic plus
+// replication status. Segment bytes travel as raw octet-stream bodies
+// with identity metadata in X-Replica-* headers — they are CRC-framed
+// log records, so JSON/base64 framing would only add bulk.
+//
+//	Primary (Server, per registered replica source):
+//	  GET  /v1/replica/manifest?store=NAME[&pin=1]
+//	  GET  /v1/replica/segment/{id}?store=NAME&from=OFF&max=N&gen=G[&pin=ID]
+//	  POST /v1/replica/release?store=NAME&pin=ID
+//	  GET  /v1/replica/status
+//	  GET  /v1/kv/get?store=NAME&key=B64   (read-your-replica checks)
+//	  GET  /v1/kv/has?store=NAME&key=B64
+//
+//	Follower (ReplicaServer):
+//	  GET  /v1/kv/get, /v1/kv/has, /v1/stats — served from the replica
+//	  GET  /v1/revocation/contains?serial=B64
+//	  GET  /v1/replica/status
+//	  POST /v1/replica/promote
+//	  POST /v1/kv/put — 403 ErrReadOnly until promoted
+//
+// A compaction-invalidated segment read answers 410 Gone, which the
+// client maps back to kvstore.ErrSegmentGone so the follower's snapshot
+// fallback triggers exactly as it does in-process.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"p2drm/internal/kvstore"
+	"p2drm/internal/license"
+	"p2drm/internal/replica"
+	"p2drm/internal/revocation"
+)
+
+// WithReplicaSource registers a replication source under name (matching
+// the WithStoreStats name so followers address stores consistently).
+// Call before serving starts.
+func (s *Server) WithReplicaSource(name string, src *replica.Source) *Server {
+	if s.replicas == nil {
+		s.replicas = make(map[string]*replica.Source)
+	}
+	s.replicas[name] = src
+	return s
+}
+
+func (s *Server) replicaSource(w http.ResponseWriter, r *http.Request) (*replica.Source, bool) {
+	name := r.URL.Query().Get("store")
+	src := s.replicas[name]
+	if src == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: no replica source %q", name))
+		return nil, false
+	}
+	return src, true
+}
+
+func (s *Server) handleReplicaManifest(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.replicaSource(w, r)
+	if !ok {
+		return
+	}
+	m, err := src.Manifest(r.URL.Query().Get("pin") == "1")
+	if err != nil {
+		writeErr(w, replicaErrStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// Segment identity/continuation headers; the body is raw log bytes.
+const (
+	hdrEpoch   = "X-Replica-Epoch"
+	hdrSealed  = "X-Replica-Sealed"
+	hdrGen     = "X-Replica-Gen"
+	hdrTotal   = "X-Replica-Total"
+	hdrCRC     = "X-Replica-Crc"
+	hdrNext    = "X-Replica-Next"
+	hdrNextGen = "X-Replica-Next-Gen"
+)
+
+func (s *Server) handleReplicaSegment(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.replicaSource(w, r)
+	if !ok {
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad segment id: %w", err))
+		return
+	}
+	q := r.URL.Query()
+	from, err1 := strconv.ParseInt(q.Get("from"), 10, 64)
+	max, err2 := strconv.ParseInt(q.Get("max"), 10, 64)
+	var gen uint64
+	var err3 error
+	if g := q.Get("gen"); g != "" {
+		gen, err3 = strconv.ParseUint(g, 10, 64)
+	}
+	if err1 != nil || err2 != nil || err3 != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad from/max/gen"))
+		return
+	}
+	ch, err := src.Segment(id, from, max, gen, q.Get("pin"))
+	if err != nil {
+		writeErr(w, replicaErrStatus(err), err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(hdrEpoch, ch.Epoch)
+	h.Set(hdrSealed, strconv.FormatBool(ch.Sealed))
+	h.Set(hdrGen, strconv.FormatUint(ch.Gen, 10))
+	h.Set(hdrTotal, strconv.FormatInt(ch.Total, 10))
+	h.Set(hdrCRC, strconv.FormatUint(uint64(ch.CRC32), 10))
+	h.Set(hdrNext, strconv.FormatUint(ch.NextID, 10))
+	h.Set(hdrNextGen, strconv.FormatUint(ch.NextGen, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(ch.Data)
+}
+
+func (s *Server) handleReplicaRelease(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.replicaSource(w, r)
+	if !ok {
+		return
+	}
+	src.Release(r.URL.Query().Get("pin")) //nolint:errcheck
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}
+
+// PrimaryReplicaStatus is one store's primary-side replication view.
+type PrimaryReplicaStatus struct {
+	Epoch      string `json:"epoch"`
+	Segments   int    `json:"segments"`
+	DurableSeg uint64 `json:"durable_seg"`
+	DurableOff int64  `json:"durable_off"`
+	Pins       int    `json:"pins"`
+}
+
+// ReplicaStatusResponse is GET /v1/replica/status from either role.
+type ReplicaStatusResponse struct {
+	Role    string                          `json:"role"` // "primary" or "replica"
+	Stores  map[string]PrimaryReplicaStatus `json:"stores,omitempty"`
+	Replica map[string]replica.Status       `json:"replica,omitempty"`
+}
+
+func (s *Server) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
+	resp := ReplicaStatusResponse{Role: "primary", Stores: make(map[string]PrimaryReplicaStatus, len(s.replicas))}
+	for name, src := range s.replicas {
+		st := PrimaryReplicaStatus{Epoch: src.Epoch(), Pins: src.Pins()}
+		// Stats gives the segment count without building a manifest
+		// (which copies per-segment metadata under the log mutex).
+		st.Segments = src.Store().Stats().Segments
+		st.DurableSeg, st.DurableOff = src.Store().DurableOffset()
+		resp.Stores[name] = st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// replicaErrStatus maps source errors onto transport codes the client
+// can map back losslessly.
+func replicaErrStatus(err error) int {
+	switch {
+	case errors.Is(err, kvstore.ErrSegmentGone):
+		return http.StatusGone
+	case errors.Is(err, kvstore.ErrInMemory):
+		return http.StatusNotImplemented
+	case errors.Is(err, replica.ErrUnknownPin):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// --- shared read-only KV endpoints (primary + follower) ---
+
+// KVValueResponse answers /v1/kv/get and /v1/kv/has.
+type KVValueResponse struct {
+	Found bool   `json:"found"`
+	Value string `json:"value,omitempty"` // base64
+}
+
+// kvKeyParam decodes the base64url ?key= parameter.
+func kvKeyParam(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	key, err := base64.URLEncoding.DecodeString(r.URL.Query().Get("key"))
+	if err != nil || len(key) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad key (want base64url)"))
+		return nil, false
+	}
+	return key, true
+}
+
+func (s *Server) handleKVGet(w http.ResponseWriter, r *http.Request) {
+	st := s.stores[r.URL.Query().Get("store")]
+	if st == nil {
+		writeErr(w, http.StatusNotFound, errors.New("httpapi: unknown store"))
+		return
+	}
+	key, ok := kvKeyParam(w, r)
+	if !ok {
+		return
+	}
+	v, found := st.Get(key)
+	writeJSON(w, http.StatusOK, KVValueResponse{Found: found, Value: b64(v)})
+}
+
+func (s *Server) handleKVHas(w http.ResponseWriter, r *http.Request) {
+	st := s.stores[r.URL.Query().Get("store")]
+	if st == nil {
+		writeErr(w, http.StatusNotFound, errors.New("httpapi: unknown store"))
+		return
+	}
+	key, ok := kvKeyParam(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, KVValueResponse{Found: st.Has(key)})
+}
+
+// --- follower-side server ---
+
+// ReplicaServer is the HTTP surface of a follower daemon: read-only KV
+// and revocation lookups against the local replicas, replication
+// status, and promotion. Writes are rejected until promotion.
+type ReplicaServer struct {
+	followers map[string]*replica.Follower
+	mux       *http.ServeMux
+}
+
+// NewReplicaServer builds the follower handler tree over the given
+// followers (keyed by store name, e.g. "provider" and "bank").
+func NewReplicaServer(followers map[string]*replica.Follower) *ReplicaServer {
+	rs := &ReplicaServer{followers: followers, mux: http.NewServeMux()}
+	rs.mux.HandleFunc("GET /v1/kv/get", rs.handleGet)
+	rs.mux.HandleFunc("GET /v1/kv/has", rs.handleHas)
+	rs.mux.HandleFunc("POST /v1/kv/put", rs.handlePut)
+	rs.mux.HandleFunc("GET /v1/stats", rs.handleStats)
+	rs.mux.HandleFunc("GET /v1/replica/status", rs.handleStatus)
+	rs.mux.HandleFunc("POST /v1/replica/promote", rs.handlePromote)
+	rs.mux.HandleFunc("GET /v1/revocation/contains", rs.handleContains)
+	return rs
+}
+
+// ServeHTTP implements http.Handler.
+func (rs *ReplicaServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { rs.mux.ServeHTTP(w, r) }
+
+func (rs *ReplicaServer) follower(w http.ResponseWriter, r *http.Request) (*replica.Follower, bool) {
+	name := r.URL.Query().Get("store")
+	f := rs.followers[name]
+	if f == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: no replica for store %q", name))
+		return nil, false
+	}
+	return f, true
+}
+
+func (rs *ReplicaServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	f, ok := rs.follower(w, r)
+	if !ok {
+		return
+	}
+	key, ok := kvKeyParam(w, r)
+	if !ok {
+		return
+	}
+	v, found := f.Get(key)
+	writeJSON(w, http.StatusOK, KVValueResponse{Found: found, Value: b64(v)})
+}
+
+func (rs *ReplicaServer) handleHas(w http.ResponseWriter, r *http.Request) {
+	f, ok := rs.follower(w, r)
+	if !ok {
+		return
+	}
+	key, ok := kvKeyParam(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, KVValueResponse{Found: f.Has(key)})
+}
+
+// KVPutRequest is a follower-side write attempt (rejected until the
+// follower is promoted).
+type KVPutRequest struct {
+	Key   string `json:"key"`   // base64
+	Value string `json:"value"` // base64
+}
+
+func (rs *ReplicaServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	f, ok := rs.follower(w, r)
+	if !ok {
+		return
+	}
+	var req KVPutRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err1 := unb64(req.Key)
+	val, err2 := unb64(req.Value)
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
+		return
+	}
+	if err := f.Put(key, val); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, replica.ErrReadOnly) {
+			status = http.StatusForbidden
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (rs *ReplicaServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Stores: make(map[string]kvstore.Stats, len(rs.followers))}
+	for name, f := range rs.followers {
+		resp.Stores[name] = f.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rs *ReplicaServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	resp := ReplicaStatusResponse{Role: "replica", Replica: make(map[string]replica.Status, len(rs.followers))}
+	for name, f := range rs.followers {
+		resp.Replica[name] = f.Status()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rs *ReplicaServer) handlePromote(w http.ResponseWriter, r *http.Request) {
+	for _, f := range rs.followers {
+		f.Promote()
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "promoted"})
+}
+
+// handleContains answers revocation lookups from the replicated
+// provider store: exact (not Bloom) containment via the store key the
+// revocation list uses on the primary.
+func (rs *ReplicaServer) handleContains(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("store")
+	if name == "" {
+		name = "provider"
+	}
+	f := rs.followers[name]
+	if f == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: no replica for store %q", name))
+		return
+	}
+	raw, err := base64.URLEncoding.DecodeString(r.URL.Query().Get("serial"))
+	var serial license.Serial
+	if err != nil || len(raw) != len(serial) {
+		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad serial (want base64url of exact length)"))
+		return
+	}
+	copy(serial[:], raw)
+	writeJSON(w, http.StatusOK, KVValueResponse{Found: f.Has(revocation.StoreKey(serial))})
+}
+
+// --- client SDK ---
+
+// ReplicaManifest fetches a store's segment manifest; pin=true leases
+// the sealed set against compaction until ReplicaRelease (or TTL).
+func (c *Client) ReplicaManifest(store string, pin bool) (*replica.Manifest, error) {
+	p := "/v1/replica/manifest?store=" + url.QueryEscape(store)
+	if pin {
+		p += "&pin=1"
+	}
+	var m replica.Manifest
+	if err := c.get(p, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ReplicaSegment fetches raw segment bytes; see replica.Fetcher.
+func (c *Client) ReplicaSegment(store string, id uint64, from, max int64, wantGen uint64, pinID string) (*replica.Chunk, error) {
+	u := fmt.Sprintf("%s/v1/replica/segment/%d?store=%s&from=%d&max=%d&gen=%d",
+		c.BaseURL, id, url.QueryEscape(store), from, max, wantGen)
+	if pinID != "" {
+		u += "&pin=" + url.QueryEscape(pinID)
+	}
+	resp, err := c.HTTP.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil, kvstore.ErrSegmentGone
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil, replica.ErrUnknownPin
+	default:
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			return nil, fmt.Errorf("httpapi: server: %s", eb.Error)
+		}
+		return nil, fmt.Errorf("httpapi: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	h := resp.Header
+	sealed, _ := strconv.ParseBool(h.Get(hdrSealed))
+	gen, err1 := strconv.ParseUint(h.Get(hdrGen), 10, 64)
+	total, err2 := strconv.ParseInt(h.Get(hdrTotal), 10, 64)
+	crc, err3 := strconv.ParseUint(h.Get(hdrCRC), 10, 32)
+	next, err4 := strconv.ParseUint(h.Get(hdrNext), 10, 64)
+	nextGen, err5 := strconv.ParseUint(h.Get(hdrNextGen), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+		return nil, errors.New("httpapi: malformed replica headers")
+	}
+	return &replica.Chunk{
+		Epoch: h.Get(hdrEpoch),
+		SegmentChunk: kvstore.SegmentChunk{
+			ID:      id,
+			From:    from,
+			Data:    data,
+			Sealed:  sealed,
+			Total:   total,
+			Gen:     gen,
+			CRC32:   uint32(crc),
+			NextID:  next,
+			NextGen: nextGen,
+		},
+	}, nil
+}
+
+// ReplicaRelease ends a pin lease.
+func (c *Client) ReplicaRelease(store, pinID string) error {
+	return c.post("/v1/replica/release?store="+url.QueryEscape(store)+"&pin="+url.QueryEscape(pinID), struct{}{}, nil)
+}
+
+// ReplicaStatus reads either role's replication status.
+func (c *Client) ReplicaStatus() (*ReplicaStatusResponse, error) {
+	var resp ReplicaStatusResponse
+	if err := c.get("/v1/replica/status", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ReplicaPromote promotes a follower daemon's stores to writable.
+func (c *Client) ReplicaPromote() error {
+	return c.post("/v1/replica/promote", struct{}{}, nil)
+}
+
+// KVGet reads one key from a named store (primary or replica daemon).
+func (c *Client) KVGet(store string, key []byte) ([]byte, bool, error) {
+	var resp KVValueResponse
+	p := "/v1/kv/get?store=" + url.QueryEscape(store) + "&key=" + base64.URLEncoding.EncodeToString(key)
+	if err := c.get(p, &resp); err != nil {
+		return nil, false, err
+	}
+	if !resp.Found {
+		return nil, false, nil
+	}
+	v, err := unb64(resp.Value)
+	return v, true, err
+}
+
+// KVHas checks one key on a named store.
+func (c *Client) KVHas(store string, key []byte) (bool, error) {
+	var resp KVValueResponse
+	p := "/v1/kv/has?store=" + url.QueryEscape(store) + "&key=" + base64.URLEncoding.EncodeToString(key)
+	if err := c.get(p, &resp); err != nil {
+		return false, err
+	}
+	return resp.Found, nil
+}
+
+// KVPut attempts a write on a replica daemon (rejected until promoted).
+func (c *Client) KVPut(store string, key, val []byte) error {
+	return c.post("/v1/kv/put?store="+url.QueryEscape(store), KVPutRequest{Key: b64(key), Value: b64(val)}, nil)
+}
+
+// RevocationContains asks a replica for exact revocation containment.
+func (c *Client) RevocationContains(serial license.Serial) (bool, error) {
+	var resp KVValueResponse
+	p := "/v1/revocation/contains?serial=" + base64.URLEncoding.EncodeToString(serial[:])
+	if err := c.get(p, &resp); err != nil {
+		return false, err
+	}
+	return resp.Found, nil
+}
+
+// replicaFetcher adapts the client SDK to replica.Fetcher for one store.
+type replicaFetcher struct {
+	c     *Client
+	store string
+}
+
+// NewReplicaFetcher returns the transport a replica.Follower uses to
+// tail `store` on the daemon at client's BaseURL.
+func NewReplicaFetcher(c *Client, store string) replica.Fetcher {
+	return replicaFetcher{c: c, store: store}
+}
+
+func (rf replicaFetcher) Manifest(pin bool) (*replica.Manifest, error) {
+	return rf.c.ReplicaManifest(rf.store, pin)
+}
+
+func (rf replicaFetcher) Segment(id uint64, from, max int64, wantGen uint64, pinID string) (*replica.Chunk, error) {
+	return rf.c.ReplicaSegment(rf.store, id, from, max, wantGen, pinID)
+}
+
+func (rf replicaFetcher) Release(pinID string) error {
+	return rf.c.ReplicaRelease(rf.store, pinID)
+}

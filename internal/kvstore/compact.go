@@ -28,6 +28,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"time"
@@ -82,6 +83,18 @@ func (s *Store) Compact() error {
 
 // compactNext rewrites the sealed segment under the rotation cursor.
 // Caller holds compactMu (and nothing else).
+//
+// Two classes of segment are passed over without a rewrite:
+//
+//   - Pinned segments (an in-flight replication snapshot holds them): a
+//     rename swap here would change the bytes a follower is mid-stream
+//     on. The cursor advances and the segment is revisited after the
+//     pin is released.
+//   - All-live segments: the per-segment metadata proves live==records,
+//     i.e. every record is the unique newest write for its key and
+//     still matches the index, so a rewrite would be a byte-for-byte
+//     identity. Skipping saves the full segment rescan (CompactionSkips
+//     in Stats counts these).
 func (s *Store) compactNext() (bool, error) {
 	s.logMu.Lock()
 	if s.closed {
@@ -100,53 +113,108 @@ func (s *Store) compactNext() (bool, error) {
 	idx := s.compactCursor
 	seg := s.sealed[idx]
 	oldest := idx == 0
+	if s.pinned[seg.id] > 0 {
+		s.compactCursor++
+		s.logMu.Unlock()
+		return true, nil
+	}
+	m := s.metaFor(seg.id)
+	if recs := m.records.Load(); recs > 0 && m.live.Load() == recs {
+		s.compactCursor++
+		s.logMu.Unlock()
+		s.compactSkips.Add(1)
+		return true, nil
+	}
 	s.logMu.Unlock()
 
-	newBytes, removed, err := s.rewriteSegment(seg.id, oldest)
+	res, err := s.rewriteSegment(seg, oldest)
 	if err != nil {
 		return false, err
+	}
+	if res.unchanged {
+		// The rewrite dropped nothing (same bytes, same CRC): swapping
+		// in a byte-identical file would only bump the gen and kick
+		// every tailing replication follower into a needless snapshot
+		// fallback. Tombstone-bearing segments hit this every cycle
+		// (kept tombstones keep live < records forever), so without
+		// this check the background compactor would churn them — and
+		// their followers — indefinitely.
+		s.logMu.Lock()
+		s.compactCursor++
+		s.logMu.Unlock()
+		s.compactions.Add(1)
+		return true, nil
 	}
 
 	s.logMu.Lock()
 	// Only compactNext (serialized by compactMu) removes sealed entries,
 	// and rolls only append, so idx still names seg.
-	s.bytesLogged += newBytes - seg.bytes
-	if removed {
+	s.bytesLogged += res.bytes - seg.bytes
+	if res.removed {
 		s.sealed = append(s.sealed[:idx], s.sealed[idx+1:]...)
 		// The cursor now points at the next segment already.
 	} else {
-		s.sealed[idx].bytes = newBytes
+		s.sealed[idx].bytes = res.bytes
+		s.sealed[idx].crc = res.crc
+		s.sealed[idx].gen = seg.gen + 1
 		s.compactCursor++
 	}
 	s.logMu.Unlock()
+	if res.removed {
+		s.dropMeta(seg.id)
+	} else {
+		m.records.Store(res.records)
+		s.metaMu.Lock()
+		m.minKey, m.maxKey = res.minKey, res.maxKey
+		s.metaMu.Unlock()
+	}
 	s.compactions.Add(1)
 	return true, nil
 }
 
-// rewriteSegment streams segment id, keeps live records per the package
-// liveness rules, and swaps the result in. It returns the compacted
-// size, or removed=true when nothing survived and the segment file was
-// deleted.
-func (s *Store) rewriteSegment(id uint64, oldest bool) (newBytes int64, removed bool, err error) {
+// rewriteResult carries one rewritten segment's new shape.
+type rewriteResult struct {
+	bytes   int64
+	crc     uint32
+	records int64
+	minKey  []byte
+	maxKey  []byte
+	removed bool
+	// unchanged reports that the rewrite output was byte-identical to
+	// the existing file, so no swap happened (and no gen bump).
+	unchanged bool
+}
+
+// rewriteSegment streams segment seg, keeps live records per the
+// package liveness rules, and swaps the result in. It returns the
+// compacted shape; removed=true when nothing survived and the file was
+// deleted, unchanged=true when the output was byte-identical to the
+// existing file (detected by length+CRC — and a false match is still
+// safe, because keeping an uncompacted segment is always correct) and
+// the tmp file was discarded without a swap.
+func (s *Store) rewriteSegment(seg segment, oldest bool) (rewriteResult, error) {
+	id := seg.id
 	path := s.segmentPath(id)
 	in, err := os.Open(path)
 	if err != nil {
-		return 0, false, fmt.Errorf("kvstore: compact open: %w", err)
+		return rewriteResult{}, fmt.Errorf("kvstore: compact open: %w", err)
 	}
 	defer in.Close()
 
 	tmpPath := path + ".tmp"
 	tmp, err := os.Create(tmpPath)
 	if err != nil {
-		return 0, false, fmt.Errorf("kvstore: compact tmp: %w", err)
+		return rewriteResult{}, fmt.Errorf("kvstore: compact tmp: %w", err)
 	}
-	discard := func(e error) (int64, bool, error) {
+	discard := func(e error) (rewriteResult, error) {
 		tmp.Close()
 		os.Remove(tmpPath)
-		return 0, false, e
+		return rewriteResult{}, e
 	}
 	out := bufio.NewWriter(tmp)
 
+	var res rewriteResult
+	crc := crc32.NewIEEE()
 	r := bufio.NewReader(in)
 	for {
 		rec, _, rerr := readRecord(r)
@@ -162,7 +230,7 @@ func (s *Store) rewriteSegment(id uint64, oldest bool) (newBytes int64, removed 
 		// mattered when they could be torn mid-write, but a compacted
 		// segment is fully fsynced before it replaces the original.
 		for _, o := range rec.ops {
-			if !s.opLive(o, oldest) {
+			if !s.opLive(o, id, oldest) {
 				continue
 			}
 			kind := kindPut
@@ -173,7 +241,15 @@ func (s *Store) rewriteSegment(id uint64, oldest bool) (newBytes int64, removed 
 			if _, werr := out.Write(recBytes); werr != nil {
 				return discard(werr)
 			}
-			newBytes += int64(len(recBytes))
+			crc.Write(recBytes)
+			res.bytes += int64(len(recBytes))
+			res.records++
+			if res.minKey == nil || bytes.Compare(o.key, res.minKey) < 0 {
+				res.minKey = append([]byte(nil), o.key...)
+			}
+			if res.maxKey == nil || bytes.Compare(o.key, res.maxKey) > 0 {
+				res.maxKey = append([]byte(nil), o.key...)
+			}
 		}
 	}
 
@@ -188,16 +264,23 @@ func (s *Store) rewriteSegment(id uint64, oldest bool) (newBytes int64, removed 
 		return discard(fmt.Errorf("kvstore: compact: sync active segment: %w", err))
 	}
 
-	if newBytes == 0 {
+	if res.bytes == 0 {
 		tmp.Close()
 		os.Remove(tmpPath)
 		if err := os.Remove(path); err != nil {
-			return 0, false, fmt.Errorf("kvstore: compact remove: %w", err)
+			return rewriteResult{}, fmt.Errorf("kvstore: compact remove: %w", err)
 		}
 		if err := syncDir(s.dir); err != nil {
-			return 0, false, err
+			return rewriteResult{}, err
 		}
-		return 0, true, nil
+		return rewriteResult{removed: true}, nil
+	}
+	res.crc = crc.Sum32()
+	if res.bytes == seg.bytes && res.crc == seg.crc {
+		tmp.Close()
+		os.Remove(tmpPath)
+		res.unchanged = true
+		return res, nil
 	}
 	if err := out.Flush(); err != nil {
 		return discard(err)
@@ -207,20 +290,24 @@ func (s *Store) rewriteSegment(id uint64, oldest bool) (newBytes int64, removed 
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpPath)
-		return 0, false, err
+		return rewriteResult{}, err
 	}
 	if err := os.Rename(tmpPath, path); err != nil {
 		os.Remove(tmpPath)
-		return 0, false, fmt.Errorf("kvstore: compact swap: %w", err)
+		return rewriteResult{}, fmt.Errorf("kvstore: compact swap: %w", err)
 	}
 	if err := syncDir(s.dir); err != nil {
-		return 0, false, err
+		return rewriteResult{}, err
 	}
-	return newBytes, false, nil
+	return res, nil
 }
 
-// opLive applies the liveness rules from the file comment.
-func (s *Store) opLive(o op, oldest bool) bool {
+// opLive applies the liveness rules from the file comment. segID is the
+// segment being compacted: with segment ids tracked in the index, a put
+// is live only when the index says this very segment holds the key's
+// newest record (a value-equal record in an older segment is provably
+// superseded and can be dropped).
+func (s *Store) opLive(o op, segID uint64, oldest bool) bool {
 	sh := s.shardFor(o.key)
 	sh.mu.RLock()
 	cur, ok := sh.data[string(o.key)]
@@ -228,7 +315,7 @@ func (s *Store) opLive(o op, oldest bool) bool {
 	if o.del {
 		return !ok && !oldest
 	}
-	return ok && bytes.Equal(cur, o.val)
+	return ok && cur.seg == segID && bytes.Equal(cur.val, o.val)
 }
 
 // compactLoop is the background compactor: one CompactStep per tick while

@@ -34,6 +34,14 @@
 // Batches are single log records, so multi-key updates (e.g. "store new
 // license + mark old serial redeemed") are atomic across crashes.
 //
+// The engine also maintains per-segment metadata (record/live counts and
+// key range, segMeta) keyed by the segment id carried in every index
+// entry: CompactStep uses it to SKIP provably all-live segments without
+// rescanning them, and it doubles as the replication manifest payload.
+// The replication read surface — Manifest, ReadSegment, PinSealed,
+// DurableOffset, ScanRecords — lives in replicate.go and is documented
+// there; internal/replica builds snapshot + WAL-segment shipping on it.
+//
 // # Durability policies
 //
 // Open gives the seed behavior (SyncOnClose): every record is flushed to
@@ -96,6 +104,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sort"
 	"strings"
@@ -167,10 +176,21 @@ type Options struct {
 	CompactMinGarbage float64
 }
 
+// entry is one live index slot: the current value plus the id of the log
+// segment holding the key's newest record. The segment id is what makes
+// exact per-segment liveness accounting (segMeta) possible: overwriting
+// or deleting a key decrements the live count of the segment that held
+// the previous record, so CompactStep can prove a sealed segment is
+// all-live without rescanning it.
+type entry struct {
+	val []byte
+	seg uint64
+}
+
 // shard is one lock stripe of the in-memory index.
 type shard struct {
 	mu   sync.RWMutex
-	data map[string][]byte
+	data map[string]entry
 }
 
 // recordOverhead is the framing of a simple put record (9-byte header +
@@ -181,23 +201,29 @@ type shard struct {
 // the ratio is an estimate either way).
 const recordOverhead = 13
 
-// apply mutates the shard map for one op and returns the live-byte delta
-// (estimated log bytes needed to re-encode the key's newest record). The
-// caller owns o.val (it is stored without copying) and holds sh.mu,
-// except during single-threaded replay at Open.
-func (sh *shard) apply(o op) int64 {
+// applyOp mutates the shard map for one op and returns the live-byte
+// delta (estimated log bytes needed to re-encode the key's newest
+// record). seg is the id of the segment the op's record was appended to.
+// The caller owns o.val (it is stored without copying) and holds sh.mu,
+// except during single-threaded replay at Open. Per-segment live counts
+// are maintained here, under the same shard lock that orders the append
+// against concurrent compaction liveness checks.
+func (s *Store) applyOp(sh *shard, o op, seg uint64) int64 {
 	var delta int64
 	if o.del {
 		if old, ok := sh.data[string(o.key)]; ok {
-			delta -= int64(recordOverhead + len(o.key) + len(old))
+			delta -= int64(recordOverhead + len(o.key) + len(old.val))
+			s.segLiveAdd(old.seg, -1)
 			delete(sh.data, string(o.key))
 		}
 		return delta
 	}
 	if old, ok := sh.data[string(o.key)]; ok {
-		delta -= int64(recordOverhead + len(o.key) + len(old))
+		delta -= int64(recordOverhead + len(o.key) + len(old.val))
+		s.segLiveAdd(old.seg, -1)
 	}
-	sh.data[string(o.key)] = o.val
+	sh.data[string(o.key)] = entry{val: o.val, seg: seg}
+	s.segLiveAdd(seg, 1)
 	return delta + int64(recordOverhead+len(o.key)+len(o.val))
 }
 
@@ -205,6 +231,16 @@ func (sh *shard) apply(o op) int64 {
 type segment struct {
 	id    uint64
 	bytes int64
+	// crc is the CRC32 (IEEE) of the full segment file, maintained as a
+	// running checksum while the segment was active and recomputed by the
+	// compactor when it rewrites the file. Replication followers use it
+	// to verify shipped segments end to end.
+	crc uint32
+	// gen counts compaction rewrites of this segment's file. A sealed
+	// segment's bytes are immutable for a given (id, gen); replication
+	// reads carry the expected gen so a follower can never be handed
+	// bytes from a file that was swapped under it.
+	gen uint64
 }
 
 // Store is a durable (or, with Dir "", purely in-memory) key-value map.
@@ -221,6 +257,9 @@ type Store struct {
 	closedFlag atomic.Bool
 	// compactions counts completed CompactStep passes.
 	compactions atomic.Int64
+	// compactSkips counts CompactStep passes that skipped a segment the
+	// per-segment metadata proved all-live (no rescan needed).
+	compactSkips atomic.Int64
 
 	// durable is true when the store is disk-backed. Immutable after
 	// Open, so lock-free paths may branch on it (s.file itself is
@@ -239,8 +278,16 @@ type Store struct {
 	seq         int64 // records appended to the log
 	activeID    uint64
 	activeBytes int64
+	// activeCRC is the running CRC32 of every byte appended to the
+	// active segment; it becomes the sealed segment's crc at roll time.
+	activeCRC   uint32
 	sealed      []segment // ascending id order
 	bytesLogged int64     // total bytes across all segments
+	// pinned refcounts sealed segments held open by replication snapshot
+	// streams (Pin). CompactStep never rewrites or deletes a pinned
+	// segment, so an atomic-rename swap can't yank bytes out from under
+	// a streaming follower. Guarded by logMu.
+	pinned map[uint64]int
 	// walErr is the sticky append-path failure (write, flush or
 	// SyncAlways fsync). After one, later records could sit beyond a
 	// hole replay can't cross, so every further mutation is refused
@@ -270,6 +317,115 @@ type Store struct {
 	gcSyncing  bool
 	gcSwapping bool
 	gcErr      error
+	// gcBytesSeg/gcBytesOff track the byte position (segment id, offset)
+	// of the newest appended record, so the commit leader can publish an
+	// exact durable byte horizon after its fsync. Guarded by gcMu;
+	// maintained only under SyncGroupCommit.
+	gcBytesSeg uint64
+	gcBytesOff int64
+
+	// metaMu guards segMetas, the per-segment metadata registry. It is a
+	// leaf lock: taken after shard locks, logMu or compactMu, never the
+	// other way around.
+	metaMu   sync.RWMutex
+	segMetas map[uint64]*segMeta
+
+	// durMu guards the durable byte horizon (durSeg, durOff): every byte
+	// of segment durSeg before durOff — and every byte of every segment
+	// with a lower id — is known to be on stable storage. The horizon
+	// only ever advances, and always lands on a record boundary (every
+	// fsync site is a whole-record position). Leaf lock.
+	durMu  sync.Mutex
+	durSeg uint64
+	durOff int64
+}
+
+// segMeta is the engine-maintained metadata of one log segment: total
+// records appended over its life, records still matching the live index,
+// and the segment's key range. live==records proves a rewrite would be an
+// identity, letting CompactStep skip the segment without rescanning it;
+// the same numbers double as the replication manifest payload.
+type segMeta struct {
+	records atomic.Int64
+	live    atomic.Int64
+	// minKey/maxKey bound every key ever appended to the segment.
+	// Mutated only by the single appending writer (under logMu) or
+	// single-threaded replay/compaction; read under metaMu.RLock by
+	// Manifest/SegmentInfos, so mutations take metaMu briefly.
+	minKey, maxKey []byte
+}
+
+// note folds one appended record's ops into the metadata.
+func (m *segMeta) note(s *Store, ops []op) {
+	m.records.Add(int64(len(ops)))
+	s.metaMu.Lock()
+	for i := range ops {
+		k := ops[i].key
+		if m.minKey == nil || bytes.Compare(k, m.minKey) < 0 {
+			m.minKey = append([]byte(nil), k...)
+		}
+		if m.maxKey == nil || bytes.Compare(k, m.maxKey) > 0 {
+			m.maxKey = append([]byte(nil), k...)
+		}
+	}
+	s.metaMu.Unlock()
+}
+
+// metaFor returns (creating if needed) the metadata slot for segment id.
+func (s *Store) metaFor(id uint64) *segMeta {
+	s.metaMu.RLock()
+	m := s.segMetas[id]
+	s.metaMu.RUnlock()
+	if m != nil {
+		return m
+	}
+	s.metaMu.Lock()
+	if m = s.segMetas[id]; m == nil {
+		m = &segMeta{}
+		s.segMetas[id] = m
+	}
+	s.metaMu.Unlock()
+	return m
+}
+
+// segLiveAdd adjusts segment id's live-record count (in-memory stores
+// carry id 0 and no metadata registry entries worth tracking).
+func (s *Store) segLiveAdd(id uint64, delta int64) {
+	if !s.durable {
+		return
+	}
+	s.metaFor(id).live.Add(delta)
+}
+
+// dropMeta forgets a deleted segment's metadata.
+func (s *Store) dropMeta(id uint64) {
+	s.metaMu.Lock()
+	delete(s.segMetas, id)
+	s.metaMu.Unlock()
+}
+
+// advanceDurable publishes a new durable byte horizon. Monotonic: a
+// lower position than the current horizon is ignored.
+func (s *Store) advanceDurable(seg uint64, off int64) {
+	s.durMu.Lock()
+	if seg > s.durSeg || (seg == s.durSeg && off > s.durOff) {
+		s.durSeg, s.durOff = seg, off
+	}
+	s.durMu.Unlock()
+}
+
+// DurableOffset reports the durable byte horizon: every byte of segment
+// seg before off, and every byte of every lower-numbered segment, is on
+// stable storage. The horizon always lands on a record boundary.
+// Replication sources stream the active segment only up to this horizon,
+// so a follower can never apply a record the primary might lose in a
+// crash. Under SyncAlways/SyncGroupCommit the horizon tracks every
+// acknowledged write; under SyncOnClose it only advances at explicit
+// Sync calls and segment rolls.
+func (s *Store) DurableOffset() (seg uint64, off int64) {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	return s.durSeg, s.durOff
 }
 
 // Open opens (creating if necessary) a store in dir with the default
@@ -303,8 +459,10 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	s := &Store{dir: dir, opts: opts, shardMask: uint64(nShards - 1)}
 	s.shards = make([]*shard, nShards)
 	for i := range s.shards {
-		s.shards[i] = &shard{data: make(map[string][]byte)}
+		s.shards[i] = &shard{data: make(map[string]entry)}
 	}
+	s.segMetas = make(map[uint64]*segMeta)
+	s.pinned = make(map[uint64]int)
 	s.gcCond = sync.NewCond(&s.gcMu)
 	if dir == "" {
 		return s, nil
@@ -368,8 +526,19 @@ func (s *Store) append(kind byte, body []byte) error {
 	}
 	s.bytesLogged += int64(len(rec))
 	s.activeBytes += int64(len(rec))
+	s.activeCRC = crc32.Update(s.activeCRC, crc32.IEEETable, rec)
 	s.seq++
 	s.seqNow.Store(s.seq)
+	if s.opts.Sync == SyncAlways {
+		s.advanceDurable(s.activeID, s.activeBytes)
+	}
+	if s.opts.Sync == SyncGroupCommit {
+		// Publish the byte position of this record so the commit leader
+		// covering it can advance the durable byte horizon exactly.
+		s.gcMu.Lock()
+		s.gcBytesSeg, s.gcBytesOff = s.activeID, s.activeBytes
+		s.gcMu.Unlock()
+	}
 	if s.activeBytes >= s.opts.SegmentBytes {
 		if err := s.roll(); err != nil {
 			// The record itself is flushed, but the store can no longer
@@ -416,6 +585,7 @@ func (s *Store) waitDurable(seq int64) error {
 			s.gcMu.Lock()
 		}
 		target := s.gcAppended
+		bytesSeg, bytesOff := s.gcBytesSeg, s.gcBytesOff
 		f := s.file
 		s.gcMu.Unlock()
 		err := f.Sync()
@@ -423,8 +593,14 @@ func (s *Store) waitDurable(seq int64) error {
 		s.gcSyncing = false
 		if err != nil {
 			s.gcErr = fmt.Errorf("kvstore: group commit fsync: %w", err)
-		} else if target > s.gcDurable {
-			s.gcDurable = target
+		} else {
+			if target > s.gcDurable {
+				s.gcDurable = target
+			}
+			// No swap can start while gcSyncing was set, so (bytesSeg,
+			// bytesOff) still names a position inside the file we just
+			// fsynced (or an earlier, already-durable segment).
+			s.advanceDurable(bytesSeg, bytesOff)
 		}
 		s.gcCond.Broadcast()
 	}
@@ -550,13 +726,19 @@ func (s *Store) logAndApply(sh *shard, o op) (int64, error) {
 		s.logMu.Unlock()
 		return 0, ErrClosed
 	}
+	// The record lands in the segment that is active NOW; append may
+	// roll to a fresh segment afterwards, but only after writing it.
+	seg := s.activeID
 	err := s.append(kind, encodePutBody(o.key, o.val))
 	seq := s.seq
+	if err == nil && s.durable {
+		s.metaFor(seg).note(s, []op{o})
+	}
 	s.logMu.Unlock()
 	if err != nil {
 		return 0, err
 	}
-	s.liveBytes.Add(sh.apply(o))
+	s.liveBytes.Add(s.applyOp(sh, o, seg))
 	return seq, nil
 }
 
@@ -610,11 +792,11 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	sh := s.shardFor(key)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	v, ok := sh.data[string(key)]
+	e, ok := sh.data[string(key)]
 	if !ok {
 		return nil, false
 	}
-	return append([]byte(nil), v...), true
+	return append([]byte(nil), e.val...), true
 }
 
 // Has reports presence without copying the value.
@@ -730,8 +912,12 @@ func (s *Store) Apply(b *Batch) error {
 		unlock()
 		return ErrClosed
 	}
+	seg := s.activeID
 	err := s.append(kindBatch, body)
 	seq := s.seq
+	if err == nil && s.durable {
+		s.metaFor(seg).note(s, b.ops)
+	}
 	s.logMu.Unlock()
 	if err != nil {
 		unlock()
@@ -739,7 +925,7 @@ func (s *Store) Apply(b *Batch) error {
 	}
 	var delta int64
 	for _, o := range b.ops {
-		delta += s.shardFor(o.key).apply(o)
+		delta += s.applyOp(s.shardFor(o.key), o, seg)
 	}
 	unlock()
 	s.liveBytes.Add(delta)
@@ -769,8 +955,8 @@ func (s *Store) snapshot() []op {
 	}
 	pairs := make([]op, 0, n)
 	for _, sh := range s.shards {
-		for k, v := range sh.data {
-			pairs = append(pairs, op{key: []byte(k), val: append([]byte(nil), v...)})
+		for k, e := range sh.data {
+			pairs = append(pairs, op{key: []byte(k), val: append([]byte(nil), e.val...)})
 		}
 	}
 	for _, sh := range s.shards {
@@ -815,9 +1001,9 @@ func (s *Store) PrefixScanRelaxed(prefix []byte, fn func(key, val []byte) bool) 
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		var pairs []op
-		for k, v := range sh.data {
+		for k, e := range sh.data {
 			if strings.HasPrefix(k, p) {
-				pairs = append(pairs, op{key: []byte(k), val: append([]byte(nil), v...)})
+				pairs = append(pairs, op{key: []byte(k), val: append([]byte(nil), e.val...)})
 			}
 		}
 		sh.mu.RUnlock()
@@ -856,6 +1042,7 @@ func (s *Store) Sync() error {
 		return err
 	}
 	s.markAllDurable()
+	s.advanceDurable(s.activeID, s.activeBytes)
 	return nil
 }
 
@@ -892,6 +1079,10 @@ type Stats struct {
 	DeadBytes int64 `json:"dead_bytes"`
 	// Compactions counts completed incremental compaction steps.
 	Compactions int64 `json:"compactions"`
+	// CompactionSkips counts compaction steps that skipped a sealed
+	// segment because its per-segment metadata proved every record in it
+	// still matches the live index (a rewrite would be an identity).
+	CompactionSkips int64 `json:"compaction_skips"`
 	// IndexShards is the index lock-stripe count.
 	IndexShards int `json:"index_shards"`
 }
@@ -899,10 +1090,11 @@ type Stats struct {
 // Stats returns current engine statistics.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		LiveKeys:    s.Len(),
-		LiveBytes:   s.liveBytes.Load(),
-		Compactions: s.compactions.Load(),
-		IndexShards: len(s.shards),
+		LiveKeys:        s.Len(),
+		LiveBytes:       s.liveBytes.Load(),
+		Compactions:     s.compactions.Load(),
+		CompactionSkips: s.compactSkips.Load(),
+		IndexShards:     len(s.shards),
 	}
 	s.logMu.Lock()
 	st.LoggedBytes = s.bytesLogged
@@ -945,6 +1137,13 @@ func (s *Store) Close() error {
 		s.abortFileSwap(err)
 		s.file.Close()
 		return err
+	}
+	// A poisoned log (sticky append or group-fsync failure) may carry a
+	// hole the fsync above cannot heal; advancing the replication
+	// horizon over it would let a still-tailing follower fetch bytes
+	// the store never durably held. Mirror markAllDurable's refusal.
+	if s.walErr == nil && s.gcPoisoned() == nil {
+		s.advanceDurable(s.activeID, s.activeBytes)
 	}
 	s.beginFileSwap()
 	s.endFileSwap()

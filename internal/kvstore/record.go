@@ -11,6 +11,7 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -64,11 +65,19 @@ func encodePutBody(key, val []byte) []byte {
 	return body
 }
 
+// errTornHeader/errTornBody mark records cut short by a crash (or, for a
+// streaming reader, a chunk boundary): more bytes may complete them.
+// Every other decode failure means real corruption.
+var (
+	errTornHeader = errors.New("kvstore: torn header")
+	errTornBody   = errors.New("kvstore: torn body")
+)
+
 func readRecord(r *bufio.Reader) (*record, int64, error) {
 	var hdr [9]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, 0, errors.New("kvstore: torn header")
+			return nil, 0, errTornHeader
 		}
 		return nil, 0, err
 	}
@@ -80,7 +89,7 @@ func readRecord(r *bufio.Reader) (*record, int64, error) {
 	}
 	body := make([]byte, bodyLen)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, 0, errors.New("kvstore: torn body")
+		return nil, 0, errTornBody
 	}
 	check := crc32.NewIEEE()
 	check.Write(hdr[4:])
@@ -111,6 +120,48 @@ func readRecord(r *bufio.Reader) (*record, int64, error) {
 		return nil, 0, fmt.Errorf("kvstore: unknown record kind %d", kind)
 	}
 	return rec, int64(9 + len(body)), nil
+}
+
+// Op is one decoded log mutation, surfaced to replication appliers by
+// ScanRecords. Key and Val alias the scanned buffer and are only valid
+// for the duration of the callback.
+type Op struct {
+	Del bool
+	Key []byte
+	Val []byte
+}
+
+// ScanRecords decodes complete WAL records from buf in log order,
+// calling fn once per record with the record's ops (a batch record
+// yields all of its ops in one call, preserving its atomicity) and the
+// byte offset just past the record. It returns the number of bytes
+// consumed, which always lands on a whole-record boundary.
+//
+// A partial trailing record is NOT an error: it is simply left
+// unconsumed, so a streaming caller (a replication follower fed
+// arbitrary byte chunks) can retry once more bytes arrive. Corrupt
+// framing — CRC mismatch, implausible lengths — IS an error; consumed
+// still reports how far the intact prefix reached. If fn returns an
+// error, scanning stops and consumed excludes that record.
+func ScanRecords(buf []byte, fn func(ops []Op, end int64) error) (consumed int64, err error) {
+	r := bufio.NewReader(bytes.NewReader(buf))
+	for {
+		rec, n, rerr := readRecord(r)
+		if rerr == io.EOF || errors.Is(rerr, errTornHeader) || errors.Is(rerr, errTornBody) {
+			return consumed, nil
+		}
+		if rerr != nil {
+			return consumed, rerr
+		}
+		ops := make([]Op, len(rec.ops))
+		for i, o := range rec.ops {
+			ops[i] = Op{Del: o.del, Key: o.key, Val: o.val}
+		}
+		if err := fn(ops, consumed+n); err != nil {
+			return consumed, err
+		}
+		consumed += n
+	}
 }
 
 func decodeBatchBody(body []byte) ([]op, error) {

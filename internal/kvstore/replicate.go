@@ -1,0 +1,313 @@
+package kvstore
+
+// Replication read surface. A primary's log is shipped to read replicas
+// as raw segment bytes: sealed segments whole, the active segment up to
+// the durable fsync horizon (DurableOffset). Three invariants make that
+// safe without ever pausing writers:
+//
+//   - Sealed segment files are immutable for a given (id, gen): only the
+//     compactor replaces one, and doing so bumps the segment's gen.
+//     ReadSegment rejects a mid-segment read whose expected gen no
+//     longer matches (ErrSegmentGone), so a follower is never silently
+//     handed bytes from a swapped file.
+//   - Pin (PinSealed) refcounts the sealed set so an in-flight snapshot
+//     download can hold the files it was promised: compactNext skips
+//     pinned segments entirely.
+//   - The durable horizon only ever advances and always lands on a
+//     record boundary, so every chunk a follower receives ends in whole,
+//     CRC-framed records the primary cannot lose in a crash.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+var (
+	// ErrInMemory is returned by replication APIs on a store without a
+	// log directory: there are no segments to ship.
+	ErrInMemory = errors.New("kvstore: in-memory store has no log to replicate")
+	// ErrSegmentGone means the requested segment no longer exists with
+	// the expected contents — compaction deleted or rewrote it. A
+	// replication follower resolves this by falling back to a fresh
+	// snapshot.
+	ErrSegmentGone = errors.New("kvstore: segment gone or rewritten")
+)
+
+// SegmentInfo describes one log segment for replication manifests and
+// diagnostics. For sealed segments Bytes and CRC32 cover the whole
+// immutable file; for the active segment Bytes is the durable prefix
+// (bytes past it exist but are not yet fsynced) and CRC32 is zero.
+// Records/Live/MinKey/MaxKey surface the engine's per-segment metadata.
+type SegmentInfo struct {
+	ID      uint64 `json:"id"`
+	Bytes   int64  `json:"bytes"`
+	CRC32   uint32 `json:"crc32"`
+	Gen     uint64 `json:"gen"`
+	Sealed  bool   `json:"sealed"`
+	Records int64  `json:"records"`
+	Live    int64  `json:"live"`
+	MinKey  []byte `json:"min_key,omitempty"`
+	MaxKey  []byte `json:"max_key,omitempty"`
+}
+
+// fillMeta copies the per-segment metadata registry into info.
+func (s *Store) fillMeta(info *SegmentInfo) {
+	s.metaMu.RLock()
+	if m := s.segMetas[info.ID]; m != nil {
+		info.Records = m.records.Load()
+		info.Live = m.live.Load()
+		info.MinKey = append([]byte(nil), m.minKey...)
+		info.MaxKey = append([]byte(nil), m.maxKey...)
+	}
+	s.metaMu.RUnlock()
+}
+
+// Manifest lists every log segment in id order — sealed ones first, the
+// active segment (with its durable prefix length) last. It is the
+// payload a replication snapshot starts from.
+func (s *Store) Manifest() ([]SegmentInfo, error) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return s.manifestLocked()
+}
+
+// manifestLocked builds the manifest. Caller holds logMu.
+func (s *Store) manifestLocked() ([]SegmentInfo, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.file == nil {
+		return nil, ErrInMemory
+	}
+	out := make([]SegmentInfo, 0, len(s.sealed)+1)
+	for _, seg := range s.sealed {
+		info := SegmentInfo{ID: seg.id, Bytes: seg.bytes, CRC32: seg.crc, Gen: seg.gen, Sealed: true}
+		s.fillMeta(&info)
+		out = append(out, info)
+	}
+	active := SegmentInfo{ID: s.activeID}
+	if durSeg, durOff := s.DurableOffset(); durSeg == s.activeID {
+		active.Bytes = durOff
+	}
+	s.fillMeta(&active)
+	out = append(out, active)
+	return out, nil
+}
+
+// Pin holds a refcount on a set of sealed segments so the compactor
+// cannot rewrite or delete their files while a snapshot download streams
+// them. Release is idempotent; a leaked Pin blocks compaction of those
+// segments forever, so callers bound pin lifetime (the HTTP layer puts a
+// TTL on pin sessions).
+type Pin struct {
+	s        *Store
+	ids      []uint64
+	released bool
+}
+
+// PinSealed pins every currently sealed segment and returns the pin
+// together with the manifest as of the pin (sealed segments + active
+// durable prefix). The pinned ids are exactly the manifest's sealed set.
+//
+// Taking compactMu first serializes the pin against any IN-FLIGHT
+// compaction step: once PinSealed returns, every listed (id, gen) is
+// guaranteed stable until Release — without it, a step that had already
+// passed the pinned-check could still swap a just-pinned file. The wait
+// is bounded by one segment rewrite (or a full explicit Compact cycle).
+func (s *Store) PinSealed() (*Pin, []SegmentInfo, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	infos, err := s.manifestLocked()
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &Pin{s: s}
+	for _, info := range infos {
+		if info.Sealed {
+			s.pinned[info.ID]++
+			p.ids = append(p.ids, info.ID)
+		}
+	}
+	return p, infos, nil
+}
+
+// Release drops the pin's refcounts, letting compaction at the pinned
+// segments resume.
+func (p *Pin) Release() {
+	if p == nil {
+		return
+	}
+	p.s.logMu.Lock()
+	if !p.released {
+		p.released = true
+		for _, id := range p.ids {
+			if p.s.pinned[id]--; p.s.pinned[id] <= 0 {
+				delete(p.s.pinned, id)
+			}
+		}
+	}
+	p.s.logMu.Unlock()
+}
+
+// SegmentChunk is one ReadSegment response: raw log bytes plus enough
+// metadata for the reader to verify identity and know where to go next.
+type SegmentChunk struct {
+	ID   uint64
+	From int64
+	Data []byte
+	// Sealed reports whether the segment is immutable; Total is the
+	// bytes currently available (file size when sealed, durable horizon
+	// when active) and CRC32 the full-file checksum when sealed.
+	Sealed bool
+	Total  int64
+	Gen    uint64
+	CRC32  uint32
+	// NextID/NextGen name the next existing segment after this one in id
+	// order and its current generation (0/0 when this is the active
+	// segment). Compaction can delete whole segments, so ids are not
+	// contiguous; shipping the successor's gen lets a tailing reader
+	// carry an identity expectation across the segment boundary.
+	NextID  uint64
+	NextGen uint64
+}
+
+// ReadSegment reads up to max bytes of segment id starting at byte
+// offset from, honoring the durable horizon for the active segment.
+//
+// wantGen guards against compaction swapping the file: a read of a
+// SEALED segment whose wantGen does not match its current gen returns
+// ErrSegmentGone — even at from==0, because a compacted rewrite is only
+// equivalent to the original against the primary's CURRENT full log,
+// not against whatever prefix the caller replicated earlier (a dropped
+// oldest-segment tombstone would silently resurrect a deleted key on
+// the caller). Callers learn gens from the manifest or from the
+// previous chunk's NextGen; the active segment always has gen 0. A
+// segment id that no longer exists returns ErrSegmentGone too.
+//
+// Reading past the available bytes is not an error for the active
+// segment (an empty chunk with Total set tells the follower it is caught
+// up); for a sealed segment it means the caller's view is inconsistent
+// and reports ErrSegmentGone.
+func (s *Store) ReadSegment(id uint64, from, max int64, wantGen uint64) (*SegmentChunk, error) {
+	if from < 0 || max <= 0 {
+		return nil, fmt.Errorf("kvstore: bad segment read range from=%d max=%d", from, max)
+	}
+	ch, err := s.readSegmentOnce(id, from, max, wantGen)
+	if err != nil {
+		return nil, err
+	}
+	// Re-check identity: the file could have been swapped between the
+	// metadata lookup and the read. Pin holders never hit this; unpinned
+	// tailing readers fall back to a snapshot.
+	s.logMu.Lock()
+	gen, _, sealed, found := s.segmentShape(ch.ID)
+	s.logMu.Unlock()
+	if !found || (sealed && gen != ch.Gen) {
+		return nil, ErrSegmentGone
+	}
+	return ch, nil
+}
+
+// segmentShape reports segment id's current gen, size and sealed-ness.
+// Caller holds logMu.
+func (s *Store) segmentShape(id uint64) (gen uint64, size int64, sealed, found bool) {
+	if s.file != nil && id == s.activeID {
+		return 0, s.activeBytes, false, true
+	}
+	for _, seg := range s.sealed {
+		if seg.id == id {
+			return seg.gen, seg.bytes, true, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// readSegmentOnce does one metadata lookup + file read.
+func (s *Store) readSegmentOnce(id uint64, from, max int64, wantGen uint64) (*SegmentChunk, error) {
+	s.logMu.Lock()
+	if s.closed {
+		s.logMu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.file == nil {
+		s.logMu.Unlock()
+		return nil, ErrInMemory
+	}
+	ch := &SegmentChunk{ID: id, From: from}
+	var crc uint32
+	for _, seg := range s.sealed {
+		if seg.id == id {
+			ch.Sealed, ch.Total, ch.Gen, crc = true, seg.bytes, seg.gen, seg.crc
+			break
+		}
+		if seg.id > id {
+			break
+		}
+	}
+	if !ch.Sealed {
+		if id != s.activeID {
+			s.logMu.Unlock()
+			return nil, ErrSegmentGone
+		}
+		if durSeg, durOff := s.DurableOffset(); durSeg == id {
+			ch.Total = durOff
+		}
+	}
+	ch.CRC32 = crc
+	ch.NextID, ch.NextGen = s.nextSegmentLocked(id)
+	s.logMu.Unlock()
+
+	if from > ch.Total {
+		if ch.Sealed {
+			return nil, ErrSegmentGone
+		}
+		return nil, fmt.Errorf("kvstore: active segment read past durable horizon (from=%d durable=%d)", from, ch.Total)
+	}
+	if ch.Sealed && wantGen != ch.Gen {
+		return nil, ErrSegmentGone
+	}
+	n := ch.Total - from
+	if n > max {
+		n = max
+	}
+	if n == 0 {
+		return ch, nil
+	}
+	// The file is read outside all locks: sealed files are immutable for
+	// our gen (verified again by the caller), and active-segment bytes
+	// before the durable horizon are never rewritten.
+	f, err := os.Open(s.segmentPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrSegmentGone
+		}
+		return nil, fmt.Errorf("kvstore: read segment: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, from, n), buf); err != nil {
+		// A shorter file than the metadata promised means it was
+		// swapped underneath us.
+		return nil, ErrSegmentGone
+	}
+	ch.Data = buf
+	return ch, nil
+}
+
+// nextSegmentLocked returns the lowest segment id greater than id and
+// its generation (0, 0 when none). Caller holds logMu.
+func (s *Store) nextSegmentLocked(id uint64) (uint64, uint64) {
+	for _, seg := range s.sealed {
+		if seg.id > id {
+			return seg.id, seg.gen
+		}
+	}
+	if s.activeID > id {
+		return s.activeID, 0
+	}
+	return 0, 0
+}

@@ -9,6 +9,7 @@ package kvstore
 import (
 	"bufio"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -123,15 +124,26 @@ func (s *Store) openSegments() error {
 	}
 	for i, id := range ids {
 		last := i == len(ids)-1
-		valid, err := s.replaySegment(id, last)
+		valid, crc, err := s.replaySegment(id, last)
 		if err != nil {
 			return err
 		}
 		s.bytesLogged += valid
 		if !last {
-			s.sealed = append(s.sealed, segment{id: id, bytes: valid})
+			// Sealed segments decode end to end, so the CRC accumulated
+			// over the replay stream covers the whole file — no second
+			// read needed.
+			s.sealed = append(s.sealed, segment{id: id, bytes: valid, crc: crc})
 			continue
 		}
+		// The last (lenient) segment may carry a torn tail the replay
+		// stream read past; checksum just its valid prefix so the
+		// running active CRC resumes exactly at the truncation point.
+		crc, err = fileCRC(s.segmentPath(id), valid)
+		if err != nil {
+			return fmt.Errorf("kvstore: checksum segment: %w", err)
+		}
+		s.activeCRC = crc
 		// Truncate any torn tail so future appends start at a clean
 		// boundary, and keep this segment open as the active one.
 		f, err := os.OpenFile(s.segmentPath(id), os.O_RDWR, 0o644)
@@ -152,7 +164,24 @@ func (s *Store) openSegments() error {
 		s.activeBytes = valid
 	}
 	s.seqNow.Store(s.seq)
+	// Everything replayed from disk is the durable prefix a follower may
+	// be shipped: the torn tail was truncated away above.
+	s.advanceDurable(s.activeID, s.activeBytes)
 	return nil
+}
+
+// fileCRC computes the CRC32 (IEEE) of the first n bytes of path.
+func fileCRC(path string, n int64) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := crc32.NewIEEE()
+	if _, err := io.CopyN(h, f, n); err != nil && err != io.EOF {
+		return 0, err
+	}
+	return h.Sum32(), nil
 }
 
 // replaySegment applies every record of segment id to the index and
@@ -161,31 +190,43 @@ func (s *Store) openSegments() error {
 // strict mode it is a hard error, because truncating inside a sealed
 // segment would silently drop every later segment's committed records
 // from the caller's view of history.
-func (s *Store) replaySegment(id uint64, lenient bool) (int64, error) {
+//
+// In strict mode the returned crc is the CRC32 of the full file,
+// accumulated over the same stream the replay reads (a sealed segment
+// must decode end to end, so stream bytes == file bytes); lenient
+// callers must checksum the valid prefix themselves, since the stream
+// may have read into a torn tail.
+func (s *Store) replaySegment(id uint64, lenient bool) (offset int64, crc uint32, err error) {
 	f, err := os.Open(s.segmentPath(id))
 	if err != nil {
-		return 0, fmt.Errorf("kvstore: open segment: %w", err)
+		return 0, 0, fmt.Errorf("kvstore: open segment: %w", err)
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
-	var offset int64
+	sum := crc32.NewIEEE()
+	var r *bufio.Reader
+	if lenient {
+		r = bufio.NewReader(f)
+	} else {
+		r = bufio.NewReader(io.TeeReader(f, sum))
+	}
 	for {
 		rec, n, err := readRecord(r)
 		if err == io.EOF {
-			return offset, nil
+			return offset, sum.Sum32(), nil
 		}
 		if err != nil {
 			if lenient {
-				return offset, nil
+				return offset, 0, nil
 			}
-			return 0, fmt.Errorf("kvstore: sealed segment %s corrupt at offset %d: %w",
+			return 0, 0, fmt.Errorf("kvstore: sealed segment %s corrupt at offset %d: %w",
 				segmentName(id), offset, err)
 		}
 		for _, o := range rec.ops {
 			// Single-threaded at Open: no shard locks needed, and the
 			// decoded buffers are owned by the record.
-			s.liveBytes.Add(s.shardFor(o.key).apply(o))
+			s.liveBytes.Add(s.applyOp(s.shardFor(o.key), o, id))
 		}
+		s.metaFor(id).note(s, rec.ops)
 		s.seq++
 		offset += n
 	}
@@ -222,19 +263,22 @@ func (s *Store) roll() error {
 		os.Remove(s.segmentPath(newID))
 		return err
 	}
+	s.advanceDurable(s.activeID, s.activeBytes)
 	s.beginFileSwap()
 	if err := s.file.Close(); err != nil {
 		s.abortFileSwap(err)
 		f.Close()
 		return err
 	}
-	s.sealed = append(s.sealed, segment{id: s.activeID, bytes: s.activeBytes})
+	s.sealed = append(s.sealed, segment{id: s.activeID, bytes: s.activeBytes, crc: s.activeCRC})
 	s.file = f
 	s.w = bufio.NewWriter(f)
 	s.activeID = newID
 	s.activeBytes = 0
+	s.activeCRC = 0
 	// Everything appended so far is durable: the outgoing segment was
 	// fsynced above and the incoming one is empty.
 	s.endFileSwap()
+	s.advanceDurable(newID, 0)
 	return nil
 }

@@ -34,6 +34,14 @@ import (
 // keyPrefix namespaces revocation keys inside a shared store.
 const keyPrefix = "rev:"
 
+// StoreKey returns the kvstore key under which serial s is recorded.
+// Exported so read replicas of the provider store can answer exact
+// Contains lookups without constructing a List (httpapi's follower-side
+// GET /v1/revocation/contains).
+func StoreKey(s license.Serial) []byte {
+	return append([]byte(keyPrefix), s[:]...)
+}
+
 // DefaultFilterCapacity sizes new Bloom filters when the caller gives no
 // estimate.
 const DefaultFilterCapacity = 1 << 16
@@ -185,7 +193,7 @@ func (l *List) Add(s license.Serial) error {
 func (l *List) TryAdd(s license.Serial) (fresh bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	key := append([]byte(keyPrefix), s[:]...)
+	key := StoreKey(s)
 	if l.store.Has(key) {
 		return false, nil
 	}
@@ -216,7 +224,7 @@ func (l *List) AddBatch(serials []license.Serial) error {
 	b := new(kvstore.Batch)
 	fresh := make([]license.Serial, 0, len(serials))
 	for _, s := range serials {
-		key := append([]byte(keyPrefix), s[:]...)
+		key := StoreKey(s)
 		if l.store.Has(key) {
 			continue
 		}
@@ -243,7 +251,7 @@ func (l *List) Contains(s license.Serial) bool {
 	if !l.filter.Contains(s[:]) {
 		return false
 	}
-	return l.store.Has(append([]byte(keyPrefix), s[:]...))
+	return l.store.Has(StoreKey(s))
 }
 
 // Len returns the number of revoked serials.

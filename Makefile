@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fuzz-smoke kv-crash replica-crash fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke fuzz-smoke kv-crash replica-crash examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ kv-crash:
 replica-crash:
 	$(GO) test -run 'TestReplicaCrash' -count=2 ./internal/replica
 
+# Compile check over examples/ so doc-facing code cannot rot; `go vet`
+# also runs them for free via ./... but this keeps the failure isolated.
+examples:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
+
 fmt:
 	gofmt -w .
 
@@ -58,4 +64,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke kv-crash replica-crash
+ci: build vet fmt-check test race bench-smoke fuzz-smoke examples kv-crash replica-crash

@@ -5,11 +5,32 @@
 //
 //	p2drmd -addr :8474 -state /var/lib/p2drm -rsa-bits 2048 -seed-demo \
 //	       -bank-shards 16 -wal-group-commit \
-//	       -kv-index-shards 16 -kv-segment-bytes 67108864
+//	       -kv-index-shards 16 -kv-segment-bytes 67108864 \
+//	       -admin-socket /run/p2drmd.socket
 //
 // With -seed-demo the catalog is populated with a few items and a funded
 // demo bank account ("demo", 100 credits), so the p2drm CLI works out of
 // the box.
+//
+// # API surfaces
+//
+// The daemon serves two API versions (see docs/rest.md): the original
+// bare-JSON /v1/ surface, and the production /v2/ surface where every
+// response is a snapd-style envelope, routes carry auth tiers, and
+// long-running actions (compaction, revocation rebuild, bulk batches,
+// replica promotion/resync) run as background operations pollable at
+// GET /v2/operations/{id}. Operations persist in a kvstore under
+// <state>/ops, so work in flight at a crash is re-adopted — resumed or
+// marked aborted — on the next start.
+//
+// -user-token and -admin-token configure bearer credentials for the
+// /v2/ tiers; with both empty the API is open (every caller is admin),
+// which keeps demo setups working. -admin-socket additionally serves
+// the same handler on a unix socket whose callers are authenticated by
+// SO_PEERCRED (root and the daemon's own uid are admin), so local
+// administration needs no token — the snapd model.
+//
+// # Storage
 //
 // -bank-shards sizes the bank's balance-shard count; -wal-group-commit
 // (default on) opens the durable stores in kvstore group-commit mode, so
@@ -22,14 +43,14 @@
 // -kv-index-shards sizes the kvstore's lock-striped in-memory index
 // (rounded up to a power of two) and -kv-segment-bytes caps one WAL
 // segment file; stores with a state directory roll segments at that size
-// and compact them incrementally in the background. GET /v1/stats
+// and compact them incrementally in the background. GET /v2/stats
 // reports the resulting engine shape (segments, live keys, dead bytes,
 // compactions) per store.
 //
 // # Replication
 //
 // A primary daemon automatically serves its provider and bank stores
-// under /v1/replica/* (manifest, segment shipping, status). A second
+// under replica/* (manifest, segment shipping, status). A second
 // daemon started with
 //
 //	p2drmd -addr :8475 -state /var/lib/p2drm-replica -replica-of http://primary:8474
@@ -38,11 +59,11 @@
 // bank is mounted; the daemon tails both stores from the primary
 // (snapshot bootstrap, then incremental WAL-segment shipping with
 // reconnect/backoff, -replica-poll tunes the idle poll) and serves
-// read-only traffic — /v1/kv/get, /v1/kv/has, /v1/stats,
-// /v1/revocation/contains, /v1/replica/status — while rejecting writes
-// with 403. POST /v1/replica/promote stops replication and opens the
-// local stores for writes (see internal/replica for the protocol and
-// failover semantics).
+// read-only traffic while rejecting writes with 403. POST
+// /v2/replica/promote (async) stops replication and opens the local
+// stores for writes; POST /v2/replica/resync forces a fresh snapshot
+// bootstrap (see internal/replica for the protocol and failover
+// semantics).
 package main
 
 import (
@@ -51,6 +72,7 @@ import (
 	"crypto/rsa"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -61,19 +83,31 @@ import (
 	"p2drm/internal/httpapi"
 	"p2drm/internal/kvstore"
 	"p2drm/internal/license"
+	"p2drm/internal/ops"
 	"p2drm/internal/payment"
 	"p2drm/internal/provider"
 	"p2drm/internal/rel"
 	"p2drm/internal/replica"
 )
 
+// opsGCEvery / opsGCRetain pace the background reaping of terminal
+// operations: poll-once-a-minute granularity, an hour for clients to
+// collect results.
+const (
+	opsGCEvery  = time.Minute
+	opsGCRetain = time.Hour
+)
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8474", "listen address")
+		adminSocket = flag.String("admin-socket", "", "also serve on this unix socket with SO_PEERCRED admin auth")
 		stateDir    = flag.String("state", "", "state directory (empty = in-memory)")
 		rsaBits     = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
 		lab         = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
 		seedDemo    = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
+		userToken   = flag.String("user-token", "", "bearer token for the /v2 user tier (empty with -admin-token empty = open API)")
+		adminToken  = flag.String("admin-token", "", "bearer token for the /v2 admin tier")
 		bankShards  = flag.Int("bank-shards", payment.DefaultBankShards, "bank balance-shard count")
 		groupWAL    = flag.Bool("wal-group-commit", true, "fsync durable stores via group commit (off = fsync only on close)")
 		kvShards    = flag.Int("kv-index-shards", kvstore.DefaultIndexShards, "kvstore index lock-stripe count (rounded up to a power of two)")
@@ -94,9 +128,10 @@ func main() {
 	if *groupWAL {
 		walOpts.Sync = kvstore.SyncGroupCommit
 	}
+	auth := httpapi.Auth{UserToken: *userToken, AdminToken: *adminToken}
 
 	if *replicaOf != "" {
-		runReplica(*addr, *stateDir, *replicaOf, *replicaPoll, walOpts)
+		runReplica(*addr, *adminSocket, *stateDir, *replicaOf, *replicaPoll, walOpts, auth)
 		return
 	}
 	log.Printf("p2drmd: bank-shards=%d wal-group-commit=%v kv-index-shards=%d kv-segment-bytes=%d kv-compact-every=%s",
@@ -119,10 +154,11 @@ func main() {
 		log.Fatalf("provider key: %v", err)
 	}
 
-	bankDir, provDir := "", ""
+	bankDir, provDir, opsDir := "", "", ""
 	if *stateDir != "" {
 		bankDir = *stateDir + "/bank"
 		provDir = *stateDir + "/provider"
+		opsDir = *stateDir + "/ops"
 	}
 	spent, err := kvstore.OpenWith(bankDir, walOpts)
 	if err != nil {
@@ -151,6 +187,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("provider: %v", err)
 	}
+	reg, opsStore := openOps(opsDir, walOpts)
 
 	if *seedDemo {
 		template := rel.MustParse(`
@@ -189,13 +226,25 @@ valid until "2030-01-01T00:00:00Z";
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{
-		Addr: *addr,
-		Handler: httpapi.NewServer(prov).WithBank(bank).
-			WithStoreStats("provider", store).
-			WithStoreStats("bank", spent).
-			WithReplicaSource("provider", replica.NewSource(store)).
-			WithReplicaSource("bank", replica.NewSource(spent)),
+	handler := httpapi.NewServer(prov).WithBank(bank).
+		WithStoreStats("provider", store).
+		WithStoreStats("bank", spent).
+		WithReplicaSource("provider", replica.NewSource(store)).
+		WithReplicaSource("bank", replica.NewSource(spent)).
+		WithOps(reg).
+		WithAuth(auth)
+	// Adopt operations a previous process left running (the registry is
+	// durable under <state>/ops): idempotent kinds re-run, the rest are
+	// marked aborted but stay pollable.
+	if resumed, aborted := handler.ResumeOps(); resumed+aborted > 0 {
+		log.Printf("p2drmd: adopted operations from previous run: %d resumed, %d aborted", resumed, aborted)
+	}
+	go opsGCLoop(ctx, reg)
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	adminSrv, err := serveAdminSocket(*adminSocket, handler)
+	if err != nil {
+		log.Fatalf("admin socket: %v", err)
 	}
 	// closeStores syncs the WALs; every serving-phase exit path must run
 	// it — under -wal-group-commit=false the stores only fsync on Close,
@@ -203,11 +252,17 @@ valid until "2030-01-01T00:00:00Z";
 	// double-spend windows. (The log.Fatalf calls above run before any
 	// protocol state exists, so they may exit without it.)
 	closeStores := func() {
+		reg.Close() // settle in-flight operation persists first
 		if err := store.Close(); err != nil {
 			log.Printf("p2drmd: provider store: %v", err)
 		}
 		if err := spent.Close(); err != nil {
 			log.Printf("p2drmd: bank store: %v", err)
+		}
+		if opsStore != nil {
+			if err := opsStore.Close(); err != nil {
+				log.Printf("p2drmd: ops store: %v", err)
+			}
 		}
 	}
 	errc := make(chan error, 1)
@@ -230,15 +285,82 @@ valid until "2030-01-01T00:00:00Z";
 		// will fail their store writes with ErrClosed below. Say so.
 		log.Printf("p2drmd: shutdown: %v", err)
 	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("p2drmd: admin shutdown: %v", err)
+		}
+	}
 	closeStores()
+}
+
+// openOps builds the operations registry: kvstore-backed when the
+// daemon has a state directory (so operations survive restarts),
+// volatile otherwise. The ops store always group-commits — an
+// operation record that vanishes on crash defeats the registry's
+// purpose — but it is tiny and off the request hot path.
+func openOps(dir string, walOpts kvstore.Options) (*ops.Registry, *kvstore.Store) {
+	if dir == "" {
+		return ops.New(nil), nil
+	}
+	opsOpts := walOpts
+	opsOpts.Sync = kvstore.SyncGroupCommit
+	st, err := kvstore.OpenWith(dir, opsOpts)
+	if err != nil {
+		log.Fatalf("ops store: %v", err)
+	}
+	return ops.New(st), st
+}
+
+// opsGCLoop reaps terminal operations older than opsGCRetain until ctx
+// is done.
+func opsGCLoop(ctx context.Context, reg *ops.Registry) {
+	t := time.NewTicker(opsGCEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if n := reg.GC(opsGCRetain); n > 0 {
+				log.Printf("p2drmd: reaped %d finished operations", n)
+			}
+		}
+	}
+}
+
+// serveAdminSocket serves handler on a unix socket whose callers are
+// authenticated by SO_PEERCRED (httpapi.PeerCredConnContext): root and
+// the daemon's own uid reach the admin tier with no token. Returns nil
+// when path is empty.
+func serveAdminSocket(path string, handler http.Handler) (*http.Server, error) {
+	if path == "" {
+		return nil, nil
+	}
+	// A previous unclean exit leaves the socket file behind; remove it
+	// so Listen can rebind.
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	l, err := net.Listen("unix", path)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler, ConnContext: httpapi.PeerCredConnContext}
+	go func() {
+		log.Printf("p2drmd: admin socket on %s", path)
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Printf("p2drmd: admin socket: %v", err)
+		}
+	}()
+	return srv, nil
 }
 
 // runReplica is follower mode: tail the primary's provider and bank
 // stores (snapshot bootstrap + incremental segment shipping with
 // reconnect/backoff) and serve the read-only replica HTTP surface. No
 // keys are generated — a replica holds replicated state, not signing
-// capability; POST /v1/replica/promote opens the stores for writes.
-func runReplica(addr, stateDir, primaryURL string, poll time.Duration, walOpts kvstore.Options) {
+// capability; POST /v2/replica/promote opens the stores for writes.
+func runReplica(addr, adminSocket, stateDir, primaryURL string, poll time.Duration, walOpts kvstore.Options, auth httpapi.Auth) {
 	log.Printf("p2drmd: replica mode, tailing %s (poll %s)", primaryURL, poll)
 	client := httpapi.NewClient(primaryURL, nil)
 	followers := make(map[string]*replica.Follower, 2)
@@ -262,20 +384,41 @@ func runReplica(addr, stateDir, primaryURL string, poll time.Duration, walOpts k
 		f.Start()
 		followers[name] = f
 	}
+	opsDir := ""
+	if stateDir != "" {
+		opsDir = stateDir + "/replica-ops"
+	}
+	reg, opsStore := openOps(opsDir, walOpts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Addr: addr, Handler: httpapi.NewReplicaServer(followers)}
+	handler := httpapi.NewReplicaServer(followers).WithOps(reg).WithAuth(auth)
+	if resumed, aborted := handler.ResumeOps(); resumed+aborted > 0 {
+		log.Printf("p2drmd: adopted operations from previous run: %d resumed, %d aborted", resumed, aborted)
+	}
+	go opsGCLoop(ctx, reg)
+
+	srv := &http.Server{Addr: addr, Handler: handler}
+	adminSrv, err := serveAdminSocket(adminSocket, handler)
+	if err != nil {
+		log.Fatalf("admin socket: %v", err)
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("p2drmd: replica listening on %s", addr)
 		errc <- srv.ListenAndServe()
 	}()
 	closeFollowers := func() {
+		reg.Close()
 		for name, f := range followers {
 			if err := f.Close(); err != nil {
 				log.Printf("p2drmd: close replica %s: %v", name, err)
+			}
+		}
+		if opsStore != nil {
+			if err := opsStore.Close(); err != nil {
+				log.Printf("p2drmd: ops store: %v", err)
 			}
 		}
 	}
@@ -291,6 +434,11 @@ func runReplica(addr, stateDir, primaryURL string, poll time.Duration, walOpts k
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("p2drmd: shutdown: %v", err)
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("p2drmd: admin shutdown: %v", err)
+		}
 	}
 	closeFollowers()
 }

@@ -4,18 +4,24 @@
 // unlinkably, while the content provider keeps full rights enforcement.
 //
 // The implementation lives under internal/: start at internal/core for
-// the assembled protocols, and see DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduced evaluation. Root-level bench_test.go
-// exposes one testing.B benchmark per evaluation table/figure; BENCH.md
-// tracks the benchmark trajectory across PRs.
+// the assembled protocols, and see README.md for the architecture map.
+// Root-level bench_test.go exposes one testing.B benchmark per
+// evaluation table/figure; BENCH.md tracks the benchmark trajectory
+// across PRs.
 //
 // Deployment shape: cmd/p2drmd serves the provider + demo bank over
-// HTTP; a second daemon started with -replica-of=<primary-url> runs as
-// a read replica (snapshot + WAL-segment shipping, promotion on
+// HTTP on two surfaces — the legacy bare-JSON /v1/ API and the
+// production /v2/ API (snapd-style response envelope, guest/user/admin
+// auth tiers, long-running work as durable background operations
+// pollable at /v2/operations/{id}; see docs/rest.md for the full
+// reference and internal/httpapi + internal/ops for the machinery). A
+// second daemon started with -replica-of=<primary-url> runs as a read
+// replica (snapshot + WAL-segment shipping, async promotion/resync on
 // failover) — see internal/replica for the replication protocol.
 //
 // Development workflow: the Makefile mirrors the CI pipeline
 // (.github/workflows/ci.yml) — `make ci` runs build, vet, gofmt check,
 // tests, the -race suite over the concurrent serving path, a benchmark
-// smoke pass, and the kvstore + replication SIGKILL crash suites.
+// smoke pass, an examples compile check, and the kvstore + replication
+// SIGKILL crash suites.
 package p2drm

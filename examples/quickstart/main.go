@@ -1,16 +1,22 @@
 // Quickstart: stand up a P2DRM world in-process, buy a song anonymously,
-// and play it on a compliant device.
+// play it on a compliant device, then talk to the same provider over
+// the /v2 REST API with the client SDK (envelope decoding + background
+// operations).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
+	"time"
 
 	"p2drm/internal/core"
 	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/httpapi"
 	"p2drm/internal/rel"
 )
 
@@ -77,4 +83,38 @@ delegate allow;
 			e.Seq, e.Type, e.PseudonymFP, e.ContentID)
 	}
 	fmt.Println("no names, no accounts, no linkable identifiers.")
+
+	// 7. The same provider over the wire: serve the /v2 REST API and use
+	//    the SDK's envelope helpers. In production this is cmd/p2drmd;
+	//    here an httptest server keeps the demo self-contained.
+	srv := httptest.NewServer(httpapi.NewServer(sys.Provider).WithBank(sys.Bank))
+	defer srv.Close()
+	client := httpapi.NewClient(srv.URL, sys.Group)
+
+	// Sync request: one call decodes the {"type":"sync",...} envelope.
+	catalog, err := client.CatalogV2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/v2/catalog: %d item(s); first: %q at %d credits\n",
+		len(catalog), catalog[0].Title, catalog[0].PriceCredits)
+
+	// Async request: revocation-filter rebuild returns 202 + an
+	// operation; WaitOperation polls /v2/operations/{id} until it is
+	// terminal and OperationResult unpacks the typed result.
+	op, err := client.RebuildRevocationFilter()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if op, err = client.WaitOperation(ctx, op.ID, 25*time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	var rebuilt httpapi.RebuildResult
+	if err := httpapi.OperationResult(op, &rebuilt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("/v2/revocation/rebuild: operation %s %s, filter generation %d\n",
+		op.ID, op.Status, rebuilt.Generation)
 }

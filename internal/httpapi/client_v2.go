@@ -1,0 +1,258 @@
+package httpapi
+
+// Client-side /v2 envelope support: typed envelope decoding, APIError
+// with the server's error kind, and operation polling helpers.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"p2drm/internal/license"
+	"p2drm/internal/ops"
+)
+
+// Envelope is the decoded /v2 response frame; Result stays raw until
+// the caller picks a type.
+type Envelope struct {
+	Type       string          `json:"type"`
+	Status     string          `json:"status"`
+	StatusCode int             `json:"status-code"`
+	Operation  string          `json:"operation,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// APIError is a /v2 error envelope surfaced as a Go error, keeping the
+// machine-readable kind so callers can switch on it.
+type APIError struct {
+	StatusCode int
+	Kind       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("httpapi: server: %s (%s, status %d)", e.Message, e.Kind, e.StatusCode)
+}
+
+// doV2 issues one /v2 request with the bearer token attached and
+// decodes the envelope; error envelopes come back as *APIError.
+func (c *Client) doV2(method, path string, in any) (*Envelope, error) {
+	var body *bytes.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(b)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var env Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("httpapi: bad envelope (status %d): %w", resp.StatusCode, err)
+	}
+	if env.Type == "error" {
+		var er errorResult
+		if err := json.Unmarshal(env.Result, &er); err != nil {
+			er.Message = "malformed error result"
+		}
+		return nil, &APIError{StatusCode: env.StatusCode, Kind: er.Kind, Message: er.Message}
+	}
+	return &env, nil
+}
+
+// getV2 decodes a sync envelope's result into out.
+func (c *Client) getV2(path string, out any) error {
+	env, err := c.doV2("GET", path, nil)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(env.Result, out)
+}
+
+// postV2 posts in and decodes a sync envelope's result into out.
+func (c *Client) postV2(path string, in, out any) error {
+	env, err := c.doV2("POST", path, in)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(env.Result, out)
+}
+
+// postAsyncV2 posts in and returns the spawned operation snapshot.
+func (c *Client) postAsyncV2(path string, in any) (*ops.Operation, error) {
+	env, err := c.doV2("POST", path, in)
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != "async" {
+		return nil, fmt.Errorf("httpapi: expected async envelope, got %q", env.Type)
+	}
+	var op ops.Operation
+	if err := json.Unmarshal(env.Result, &op); err != nil {
+		return nil, err
+	}
+	return &op, nil
+}
+
+// Operation polls one operation by ID.
+func (c *Client) Operation(id string) (*ops.Operation, error) {
+	var op ops.Operation
+	if err := c.getV2(OperationURL(id), &op); err != nil {
+		return nil, err
+	}
+	return &op, nil
+}
+
+// Operations lists the daemon's operations, newest first.
+func (c *Client) Operations() ([]ops.Operation, error) {
+	var resp OperationsResponse
+	if err := c.getV2("/v2/operations", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Operations, nil
+}
+
+// DeleteOperation removes a terminal operation from the registry.
+func (c *Client) DeleteOperation(id string) error {
+	env, err := c.doV2("DELETE", OperationURL(id), nil)
+	_ = env
+	return err
+}
+
+// WaitOperation polls an operation every poll interval until it reaches
+// a terminal status or ctx expires. A zero poll defaults to 50ms.
+func (c *Client) WaitOperation(ctx context.Context, id string, poll time.Duration) (*ops.Operation, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		op, err := c.Operation(id)
+		if err != nil {
+			return nil, err
+		}
+		if op.Status.Terminal() {
+			return op, nil
+		}
+		select {
+		case <-ctx.Done():
+			return op, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// OperationResult decodes a terminal operation's result into out,
+// surfacing failed/aborted operations as errors.
+func OperationResult(op *ops.Operation, out any) error {
+	switch op.Status {
+	case ops.StatusDone:
+	case ops.StatusError, ops.StatusAborted:
+		return fmt.Errorf("httpapi: operation %s %s: %s", op.ID, op.Status, op.Error)
+	default:
+		return fmt.Errorf("httpapi: operation %s still %s", op.ID, op.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(op.Result, out)
+}
+
+// --- typed /v2 helpers ---
+
+// CatalogV2 lists items via the enveloped surface.
+func (c *Client) CatalogV2() ([]CatalogEntry, error) {
+	var out []CatalogEntry
+	return out, c.getV2("/v2/catalog", &out)
+}
+
+// StatsV2 fetches kvstore statistics via the enveloped surface.
+func (c *Client) StatsV2() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.getV2("/v2/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CompactStore starts a full compaction of a named store and returns
+// the operation to poll (admin tier).
+func (c *Client) CompactStore(store string) (*ops.Operation, error) {
+	return c.postAsyncV2("/v2/compact?store="+url.QueryEscape(store), nil)
+}
+
+// RebuildRevocationFilter starts a revocation bloom rebuild and returns
+// the operation to poll (admin tier).
+func (c *Client) RebuildRevocationFilter() (*ops.Operation, error) {
+	return c.postAsyncV2("/v2/revocation/rebuild", nil)
+}
+
+// PurchaseBatchAsync starts a bulk issuance operation and returns it
+// without waiting; poll with WaitOperation and decode the result with
+// OperationResult into a BatchPurchaseResponse.
+func (c *Client) PurchaseBatchAsync(items []BatchPurchase) (*ops.Operation, error) {
+	return c.postAsyncV2("/v2/purchase/batch", BatchPurchaseRequest{Purchases: encodePurchases(items)})
+}
+
+// PurchaseBatchV2 buys several licenses through the async /v2 flow,
+// blocking until the operation settles: start, poll, decode. Outcome
+// mapping matches Client.PurchaseBatch.
+func (c *Client) PurchaseBatchV2(ctx context.Context, items []BatchPurchase) ([]*license.Personalized, []error, error) {
+	op, err := c.PurchaseBatchAsync(items)
+	if err != nil {
+		return nil, nil, err
+	}
+	op, err = c.WaitOperation(ctx, op.ID, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var resp BatchPurchaseResponse
+	if err := OperationResult(op, &resp); err != nil {
+		return nil, nil, err
+	}
+	return decodePurchaseResults(resp, len(items))
+}
+
+// PromoteAsync starts follower promotion on a replica daemon and
+// returns the operation to poll (admin tier).
+func (c *Client) PromoteAsync() (*ops.Operation, error) {
+	return c.postAsyncV2("/v2/replica/promote", nil)
+}
+
+// ResyncReplica starts a snapshot re-bootstrap on a replica daemon
+// (store == "" resyncs all stores) and returns the operation to poll
+// (admin tier).
+func (c *Client) ResyncReplica(store string) (*ops.Operation, error) {
+	p := "/v2/replica/resync"
+	if store != "" {
+		p += "?store=" + url.QueryEscape(store)
+	}
+	return c.postAsyncV2(p, nil)
+}

@@ -1,0 +1,358 @@
+package httpapi
+
+// The /v2/ response envelope, modeled on snapd's REST design. Every
+// /v2/ endpoint answers one of three envelope types:
+//
+//	{"type":"sync","status":"OK","status-code":200,"result":...}
+//	{"type":"async","status":"Accepted","status-code":202,
+//	 "operation":"/v2/operations/<id>","result":{...operation doc...}}
+//	{"type":"error","status":"...","status-code":4xx|5xx,
+//	 "result":{"message":"...","kind":"..."}}
+//
+// A 202 async response also sets the Location header to the operation
+// URL; the embedded operation document is a convenience snapshot — the
+// authoritative state is always GET /v2/operations/{id}.
+//
+// The /v1/ surface predates the envelope and is kept as thin
+// compatibility shims: the same endpoint cores, written as bare JSON
+// with `{"error": "..."}` error bodies.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"p2drm/internal/ops"
+)
+
+// Tier is a route's minimum access level (snapd's guest /
+// authenticated / trusted split).
+type Tier int
+
+// Guest < User < Admin; a request's resolved tier must be >= the
+// route's tier.
+const (
+	TierGuest Tier = iota
+	TierUser
+	TierAdmin
+)
+
+// String names the tier as documented in docs/rest.md.
+func (t Tier) String() string {
+	switch t {
+	case TierUser:
+		return "user"
+	case TierAdmin:
+		return "admin"
+	default:
+		return "guest"
+	}
+}
+
+// RouteKind classifies a route's response shape for the API reference.
+type RouteKind string
+
+// KindSync answers inline; KindAsync answers 202 + operation URL;
+// KindStream answers raw bytes (content blobs, WAL segments).
+const (
+	KindSync   RouteKind = "sync"
+	KindAsync  RouteKind = "async"
+	KindStream RouteKind = "stream"
+)
+
+// Route is one registered route's metadata. The /v2/ route table is
+// exported (Routes) so the docs drift test can diff it against
+// docs/rest.md.
+type Route struct {
+	Method string
+	Path   string
+	Tier   Tier
+	Kind   RouteKind
+}
+
+// apiError is a transport-level error: an HTTP status, a stable
+// machine-readable kind, and a human message. The /v2/ writer renders
+// it as an error envelope, the /v1/ shim as the legacy error body.
+type apiError struct {
+	status int
+	kind   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBadRequest(err error) *apiError {
+	return &apiError{status: http.StatusBadRequest, kind: "bad-request", msg: err.Error()}
+}
+
+func errNotFound(err error) *apiError {
+	return &apiError{status: http.StatusNotFound, kind: "not-found", msg: err.Error()}
+}
+
+// errRejected is a protocol-level refusal (bad proof, double spend,
+// unregistered pseudonym): HTTP 403 like /v1, but with its own kind so
+// clients can tell it from an authorization failure.
+func errRejected(err error) *apiError {
+	return &apiError{status: http.StatusForbidden, kind: "rejected", msg: err.Error()}
+}
+
+func errInternal(err error) *apiError {
+	return &apiError{status: http.StatusInternalServerError, kind: "internal", msg: err.Error()}
+}
+
+// errStatus maps an arbitrary status produced by shared helpers onto
+// the matching kind.
+func errStatus(status int, err error) *apiError {
+	kind := "internal"
+	switch status {
+	case http.StatusBadRequest:
+		kind = "bad-request"
+	case http.StatusUnauthorized:
+		kind = "login-required"
+	case http.StatusForbidden:
+		kind = "forbidden"
+	case http.StatusNotFound:
+		kind = "not-found"
+	case http.StatusConflict:
+		kind = "conflict"
+	case http.StatusGone:
+		kind = "gone"
+	case http.StatusNotImplemented:
+		kind = "not-implemented"
+	}
+	return &apiError{status: status, kind: kind, msg: err.Error()}
+}
+
+// envelope is the /v2/ wire frame.
+type envelope struct {
+	Type       string `json:"type"`
+	Status     string `json:"status"`
+	StatusCode int    `json:"status-code"`
+	Operation  string `json:"operation,omitempty"`
+	Result     any    `json:"result,omitempty"`
+}
+
+// errorResult is the error envelope's result payload.
+type errorResult struct {
+	Message string `json:"message"`
+	Kind    string `json:"kind,omitempty"`
+}
+
+// OperationURL returns the pollable URL for an operation ID.
+func OperationURL(id string) string { return "/v2/operations/" + id }
+
+func writeEnvelope(w http.ResponseWriter, env envelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(env.StatusCode)
+	json.NewEncoder(w).Encode(env)
+}
+
+// writeSync answers a synchronous /v2/ request.
+func writeSync(w http.ResponseWriter, result any) {
+	writeEnvelope(w, envelope{
+		Type: "sync", Status: http.StatusText(http.StatusOK),
+		StatusCode: http.StatusOK, Result: result,
+	})
+}
+
+// writeAsync answers 202 Accepted with the operation document and its
+// pollable URL (also in the Location header).
+func writeAsync(w http.ResponseWriter, op ops.Operation) {
+	url := OperationURL(op.ID)
+	w.Header().Set("Location", url)
+	writeEnvelope(w, envelope{
+		Type: "async", Status: http.StatusText(http.StatusAccepted),
+		StatusCode: http.StatusAccepted, Operation: url, Result: op,
+	})
+}
+
+// writeEnvErr answers any /v2/ failure.
+func writeEnvErr(w http.ResponseWriter, e *apiError) {
+	writeEnvelope(w, envelope{
+		Type: "error", Status: http.StatusText(e.status), StatusCode: e.status,
+		Result: errorResult{Message: e.msg, Kind: e.kind},
+	})
+}
+
+// endpoint is a transport-agnostic handler core: it decodes the
+// request, runs the action, and returns either a result payload or an
+// apiError. One core serves both the /v1 legacy shim and the /v2
+// envelope route.
+type endpoint func(r *http.Request) (any, *apiError)
+
+// api is the shared REST-plane chassis embedded by Server and
+// ReplicaServer: the mux, the /v2/ route table, the auth policy, and
+// the operations registry.
+type api struct {
+	mux    *http.ServeMux
+	auth   Auth
+	ops    *ops.Registry
+	routes []Route
+}
+
+func newAPI() api {
+	return api{mux: http.NewServeMux(), ops: ops.New(nil)}
+}
+
+// legacy registers a /v1 compatibility shim for ep (bare JSON wire
+// format, `{"error":...}` failures).
+func (a *api) legacy(method, path string, ep endpoint) {
+	a.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+		res, apiErr := ep(r)
+		if apiErr != nil {
+			writeErr(w, apiErr.status, apiErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+}
+
+// v2 registers an enveloped synchronous route with tier enforcement.
+func (a *api) v2(method, path string, tier Tier, ep endpoint) {
+	a.v2raw(method, path, tier, KindSync, func(w http.ResponseWriter, r *http.Request) {
+		res, apiErr := ep(r)
+		if apiErr != nil {
+			writeEnvErr(w, apiErr)
+			return
+		}
+		writeSync(w, res)
+	})
+}
+
+// v2raw registers a route with tier enforcement and a custom writer
+// (async 202 responses and raw byte streams).
+func (a *api) v2raw(method, path string, tier Tier, kind RouteKind, h http.HandlerFunc) {
+	a.routes = append(a.routes, Route{Method: method, Path: path, Tier: tier, Kind: kind})
+	a.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+		if e := a.auth.check(r, tier); e != nil {
+			writeEnvErr(w, e)
+			return
+		}
+		h(w, r)
+	})
+}
+
+// Routes returns the registered /v2/ route table sorted by path then
+// method — the machine-readable surface the docs drift test checks
+// against docs/rest.md.
+func (a *api) Routes() []Route {
+	out := make([]Route, 0, len(a.routes))
+	for _, rt := range a.routes {
+		if strings.HasPrefix(rt.Path, "/v2/") {
+			out = append(out, rt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// serveHTTP dispatches with envelope-shaped 404/405 for the /v2/
+// surface (the stdlib mux would write text/plain).
+func (a *api) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v2/") {
+		if _, pattern := a.mux.Handler(r); pattern == "" {
+			if a.pathKnown(r.URL.Path) {
+				writeEnvErr(w, &apiError{
+					status: http.StatusMethodNotAllowed, kind: "method-not-allowed",
+					msg: fmt.Sprintf("httpapi: method %s not allowed on %s", r.Method, r.URL.Path),
+				})
+			} else {
+				writeEnvErr(w, &apiError{
+					status: http.StatusNotFound, kind: "not-found",
+					msg: "httpapi: unknown route " + r.URL.Path,
+				})
+			}
+			return
+		}
+	}
+	a.mux.ServeHTTP(w, r)
+}
+
+// pathKnown reports whether any registered /v2/ route matches path
+// under some method ({param} segments match any non-empty segment).
+func (a *api) pathKnown(path string) bool {
+	for _, rt := range a.routes {
+		if pathMatches(rt.Path, path) {
+			return true
+		}
+	}
+	return false
+}
+
+func pathMatches(pattern, path string) bool {
+	ps := strings.Split(pattern, "/")
+	qs := strings.Split(path, "/")
+	if len(ps) != len(qs) {
+		return false
+	}
+	for i := range ps {
+		if strings.HasPrefix(ps[i], "{") && strings.HasSuffix(ps[i], "}") {
+			if qs[i] == "" {
+				return false
+			}
+			continue
+		}
+		if ps[i] != qs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- operations surface (registered by both servers) ---
+
+// registerOpsRoutes mounts the operations registry: list, poll, and
+// admin-only delete of terminal operations.
+func (a *api) registerOpsRoutes() {
+	a.v2("GET", "/v2/operations", TierUser, a.epOpsList)
+	a.v2("GET", "/v2/operations/{id}", TierUser, a.epOpGet)
+	a.v2("DELETE", "/v2/operations/{id}", TierAdmin, a.epOpDelete)
+}
+
+// OperationsResponse answers GET /v2/operations.
+type OperationsResponse struct {
+	Operations []ops.Operation `json:"operations"`
+}
+
+func (a *api) epOpsList(r *http.Request) (any, *apiError) {
+	return OperationsResponse{Operations: a.ops.List()}, nil
+}
+
+func (a *api) epOpGet(r *http.Request) (any, *apiError) {
+	id := r.PathValue("id")
+	op, ok := a.ops.Get(id)
+	if !ok {
+		return nil, &apiError{status: http.StatusNotFound, kind: "operation-not-found",
+			msg: fmt.Sprintf("httpapi: unknown operation %q", id)}
+	}
+	return op, nil
+}
+
+func (a *api) epOpDelete(r *http.Request) (any, *apiError) {
+	id := r.PathValue("id")
+	if _, ok := a.ops.Get(id); !ok {
+		return nil, &apiError{status: http.StatusNotFound, kind: "operation-not-found",
+			msg: fmt.Sprintf("httpapi: unknown operation %q", id)}
+	}
+	if err := a.ops.Delete(id); err != nil {
+		return nil, &apiError{status: http.StatusConflict, kind: "conflict", msg: err.Error()}
+	}
+	return map[string]string{"status": "deleted"}, nil
+}
+
+// startOperation launches task on the registry and answers 202.
+func (a *api) startOperation(w http.ResponseWriter, kind, summary string, params any, task ops.Task) {
+	op, err := a.ops.Start(kind, summary, params, task)
+	if err != nil {
+		writeEnvErr(w, errInternal(err))
+		return
+	}
+	writeAsync(w, op)
+}

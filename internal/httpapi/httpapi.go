@@ -2,26 +2,35 @@
 // clients an SDK speaking the same protocol, so the P2DRM parties can run
 // in separate processes (cmd/p2drmd + cmd/p2drm).
 //
-// Binary artifacts (licenses, proofs, blinded blobs) travel base64-encoded
-// inside JSON envelopes. The endpoints mirror provider methods 1:1:
+// # Two API surfaces
 //
-//	GET  /v1/catalog
-//	GET  /v1/content?id=...
-//	GET  /v1/denomination?id=...
-//	GET  /v1/challenge
-//	POST /v1/register
-//	POST /v1/purchase
-//	POST /v1/purchase/batch
-//	POST /v1/exchange
-//	POST /v1/exchange/batch
-//	POST /v1/redeem
-//	POST /v1/redeem/batch
-//	GET  /v1/revocation/filter
-//	GET  /v1/stats
+// The production surface lives under /v2/ and follows snapd's REST
+// design: every response is a uniform envelope
 //
-// The three batch endpoints share one shape: up to maxBatchItems slots,
-// per-slot outcomes in request order (a malformed or failed slot never
-// voids the rest), and the provider's shared worker pool underneath.
+//	{"type":"sync","status-code":200,"result":...}
+//	{"type":"async","status-code":202,"operation":"/v2/operations/ID","result":{...}}
+//	{"type":"error","status-code":4xx,"result":{"message":"...","kind":"..."}}
+//
+// routes carry a minimum auth tier (guest read, authenticated user,
+// trusted admin — see Auth), and every long-running action (compaction,
+// revocation-list rebuild, bulk batch issuance, replica promotion and
+// resync) answers 202 Accepted with an operation URL pollable at
+// GET /v2/operations/{id}. Operations persist in the kvstore-backed
+// ops.Registry, so an operation in flight when the daemon dies is still
+// visible — resumed or marked aborted — after restart.
+//
+// The original /v1/ surface is kept verbatim as thin compatibility
+// shims over the same endpoint cores: bare JSON bodies, `{"error":...}`
+// failures, identical status codes, no auth. New clients should speak
+// /v2/; docs/rest.md is the authoritative reference for both.
+//
+// # Wire conventions
+//
+// Binary artifacts (licenses, proofs, blinded blobs) travel
+// base64-encoded inside JSON envelopes. The three batch endpoints share
+// one shape: up to maxBatchItems slots, per-slot outcomes in request
+// order (a malformed or failed slot never voids the rest), and the
+// provider's shared worker pool underneath.
 package httpapi
 
 import (
@@ -40,6 +49,7 @@ import (
 	"p2drm/internal/cryptox/schnorr"
 	"p2drm/internal/kvstore"
 	"p2drm/internal/license"
+	"p2drm/internal/ops"
 	"p2drm/internal/payment"
 	"p2drm/internal/provider"
 	"p2drm/internal/replica"
@@ -50,44 +60,46 @@ import (
 // demo bank endpoints (account creation, blind withdrawal) are exposed
 // too, so a single daemon can serve complete out-of-process flows.
 type Server struct {
+	api
 	Provider *provider.Provider
 	Bank     *payment.Bank
-	mux      *http.ServeMux
-	// stores are the kvstore instances surfaced by GET /v1/stats and
-	// /v1/kv/get|has, keyed by a human-readable name (registered before
-	// serving starts).
+	// stores are the kvstore instances surfaced by stats, kv/get|has and
+	// async compaction, keyed by a human-readable name (registered
+	// before serving starts).
 	stores map[string]*kvstore.Store
-	// replicas are the replication sources served under /v1/replica/*,
+	// replicas are the replication sources served under replica/*,
 	// keyed like stores (registered before serving starts).
 	replicas map[string]*replica.Source
 }
 
-// NewServer builds the handler tree.
+// NewServer builds the handler tree: the /v2/ envelope surface plus the
+// /v1/ compatibility shims over the same endpoint cores.
 func NewServer(p *provider.Provider) *Server {
-	s := &Server{Provider: p, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s := &Server{Provider: p, api: newAPI()}
+	s.legacy("GET", "/v1/catalog", s.epCatalog)
 	s.mux.HandleFunc("GET /v1/content", s.handleContent)
-	s.mux.HandleFunc("GET /v1/denomination", s.handleDenomination)
-	s.mux.HandleFunc("GET /v1/challenge", s.handleChallenge)
-	s.mux.HandleFunc("POST /v1/register", s.handleRegister)
-	s.mux.HandleFunc("POST /v1/purchase", s.handlePurchase)
-	s.mux.HandleFunc("POST /v1/purchase/batch", s.handlePurchaseBatch)
-	s.mux.HandleFunc("POST /v1/exchange", s.handleExchange)
-	s.mux.HandleFunc("POST /v1/exchange/batch", s.handleExchangeBatch)
-	s.mux.HandleFunc("POST /v1/redeem", s.handleRedeem)
-	s.mux.HandleFunc("POST /v1/redeem/batch", s.handleRedeemBatch)
-	s.mux.HandleFunc("GET /v1/revocation/filter", s.handleFilter)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/kv/get", s.handleKVGet)
-	s.mux.HandleFunc("GET /v1/kv/has", s.handleKVHas)
-	s.mux.HandleFunc("GET /v1/replica/manifest", s.handleReplicaManifest)
+	s.legacy("GET", "/v1/denomination", s.epDenomination)
+	s.legacy("GET", "/v1/challenge", s.epChallenge)
+	s.legacy("POST", "/v1/register", s.epRegister)
+	s.legacy("POST", "/v1/purchase", s.epPurchase)
+	s.legacy("POST", "/v1/purchase/batch", s.epPurchaseBatch)
+	s.legacy("POST", "/v1/exchange", s.epExchange)
+	s.legacy("POST", "/v1/exchange/batch", s.epExchangeBatch)
+	s.legacy("POST", "/v1/redeem", s.epRedeem)
+	s.legacy("POST", "/v1/redeem/batch", s.epRedeemBatch)
+	s.legacy("GET", "/v1/revocation/filter", s.epFilter)
+	s.legacy("GET", "/v1/stats", s.epStats)
+	s.legacy("GET", "/v1/kv/get", s.epKVGet)
+	s.legacy("GET", "/v1/kv/has", s.epKVHas)
+	s.legacy("GET", "/v1/replica/manifest", s.epReplicaManifest)
 	s.mux.HandleFunc("GET /v1/replica/segment/{id}", s.handleReplicaSegment)
-	s.mux.HandleFunc("POST /v1/replica/release", s.handleReplicaRelease)
-	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
-	s.mux.HandleFunc("GET /v1/provider/key", s.handleProviderKey)
-	s.mux.HandleFunc("GET /v1/bank/coinkey", s.handleCoinKey)
-	s.mux.HandleFunc("POST /v1/bank/account", s.handleBankAccount)
-	s.mux.HandleFunc("POST /v1/bank/withdraw", s.handleWithdraw)
+	s.legacy("POST", "/v1/replica/release", s.epReplicaRelease)
+	s.legacy("GET", "/v1/replica/status", s.epReplicaStatus)
+	s.legacy("GET", "/v1/provider/key", s.epProviderKey)
+	s.legacy("GET", "/v1/bank/coinkey", s.epCoinKey)
+	s.legacy("POST", "/v1/bank/account", s.epBankAccount)
+	s.legacy("POST", "/v1/bank/withdraw", s.epWithdraw)
+	s.registerV2()
 	return s
 }
 
@@ -97,13 +109,29 @@ func (s *Server) WithBank(b *payment.Bank) *Server {
 	return s
 }
 
-// WithStoreStats registers a kvstore under name for GET /v1/stats.
-// Call before serving starts (registration is not synchronized).
+// WithStoreStats registers a kvstore under name for stats, kv reads and
+// async compaction. Call before serving starts (registration is not
+// synchronized).
 func (s *Server) WithStoreStats(name string, st *kvstore.Store) *Server {
 	if s.stores == nil {
 		s.stores = make(map[string]*kvstore.Store)
 	}
 	s.stores[name] = st
+	return s
+}
+
+// WithOps replaces the default volatile operations registry with reg —
+// typically a kvstore-backed one so operations survive restarts. Call
+// before serving starts.
+func (s *Server) WithOps(reg *ops.Registry) *Server {
+	s.ops = reg
+	return s
+}
+
+// WithAuth installs the access policy (see Auth). Call before serving
+// starts; the zero policy leaves the API open.
+func (s *Server) WithAuth(a Auth) *Server {
+	s.auth = a
 	return s
 }
 
@@ -124,58 +152,50 @@ type WithdrawResponse struct {
 	BlindSig string `json:"blind_sig"`
 }
 
-func (s *Server) handleProviderKey(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epProviderKey(r *http.Request) (any, *apiError) {
 	pub := s.Provider.Public()
-	writeJSON(w, http.StatusOK, map[string]interface{}{"n": b64(pub.N.Bytes()), "e": pub.E})
+	return map[string]interface{}{"n": b64(pub.N.Bytes()), "e": pub.E}, nil
 }
 
-func (s *Server) handleCoinKey(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epCoinKey(r *http.Request) (any, *apiError) {
 	if s.Bank == nil {
-		writeErr(w, http.StatusNotFound, errors.New("httpapi: no bank attached"))
-		return
+		return nil, errNotFound(errors.New("httpapi: no bank attached"))
 	}
 	pub := s.Bank.CoinPub()
-	writeJSON(w, http.StatusOK, map[string]interface{}{"n": b64(pub.N.Bytes()), "e": pub.E})
+	return map[string]interface{}{"n": b64(pub.N.Bytes()), "e": pub.E}, nil
 }
 
-func (s *Server) handleBankAccount(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epBankAccount(r *http.Request) (any, *apiError) {
 	if s.Bank == nil {
-		writeErr(w, http.StatusNotFound, errors.New("httpapi: no bank attached"))
-		return
+		return nil, errNotFound(errors.New("httpapi: no bank attached"))
 	}
 	var req BankAccountRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	if err := s.Bank.CreateAccount(req.ID, req.Funds); err != nil {
-		writeErr(w, http.StatusForbidden, err)
-		return
+		return nil, errRejected(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "created"})
+	return map[string]string{"status": "created"}, nil
 }
 
-func (s *Server) handleWithdraw(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epWithdraw(r *http.Request) (any, *apiError) {
 	if s.Bank == nil {
-		writeErr(w, http.StatusNotFound, errors.New("httpapi: no bank attached"))
-		return
+		return nil, errNotFound(errors.New("httpapi: no bank attached"))
 	}
 	var req WithdrawRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	blinded, err := unb64(req.Blinded)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	sig, err := s.Bank.Withdraw(req.Account, blinded)
 	if err != nil {
-		writeErr(w, http.StatusForbidden, err)
-		return
+		return nil, errRejected(err)
 	}
-	writeJSON(w, http.StatusOK, WithdrawResponse{BlindSig: b64(sig)})
+	return WithdrawResponse{BlindSig: b64(sig)}, nil
 }
 
 // ProviderKey fetches the provider's license/revocation verification key.
@@ -246,7 +266,7 @@ func (c *Client) WithdrawCoins(account string, n int) ([]*payment.Coin, error) {
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.api.serveHTTP(w, r) }
 
 // Wire types.
 
@@ -393,7 +413,7 @@ func b64(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
 
 func unb64(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
 
-func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epCatalog(r *http.Request) (any, *apiError) {
 	items := s.Provider.Catalog()
 	out := make([]CatalogEntry, 0, len(items))
 	for _, it := range items {
@@ -402,66 +422,66 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 			PriceCredits: it.PriceCredits, Rights: it.Template.String(),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out, nil
 }
 
-func (s *Server) handleContent(w http.ResponseWriter, r *http.Request) {
+// handleContent streams the encrypted blob; shared raw handler for both
+// API versions (errFn shapes the failure body per surface).
+func (s *Server) serveContent(w http.ResponseWriter, r *http.Request, errFn func(http.ResponseWriter, *apiError)) {
 	item, err := s.Provider.Item(license.ContentID(r.URL.Query().Get("id")))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		errFn(w, errNotFound(err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(item.Encrypted)
 }
 
-func (s *Server) handleDenomination(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleContent(w http.ResponseWriter, r *http.Request) {
+	s.serveContent(w, r, func(w http.ResponseWriter, e *apiError) { writeErr(w, e.status, e) })
+}
+
+func (s *Server) epDenomination(r *http.Request) (any, *apiError) {
 	id := license.ContentID(r.URL.Query().Get("id"))
 	pub, denom, err := s.Provider.DenomPublic(id)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
+		return nil, errNotFound(err)
 	}
-	writeJSON(w, http.StatusOK, DenominationInfo{
+	return DenominationInfo{
 		ContentID: string(id),
 		Denom:     denom.String(),
 		N:         b64(pub.N.Bytes()),
 		E:         pub.E,
-	})
+	}, nil
 }
 
-func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epChallenge(r *http.Request) (any, *apiError) {
 	nonce, err := s.Provider.Challenge(r.Context())
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
+		return nil, errInternal(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"nonce": nonce})
+	return map[string]string{"nonce": nonce}, nil
 }
 
-func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epRegister(r *http.Request) (any, *apiError) {
 	var req RegisterRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	signPub, err1 := unb64(req.SignPub)
 	encPub, err2 := unb64(req.EncPub)
 	proofBytes, err3 := unb64(req.Proof)
 	if err1 != nil || err2 != nil || err3 != nil {
-		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
-		return
+		return nil, errBadRequest(errors.New("httpapi: bad base64 field"))
 	}
 	proof, err := schnorr.ParseProof(s.Provider.Group(), proofBytes)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	if err := s.Provider.Register(r.Context(), signPub, encPub, proof, req.Nonce); err != nil {
-		writeErr(w, http.StatusForbidden, err)
-		return
+		return nil, errRejected(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+	return map[string]string{"status": "registered"}, nil
 }
 
 // encodeCoin flattens a coin for the wire.
@@ -501,23 +521,20 @@ func decodePurchase(pr PurchaseRequest) (provider.PurchaseRequest, error) {
 	}, nil
 }
 
-func (s *Server) handlePurchase(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epPurchase(r *http.Request) (any, *apiError) {
 	var req PurchaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	preq, err := decodePurchase(req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	lic, err := s.Provider.Purchase(r.Context(), preq)
 	if err != nil {
-		writeErr(w, http.StatusForbidden, err)
-		return
+		return nil, errRejected(err)
 	}
-	writeJSON(w, http.StatusOK, LicenseResponse{License: b64(lic.Marshal())})
+	return LicenseResponse{License: b64(lic.Marshal())}, nil
 }
 
 // maxBatchItems bounds one batch call's memory and response latency
@@ -526,13 +543,11 @@ func (s *Server) handlePurchase(w http.ResponseWriter, r *http.Request) {
 const maxBatchItems = 256
 
 // checkBatchSize enforces the shared batch-size bound.
-func checkBatchSize(w http.ResponseWriter, n int) bool {
+func checkBatchSize(n int) *apiError {
 	if n == 0 || n > maxBatchItems {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("httpapi: batch size must be 1..%d", maxBatchItems))
-		return false
+		return errBadRequest(fmt.Errorf("httpapi: batch size must be 1..%d", maxBatchItems))
 	}
-	return true
+	return nil
 }
 
 // decodeSlots decodes each wire slot of a batch, reporting decode
@@ -554,14 +569,13 @@ func decodeSlots[W, I any](ws []W, decode func(W) (I, error), fail func(i int, e
 	return items, slots
 }
 
-func (s *Server) handlePurchaseBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epPurchaseBatch(r *http.Request) (any, *apiError) {
 	var req BatchPurchaseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
-	if !checkBatchSize(w, len(req.Purchases)) {
-		return
+	if e := checkBatchSize(len(req.Purchases)); e != nil {
+		return nil, e
 	}
 	resp := BatchPurchaseResponse{Results: make([]BatchPurchaseResult, len(req.Purchases))}
 	reqs, slots := decodeSlots(req.Purchases, decodePurchase,
@@ -574,7 +588,7 @@ func (s *Server) handlePurchaseBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i].License = b64(res.License.Marshal())
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // decodeExchange converts one wire exchange into a provider item.
@@ -611,33 +625,29 @@ func decodeRedeem(rr RedeemRequest) (provider.RedeemItem, error) {
 	return provider.RedeemItem{Anonymous: anon, SignPub: signPub, EncPub: encPub}, nil
 }
 
-func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epExchange(r *http.Request) (any, *apiError) {
 	var req ExchangeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	item, err := s.decodeExchange(req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	blindSig, err := s.Provider.Exchange(r.Context(), item.License, item.Proof, item.Nonce, item.Blinded)
 	if err != nil {
-		writeErr(w, http.StatusForbidden, err)
-		return
+		return nil, errRejected(err)
 	}
-	writeJSON(w, http.StatusOK, ExchangeResponse{BlindSig: b64(blindSig)})
+	return ExchangeResponse{BlindSig: b64(blindSig)}, nil
 }
 
-func (s *Server) handleExchangeBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epExchangeBatch(r *http.Request) (any, *apiError) {
 	var req BatchExchangeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
-	if !checkBatchSize(w, len(req.Exchanges)) {
-		return
+	if e := checkBatchSize(len(req.Exchanges)); e != nil {
+		return nil, e
 	}
 	resp := BatchExchangeResponse{Results: make([]BatchExchangeResult, len(req.Exchanges))}
 	items, slots := decodeSlots(req.Exchanges, s.decodeExchange,
@@ -650,36 +660,32 @@ func (s *Server) handleExchangeBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i].BlindSig = b64(res.BlindSig)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-func (s *Server) handleRedeem(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epRedeem(r *http.Request) (any, *apiError) {
 	var req RedeemRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	item, err := decodeRedeem(req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	lic, err := s.Provider.Redeem(r.Context(), item.Anonymous, item.SignPub, item.EncPub)
 	if err != nil {
-		writeErr(w, http.StatusForbidden, err)
-		return
+		return nil, errRejected(err)
 	}
-	writeJSON(w, http.StatusOK, LicenseResponse{License: b64(lic.Marshal())})
+	return LicenseResponse{License: b64(lic.Marshal())}, nil
 }
 
-func (s *Server) handleRedeemBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epRedeemBatch(r *http.Request) (any, *apiError) {
 	var req BatchRedeemRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
-	if !checkBatchSize(w, len(req.Redeems)) {
-		return
+	if e := checkBatchSize(len(req.Redeems)); e != nil {
+		return nil, e
 	}
 	resp := BatchRedeemResponse{Results: make([]BatchRedeemResult, len(req.Redeems))}
 	items, slots := decodeSlots(req.Redeems, decodeRedeem,
@@ -692,33 +698,37 @@ func (s *Server) handleRedeemBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i].License = b64(res.License.Marshal())
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epStats(r *http.Request) (any, *apiError) {
 	resp := StatsResponse{Stores: make(map[string]kvstore.Stats, len(s.stores))}
 	for name, st := range s.stores {
 		resp.Stores[name] = st.Stats()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-func (s *Server) handleFilter(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epFilter(r *http.Request) (any, *apiError) {
 	sf, err := s.Provider.RevocationFilter()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
+		return nil, errInternal(err)
 	}
-	writeJSON(w, http.StatusOK, FilterResponse{
+	return FilterResponse{
 		Filter: b64(sf.Filter), IssuedAt: sf.IssuedAt, Sig: b64(sf.Sig),
-	})
+	}, nil
 }
 
-// Client is the SDK speaking to a Server.
+// Client is the SDK speaking to a Server. The /v1 helpers talk bare
+// JSON; the /v2 helpers (client_v2.go) speak the envelope and attach
+// Token as a bearer credential when set.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
 	Group   *schnorr.Group
+	// Token is the bearer credential sent on /v2 requests (empty for
+	// guest access).
+	Token string
 }
 
 // NewClient builds a client; group must match the server's.
@@ -855,6 +865,15 @@ type BatchPurchase struct {
 // back in request order; per-item failures are returned as errors in the
 // slice, not as a call-level error.
 func (c *Client) PurchaseBatch(items []BatchPurchase) ([]*license.Personalized, []error, error) {
+	reqs := encodePurchases(items)
+	var resp BatchPurchaseResponse
+	if err := c.post("/v1/purchase/batch", BatchPurchaseRequest{Purchases: reqs}, &resp); err != nil {
+		return nil, nil, err
+	}
+	return decodePurchaseResults(resp, len(reqs))
+}
+
+func encodePurchases(items []BatchPurchase) []PurchaseRequest {
 	reqs := make([]PurchaseRequest, len(items))
 	for i, it := range items {
 		reqs[i] = PurchaseRequest{
@@ -864,15 +883,15 @@ func (c *Client) PurchaseBatch(items []BatchPurchase) ([]*license.Personalized, 
 			reqs[i].Coins = append(reqs[i].Coins, encodeCoin(coin))
 		}
 	}
-	var resp BatchPurchaseResponse
-	if err := c.post("/v1/purchase/batch", BatchPurchaseRequest{Purchases: reqs}, &resp); err != nil {
-		return nil, nil, err
+	return reqs
+}
+
+func decodePurchaseResults(resp BatchPurchaseResponse, want int) ([]*license.Personalized, []error, error) {
+	if len(resp.Results) != want {
+		return nil, nil, fmt.Errorf("httpapi: batch returned %d results for %d requests", len(resp.Results), want)
 	}
-	if len(resp.Results) != len(reqs) {
-		return nil, nil, fmt.Errorf("httpapi: batch returned %d results for %d requests", len(resp.Results), len(reqs))
-	}
-	lics := make([]*license.Personalized, len(reqs))
-	errs := make([]error, len(reqs))
+	lics := make([]*license.Personalized, want)
+	errs := make([]error, want)
 	for i, res := range resp.Results {
 		if res.Error != "" {
 			errs[i] = fmt.Errorf("httpapi: server: %s", res.Error)

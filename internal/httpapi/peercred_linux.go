@@ -1,0 +1,29 @@
+//go:build linux
+
+package httpapi
+
+import (
+	"net"
+	"syscall"
+)
+
+// unixPeerUID reads the connecting process's uid via SO_PEERCRED.
+func unixPeerUID(c *net.UnixConn) (uint32, error) {
+	raw, err := c.SyscallConn()
+	if err != nil {
+		return 0, err
+	}
+	var (
+		cred    *syscall.Ucred
+		sockErr error
+	)
+	if err := raw.Control(func(fd uintptr) {
+		cred, sockErr = syscall.GetsockoptUcred(int(fd), syscall.SOL_SOCKET, syscall.SO_PEERCRED)
+	}); err != nil {
+		return 0, err
+	}
+	if sockErr != nil {
+		return 0, sockErr
+	}
+	return cred.Uid, nil
+}

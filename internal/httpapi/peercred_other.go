@@ -1,0 +1,11 @@
+//go:build !linux
+
+package httpapi
+
+import "net"
+
+// unixPeerUID is unavailable off Linux; callers fall back to token
+// auth.
+func unixPeerUID(c *net.UnixConn) (uint32, error) {
+	return 0, errNoPeerCred
+}

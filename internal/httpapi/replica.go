@@ -6,26 +6,14 @@ package httpapi
 // with identity metadata in X-Replica-* headers — they are CRC-framed
 // log records, so JSON/base64 framing would only add bulk.
 //
-//	Primary (Server, per registered replica source):
-//	  GET  /v1/replica/manifest?store=NAME[&pin=1]
-//	  GET  /v1/replica/segment/{id}?store=NAME&from=OFF&max=N&gen=G[&pin=ID]
-//	  POST /v1/replica/release?store=NAME&pin=ID
-//	  GET  /v1/replica/status
-//	  GET  /v1/kv/get?store=NAME&key=B64   (read-your-replica checks)
-//	  GET  /v1/kv/has?store=NAME&key=B64
-//
-//	Follower (ReplicaServer):
-//	  GET  /v1/kv/get, /v1/kv/has, /v1/stats — served from the replica
-//	  GET  /v1/revocation/contains?serial=B64
-//	  GET  /v1/replica/status
-//	  POST /v1/replica/promote
-//	  POST /v1/kv/put — 403 ErrReadOnly until promoted
-//
-// A compaction-invalidated segment read answers 410 Gone, which the
-// client maps back to kvstore.ErrSegmentGone so the follower's snapshot
-// fallback triggers exactly as it does in-process.
+// Both roles expose the endpoints on /v1 (bare JSON) and /v2
+// (envelope, tiered auth); promotion and resync are /v2-only async
+// operations. A compaction-invalidated segment read answers 410 Gone,
+// which the client maps back to kvstore.ErrSegmentGone so the
+// follower's snapshot fallback triggers exactly as it does in-process.
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -37,6 +25,7 @@ import (
 
 	"p2drm/internal/kvstore"
 	"p2drm/internal/license"
+	"p2drm/internal/ops"
 	"p2drm/internal/replica"
 	"p2drm/internal/revocation"
 )
@@ -52,27 +41,25 @@ func (s *Server) WithReplicaSource(name string, src *replica.Source) *Server {
 	return s
 }
 
-func (s *Server) replicaSource(w http.ResponseWriter, r *http.Request) (*replica.Source, bool) {
+func (s *Server) replicaSource(r *http.Request) (*replica.Source, *apiError) {
 	name := r.URL.Query().Get("store")
 	src := s.replicas[name]
 	if src == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: no replica source %q", name))
-		return nil, false
+		return nil, errNotFound(fmt.Errorf("httpapi: no replica source %q", name))
 	}
-	return src, true
+	return src, nil
 }
 
-func (s *Server) handleReplicaManifest(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.replicaSource(w, r)
-	if !ok {
-		return
+func (s *Server) epReplicaManifest(r *http.Request) (any, *apiError) {
+	src, apiErr := s.replicaSource(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 	m, err := src.Manifest(r.URL.Query().Get("pin") == "1")
 	if err != nil {
-		writeErr(w, replicaErrStatus(err), err)
-		return
+		return nil, errStatus(replicaErrStatus(err), err)
 	}
-	writeJSON(w, http.StatusOK, m)
+	return m, nil
 }
 
 // Segment identity/continuation headers; the body is raw log bytes.
@@ -86,14 +73,17 @@ const (
 	hdrNextGen = "X-Replica-Next-Gen"
 )
 
-func (s *Server) handleReplicaSegment(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.replicaSource(w, r)
-	if !ok {
+// serveReplicaSegment streams one segment chunk; shared raw handler for
+// both API versions (errFn shapes the failure body per surface).
+func (s *Server) serveReplicaSegment(w http.ResponseWriter, r *http.Request, errFn func(http.ResponseWriter, *apiError)) {
+	src, apiErr := s.replicaSource(r)
+	if apiErr != nil {
+		errFn(w, apiErr)
 		return
 	}
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("httpapi: bad segment id: %w", err))
+		errFn(w, errBadRequest(fmt.Errorf("httpapi: bad segment id: %w", err)))
 		return
 	}
 	q := r.URL.Query()
@@ -105,12 +95,12 @@ func (s *Server) handleReplicaSegment(w http.ResponseWriter, r *http.Request) {
 		gen, err3 = strconv.ParseUint(g, 10, 64)
 	}
 	if err1 != nil || err2 != nil || err3 != nil {
-		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad from/max/gen"))
+		errFn(w, errBadRequest(errors.New("httpapi: bad from/max/gen")))
 		return
 	}
 	ch, err := src.Segment(id, from, max, gen, q.Get("pin"))
 	if err != nil {
-		writeErr(w, replicaErrStatus(err), err)
+		errFn(w, errStatus(replicaErrStatus(err), err))
 		return
 	}
 	h := w.Header()
@@ -126,13 +116,17 @@ func (s *Server) handleReplicaSegment(w http.ResponseWriter, r *http.Request) {
 	w.Write(ch.Data)
 }
 
-func (s *Server) handleReplicaRelease(w http.ResponseWriter, r *http.Request) {
-	src, ok := s.replicaSource(w, r)
-	if !ok {
-		return
+func (s *Server) handleReplicaSegment(w http.ResponseWriter, r *http.Request) {
+	s.serveReplicaSegment(w, r, func(w http.ResponseWriter, e *apiError) { writeErr(w, e.status, e) })
+}
+
+func (s *Server) epReplicaRelease(r *http.Request) (any, *apiError) {
+	src, apiErr := s.replicaSource(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 	src.Release(r.URL.Query().Get("pin")) //nolint:errcheck
-	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+	return map[string]string{"status": "released"}, nil
 }
 
 // PrimaryReplicaStatus is one store's primary-side replication view.
@@ -144,14 +138,14 @@ type PrimaryReplicaStatus struct {
 	Pins       int    `json:"pins"`
 }
 
-// ReplicaStatusResponse is GET /v1/replica/status from either role.
+// ReplicaStatusResponse is the replica/status payload from either role.
 type ReplicaStatusResponse struct {
 	Role    string                          `json:"role"` // "primary" or "replica"
 	Stores  map[string]PrimaryReplicaStatus `json:"stores,omitempty"`
 	Replica map[string]replica.Status       `json:"replica,omitempty"`
 }
 
-func (s *Server) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epReplicaStatus(r *http.Request) (any, *apiError) {
 	resp := ReplicaStatusResponse{Role: "primary", Stores: make(map[string]PrimaryReplicaStatus, len(s.replicas))}
 	for name, src := range s.replicas {
 		st := PrimaryReplicaStatus{Epoch: src.Epoch(), Pins: src.Pins()}
@@ -161,7 +155,7 @@ func (s *Server) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
 		st.DurableSeg, st.DurableOff = src.Store().DurableOffset()
 		resp.Stores[name] = st
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // replicaErrStatus maps source errors onto transport codes the client
@@ -181,109 +175,140 @@ func replicaErrStatus(err error) int {
 
 // --- shared read-only KV endpoints (primary + follower) ---
 
-// KVValueResponse answers /v1/kv/get and /v1/kv/has.
+// KVValueResponse answers kv/get and kv/has.
 type KVValueResponse struct {
 	Found bool   `json:"found"`
 	Value string `json:"value,omitempty"` // base64
 }
 
 // kvKeyParam decodes the base64url ?key= parameter.
-func kvKeyParam(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+func kvKeyParam(r *http.Request) ([]byte, *apiError) {
 	key, err := base64.URLEncoding.DecodeString(r.URL.Query().Get("key"))
 	if err != nil || len(key) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad key (want base64url)"))
-		return nil, false
+		return nil, errBadRequest(errors.New("httpapi: bad key (want base64url)"))
 	}
-	return key, true
+	return key, nil
 }
 
-func (s *Server) handleKVGet(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epKVGet(r *http.Request) (any, *apiError) {
 	st := s.stores[r.URL.Query().Get("store")]
 	if st == nil {
-		writeErr(w, http.StatusNotFound, errors.New("httpapi: unknown store"))
-		return
+		return nil, errNotFound(errors.New("httpapi: unknown store"))
 	}
-	key, ok := kvKeyParam(w, r)
-	if !ok {
-		return
+	key, apiErr := kvKeyParam(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 	v, found := st.Get(key)
-	writeJSON(w, http.StatusOK, KVValueResponse{Found: found, Value: b64(v)})
+	return KVValueResponse{Found: found, Value: b64(v)}, nil
 }
 
-func (s *Server) handleKVHas(w http.ResponseWriter, r *http.Request) {
+func (s *Server) epKVHas(r *http.Request) (any, *apiError) {
 	st := s.stores[r.URL.Query().Get("store")]
 	if st == nil {
-		writeErr(w, http.StatusNotFound, errors.New("httpapi: unknown store"))
-		return
+		return nil, errNotFound(errors.New("httpapi: unknown store"))
 	}
-	key, ok := kvKeyParam(w, r)
-	if !ok {
-		return
+	key, apiErr := kvKeyParam(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
-	writeJSON(w, http.StatusOK, KVValueResponse{Found: st.Has(key)})
+	return KVValueResponse{Found: st.Has(key)}, nil
 }
 
 // --- follower-side server ---
 
 // ReplicaServer is the HTTP surface of a follower daemon: read-only KV
 // and revocation lookups against the local replicas, replication
-// status, and promotion. Writes are rejected until promotion.
+// status, and async promotion/resync operations. Writes are rejected
+// until promotion.
 type ReplicaServer struct {
+	api
 	followers map[string]*replica.Follower
-	mux       *http.ServeMux
 }
 
 // NewReplicaServer builds the follower handler tree over the given
 // followers (keyed by store name, e.g. "provider" and "bank").
 func NewReplicaServer(followers map[string]*replica.Follower) *ReplicaServer {
-	rs := &ReplicaServer{followers: followers, mux: http.NewServeMux()}
-	rs.mux.HandleFunc("GET /v1/kv/get", rs.handleGet)
-	rs.mux.HandleFunc("GET /v1/kv/has", rs.handleHas)
-	rs.mux.HandleFunc("POST /v1/kv/put", rs.handlePut)
-	rs.mux.HandleFunc("GET /v1/stats", rs.handleStats)
-	rs.mux.HandleFunc("GET /v1/replica/status", rs.handleStatus)
-	rs.mux.HandleFunc("POST /v1/replica/promote", rs.handlePromote)
-	rs.mux.HandleFunc("GET /v1/revocation/contains", rs.handleContains)
+	rs := &ReplicaServer{followers: followers, api: newAPI()}
+	rs.legacy("GET", "/v1/kv/get", rs.epGet)
+	rs.legacy("GET", "/v1/kv/has", rs.epHas)
+	rs.legacy("POST", "/v1/kv/put", rs.epPut)
+	rs.legacy("GET", "/v1/stats", rs.epStats)
+	rs.legacy("GET", "/v1/replica/status", rs.epStatus)
+	rs.legacy("POST", "/v1/replica/promote", rs.epPromoteSync)
+	rs.legacy("GET", "/v1/revocation/contains", rs.epContains)
+
+	rs.v2("GET", "/v2/kv/get", TierGuest, rs.epGet)
+	rs.v2("GET", "/v2/kv/has", TierGuest, rs.epHas)
+	rs.v2("POST", "/v2/kv/put", TierUser, rs.epPut)
+	rs.v2("GET", "/v2/stats", TierGuest, rs.epStats)
+	rs.v2("GET", "/v2/replica/status", TierGuest, rs.epStatus)
+	rs.v2("GET", "/v2/revocation/contains", TierGuest, rs.epContains)
+	rs.v2raw("POST", "/v2/replica/promote", TierAdmin, KindAsync, rs.handlePromoteV2)
+	rs.v2raw("POST", "/v2/replica/resync", TierAdmin, KindAsync, rs.handleResyncV2)
+	rs.registerOpsRoutes()
 	return rs
 }
 
-// ServeHTTP implements http.Handler.
-func (rs *ReplicaServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { rs.mux.ServeHTTP(w, r) }
+// WithOps replaces the default volatile operations registry with reg —
+// typically a kvstore-backed one so operations survive restarts. Call
+// before serving starts.
+func (rs *ReplicaServer) WithOps(reg *ops.Registry) *ReplicaServer {
+	rs.ops = reg
+	return rs
+}
 
-func (rs *ReplicaServer) follower(w http.ResponseWriter, r *http.Request) (*replica.Follower, bool) {
+// WithAuth installs the access policy (see Auth). Call before serving
+// starts; the zero policy leaves the API open.
+func (rs *ReplicaServer) WithAuth(a Auth) *ReplicaServer {
+	rs.auth = a
+	return rs
+}
+
+// ResumeOps adopts operations persisted by a previous process. Neither
+// follower operation is idempotent enough to re-run blindly (a promote
+// may have half-applied, a resync restarts anyway on next divergence),
+// so both kinds are marked aborted; the method exists so a restarted
+// follower daemon surfaces them rather than losing them.
+func (rs *ReplicaServer) ResumeOps() (resumed, aborted int) {
+	return rs.ops.Resume()
+}
+
+// ServeHTTP implements http.Handler.
+func (rs *ReplicaServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { rs.api.serveHTTP(w, r) }
+
+func (rs *ReplicaServer) follower(r *http.Request) (*replica.Follower, *apiError) {
 	name := r.URL.Query().Get("store")
 	f := rs.followers[name]
 	if f == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: no replica for store %q", name))
-		return nil, false
+		return nil, errNotFound(fmt.Errorf("httpapi: no replica for store %q", name))
 	}
-	return f, true
+	return f, nil
 }
 
-func (rs *ReplicaServer) handleGet(w http.ResponseWriter, r *http.Request) {
-	f, ok := rs.follower(w, r)
-	if !ok {
-		return
+func (rs *ReplicaServer) epGet(r *http.Request) (any, *apiError) {
+	f, apiErr := rs.follower(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
-	key, ok := kvKeyParam(w, r)
-	if !ok {
-		return
+	key, apiErr := kvKeyParam(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 	v, found := f.Get(key)
-	writeJSON(w, http.StatusOK, KVValueResponse{Found: found, Value: b64(v)})
+	return KVValueResponse{Found: found, Value: b64(v)}, nil
 }
 
-func (rs *ReplicaServer) handleHas(w http.ResponseWriter, r *http.Request) {
-	f, ok := rs.follower(w, r)
-	if !ok {
-		return
+func (rs *ReplicaServer) epHas(r *http.Request) (any, *apiError) {
+	f, apiErr := rs.follower(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
-	key, ok := kvKeyParam(w, r)
-	if !ok {
-		return
+	key, apiErr := kvKeyParam(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
-	writeJSON(w, http.StatusOK, KVValueResponse{Found: f.Has(key)})
+	return KVValueResponse{Found: f.Has(key)}, nil
 }
 
 // KVPutRequest is a follower-side write attempt (rejected until the
@@ -293,77 +318,139 @@ type KVPutRequest struct {
 	Value string `json:"value"` // base64
 }
 
-func (rs *ReplicaServer) handlePut(w http.ResponseWriter, r *http.Request) {
-	f, ok := rs.follower(w, r)
-	if !ok {
-		return
+func (rs *ReplicaServer) epPut(r *http.Request) (any, *apiError) {
+	f, apiErr := rs.follower(r)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 	var req KVPutRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return nil, errBadRequest(err)
 	}
 	key, err1 := unb64(req.Key)
 	val, err2 := unb64(req.Value)
 	if err1 != nil || err2 != nil {
-		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad base64 field"))
-		return
+		return nil, errBadRequest(errors.New("httpapi: bad base64 field"))
 	}
 	if err := f.Put(key, val); err != nil {
-		status := http.StatusInternalServerError
 		if errors.Is(err, replica.ErrReadOnly) {
-			status = http.StatusForbidden
+			return nil, &apiError{status: http.StatusForbidden, kind: "read-only", msg: err.Error()}
 		}
-		writeErr(w, status, err)
-		return
+		return nil, errInternal(err)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return map[string]string{"status": "ok"}, nil
 }
 
-func (rs *ReplicaServer) handleStats(w http.ResponseWriter, r *http.Request) {
+func (rs *ReplicaServer) epStats(r *http.Request) (any, *apiError) {
 	resp := StatsResponse{Stores: make(map[string]kvstore.Stats, len(rs.followers))}
 	for name, f := range rs.followers {
 		resp.Stores[name] = f.Stats()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-func (rs *ReplicaServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+func (rs *ReplicaServer) epStatus(r *http.Request) (any, *apiError) {
 	resp := ReplicaStatusResponse{Role: "replica", Replica: make(map[string]replica.Status, len(rs.followers))}
 	for name, f := range rs.followers {
 		resp.Replica[name] = f.Status()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
-func (rs *ReplicaServer) handlePromote(w http.ResponseWriter, r *http.Request) {
+// epPromoteSync is the /v1 promote: immediate, all stores.
+func (rs *ReplicaServer) epPromoteSync(r *http.Request) (any, *apiError) {
 	for _, f := range rs.followers {
 		f.Promote()
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "promoted"})
+	return map[string]string{"status": "promoted"}, nil
 }
 
-// handleContains answers revocation lookups from the replicated
-// provider store: exact (not Bloom) containment via the store key the
-// revocation list uses on the primary.
-func (rs *ReplicaServer) handleContains(w http.ResponseWriter, r *http.Request) {
+// PromoteResult reports the post-promotion role per store.
+type PromoteResult struct {
+	Promoted []string `json:"promoted"`
+}
+
+// handlePromoteV2 promotes every follower as a background operation:
+// promotion waits for in-flight tail appends to drain, which on a busy
+// follower is not bounded-latency work.
+func (rs *ReplicaServer) handlePromoteV2(w http.ResponseWriter, r *http.Request) {
+	rs.startOperation(w, "promote", "promote follower stores to writable", nil,
+		func(ctx context.Context, h *ops.Handle) (any, error) {
+			var res PromoteResult
+			total := int64(len(rs.followers))
+			for name, f := range rs.followers {
+				f.Promote()
+				res.Promoted = append(res.Promoted, name)
+				h.Progress(int64(len(res.Promoted)), total, "promoted "+name)
+			}
+			return res, nil
+		})
+}
+
+// ResyncResult reports per-store resync outcomes.
+type ResyncResult struct {
+	Resynced []string          `json:"resynced"`
+	Errors   map[string]string `json:"errors,omitempty"`
+}
+
+// handleResyncV2 forces a full snapshot re-bootstrap of each follower
+// (?store=NAME limits it to one) as a background operation.
+func (rs *ReplicaServer) handleResyncV2(w http.ResponseWriter, r *http.Request) {
+	only := r.URL.Query().Get("store")
+	if only != "" && rs.followers[only] == nil {
+		writeEnvErr(w, errNotFound(fmt.Errorf("httpapi: no replica for store %q", only)))
+		return
+	}
+	rs.startOperation(w, "resync", "snapshot re-bootstrap of follower stores",
+		map[string]string{"store": only},
+		func(ctx context.Context, h *ops.Handle) (any, error) {
+			res := ResyncResult{Errors: make(map[string]string)}
+			var done, total int64
+			for name := range rs.followers {
+				if only == "" || name == only {
+					total++
+				}
+			}
+			for name, f := range rs.followers {
+				if only != "" && name != only {
+					continue
+				}
+				if err := f.Resync(ctx); err != nil {
+					res.Errors[name] = err.Error()
+				} else {
+					res.Resynced = append(res.Resynced, name)
+				}
+				done++
+				h.Progress(done, total, "resynced "+name)
+			}
+			if len(res.Errors) == 0 {
+				res.Errors = nil
+			} else if len(res.Resynced) == 0 {
+				return nil, fmt.Errorf("httpapi: resync failed for all %d stores", len(res.Errors))
+			}
+			return res, nil
+		})
+}
+
+// epContains answers revocation lookups from the replicated provider
+// store: exact (not Bloom) containment via the store key the revocation
+// list uses on the primary.
+func (rs *ReplicaServer) epContains(r *http.Request) (any, *apiError) {
 	name := r.URL.Query().Get("store")
 	if name == "" {
 		name = "provider"
 	}
 	f := rs.followers[name]
 	if f == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("httpapi: no replica for store %q", name))
-		return
+		return nil, errNotFound(fmt.Errorf("httpapi: no replica for store %q", name))
 	}
 	raw, err := base64.URLEncoding.DecodeString(r.URL.Query().Get("serial"))
 	var serial license.Serial
 	if err != nil || len(raw) != len(serial) {
-		writeErr(w, http.StatusBadRequest, errors.New("httpapi: bad serial (want base64url of exact length)"))
-		return
+		return nil, errBadRequest(errors.New("httpapi: bad serial (want base64url of exact length)"))
 	}
 	copy(serial[:], raw)
-	writeJSON(w, http.StatusOK, KVValueResponse{Found: f.Has(revocation.StoreKey(serial))})
+	return KVValueResponse{Found: f.Has(revocation.StoreKey(serial))}, nil
 }
 
 // --- client SDK ---
@@ -453,7 +540,8 @@ func (c *Client) ReplicaStatus() (*ReplicaStatusResponse, error) {
 	return &resp, nil
 }
 
-// ReplicaPromote promotes a follower daemon's stores to writable.
+// ReplicaPromote promotes a follower daemon's stores to writable
+// (legacy /v1 synchronous form; see PromoteAsync).
 func (c *Client) ReplicaPromote() error {
 	return c.post("/v1/replica/promote", struct{}{}, nil)
 }

@@ -1,0 +1,260 @@
+package httpapi
+
+// The primary daemon's /v2/ surface: the same endpoint cores as /v1
+// wrapped in the snapd-style envelope, tiered auth, and every
+// long-running action converted to a 202 background operation pollable
+// at /v2/operations/{id}.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"p2drm/internal/kvstore"
+	"p2drm/internal/ops"
+)
+
+// registerV2 mounts the enveloped surface. Tier rationale: reads and
+// protocol-key fetches are guest (the protocol's own crypto guards
+// purchase/exchange/redeem, so they are user-tier like snapd's
+// state-changing endpoints); store maintenance and account minting are
+// admin.
+func (s *Server) registerV2() {
+	s.v2("GET", "/v2/catalog", TierGuest, s.epCatalog)
+	s.v2raw("GET", "/v2/content", TierGuest, KindStream, func(w http.ResponseWriter, r *http.Request) {
+		s.serveContent(w, r, func(w http.ResponseWriter, e *apiError) { writeEnvErr(w, e) })
+	})
+	s.v2("GET", "/v2/denomination", TierGuest, s.epDenomination)
+	s.v2("GET", "/v2/challenge", TierGuest, s.epChallenge)
+	s.v2("POST", "/v2/register", TierUser, s.epRegister)
+	s.v2("POST", "/v2/purchase", TierUser, s.epPurchase)
+	s.v2("POST", "/v2/exchange", TierUser, s.epExchange)
+	s.v2("POST", "/v2/redeem", TierUser, s.epRedeem)
+	s.v2("GET", "/v2/revocation/filter", TierGuest, s.epFilter)
+	s.v2("GET", "/v2/stats", TierGuest, s.epStats)
+	s.v2("GET", "/v2/kv/get", TierGuest, s.epKVGet)
+	s.v2("GET", "/v2/kv/has", TierGuest, s.epKVHas)
+	s.v2("GET", "/v2/replica/manifest", TierGuest, s.epReplicaManifest)
+	s.v2raw("GET", "/v2/replica/segment/{id}", TierGuest, KindStream, func(w http.ResponseWriter, r *http.Request) {
+		s.serveReplicaSegment(w, r, func(w http.ResponseWriter, e *apiError) { writeEnvErr(w, e) })
+	})
+	s.v2("POST", "/v2/replica/release", TierUser, s.epReplicaRelease)
+	s.v2("GET", "/v2/replica/status", TierGuest, s.epReplicaStatus)
+	s.v2("GET", "/v2/provider/key", TierGuest, s.epProviderKey)
+	s.v2("GET", "/v2/bank/coinkey", TierGuest, s.epCoinKey)
+	s.v2("POST", "/v2/bank/account", TierAdmin, s.epBankAccount)
+	s.v2("POST", "/v2/bank/withdraw", TierUser, s.epWithdraw)
+
+	s.v2raw("POST", "/v2/purchase/batch", TierUser, KindAsync, s.handlePurchaseBatchV2)
+	s.v2raw("POST", "/v2/exchange/batch", TierUser, KindAsync, s.handleExchangeBatchV2)
+	s.v2raw("POST", "/v2/redeem/batch", TierUser, KindAsync, s.handleRedeemBatchV2)
+	s.v2raw("POST", "/v2/compact", TierAdmin, KindAsync, s.handleCompactV2)
+	s.v2raw("POST", "/v2/revocation/rebuild", TierAdmin, KindAsync, s.handleRevocationRebuildV2)
+	s.registerOpsRoutes()
+}
+
+// Operation kinds started by the primary server. Compaction and filter
+// rebuilds are idempotent and get Resumers in ResumeOps; the bulk-*
+// kinds spend coins/licenses and are aborted on restart instead.
+const (
+	opKindCompact           = "compact"
+	opKindRevocationRebuild = "revocation-rebuild"
+	opKindBulkIssuance      = "bulk-issuance"
+	opKindBulkExchange      = "bulk-exchange"
+	opKindBulkRedeem        = "bulk-redeem"
+)
+
+// batchChunk is how many batch slots each progress step covers: small
+// enough that pollers see movement, big enough to amortize the worker
+// pool's fan-out.
+const batchChunk = 32
+
+// compactParams names the store an async compaction targets; persisted
+// as operation params so a restarted daemon can re-run it.
+type compactParams struct {
+	Store string `json:"store"`
+}
+
+// CompactResult is the terminal result of a compact operation.
+type CompactResult struct {
+	Store string        `json:"store"`
+	Stats kvstore.Stats `json:"stats"`
+}
+
+// RebuildResult is the terminal result of a revocation-rebuild
+// operation.
+type RebuildResult struct {
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) compactTask(name string, st *kvstore.Store) ops.Task {
+	return func(ctx context.Context, h *ops.Handle) (any, error) {
+		h.Progress(0, 1, "compacting "+name)
+		if err := st.Compact(); err != nil {
+			return nil, err
+		}
+		h.Progress(1, 1, "compacted "+name)
+		return CompactResult{Store: name, Stats: st.Stats()}, nil
+	}
+}
+
+func (s *Server) handleCompactV2(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("store")
+	st := s.stores[name]
+	if st == nil {
+		writeEnvErr(w, errNotFound(fmt.Errorf("httpapi: unknown store %q", name)))
+		return
+	}
+	s.startOperation(w, opKindCompact, "full compaction of store "+name,
+		compactParams{Store: name}, s.compactTask(name, st))
+}
+
+func (s *Server) rebuildTask() ops.Task {
+	return func(ctx context.Context, h *ops.Handle) (any, error) {
+		h.Progress(0, 1, "rebuilding revocation filter")
+		gen := s.Provider.RebuildRevocationFilter()
+		h.Progress(1, 1, "rebuilt revocation filter")
+		return RebuildResult{Generation: gen}, nil
+	}
+}
+
+func (s *Server) handleRevocationRebuildV2(w http.ResponseWriter, r *http.Request) {
+	s.startOperation(w, opKindRevocationRebuild, "rebuild revocation bloom filter", nil, s.rebuildTask())
+}
+
+// ResumeOps registers resumers for the idempotent operation kinds
+// (compaction, revocation rebuild) and adopts whatever the durable
+// registry holds from the previous process: matching kinds re-run under
+// their original IDs, everything else is marked aborted. Call once,
+// after WithOps/WithStoreStats and before serving starts.
+func (s *Server) ResumeOps() (resumed, aborted int) {
+	s.ops.Define(opKindCompact, func(params json.RawMessage) (ops.Task, error) {
+		var p compactParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		st := s.stores[p.Store]
+		if st == nil {
+			return nil, fmt.Errorf("httpapi: unknown store %q", p.Store)
+		}
+		return s.compactTask(p.Store, st), nil
+	})
+	s.ops.Define(opKindRevocationRebuild, func(params json.RawMessage) (ops.Task, error) {
+		return s.rebuildTask(), nil
+	})
+	return s.ops.Resume()
+}
+
+// handlePurchaseBatchV2 runs bulk issuance as a background operation:
+// the request is decoded (and size-checked) synchronously so malformed
+// input still fails fast with 400, then the slots are settled in
+// batchChunk chunks on the provider's worker pool with progress after
+// each chunk.
+func (s *Server) handlePurchaseBatchV2(w http.ResponseWriter, r *http.Request) {
+	var req BatchPurchaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeEnvErr(w, errBadRequest(err))
+		return
+	}
+	if e := checkBatchSize(len(req.Purchases)); e != nil {
+		writeEnvErr(w, e)
+		return
+	}
+	resp := BatchPurchaseResponse{Results: make([]BatchPurchaseResult, len(req.Purchases))}
+	reqs, slots := decodeSlots(req.Purchases, decodePurchase,
+		func(i int, err error) { resp.Results[i].Error = err.Error() })
+	summary := fmt.Sprintf("bulk issuance of %d licenses", len(req.Purchases))
+	s.startOperation(w, opKindBulkIssuance, summary, batchParams(len(req.Purchases)),
+		func(ctx context.Context, h *ops.Handle) (any, error) {
+			total := int64(len(reqs))
+			for off := 0; off < len(reqs); off += batchChunk {
+				end := min(off+batchChunk, len(reqs))
+				for j, res := range s.Provider.IssueBatch(ctx, reqs[off:end]) {
+					i := slots[off+j]
+					if res.Err != nil {
+						resp.Results[i].Error = res.Err.Error()
+						continue
+					}
+					resp.Results[i].License = b64(res.License.Marshal())
+				}
+				h.Progress(int64(end), total, "issuing licenses")
+			}
+			return resp, nil
+		})
+}
+
+// handleExchangeBatchV2 runs bulk exchange as a background operation;
+// see handlePurchaseBatchV2 for the shape.
+func (s *Server) handleExchangeBatchV2(w http.ResponseWriter, r *http.Request) {
+	var req BatchExchangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeEnvErr(w, errBadRequest(err))
+		return
+	}
+	if e := checkBatchSize(len(req.Exchanges)); e != nil {
+		writeEnvErr(w, e)
+		return
+	}
+	resp := BatchExchangeResponse{Results: make([]BatchExchangeResult, len(req.Exchanges))}
+	items, slots := decodeSlots(req.Exchanges, s.decodeExchange,
+		func(i int, err error) { resp.Results[i].Error = err.Error() })
+	summary := fmt.Sprintf("bulk exchange of %d licenses", len(req.Exchanges))
+	s.startOperation(w, opKindBulkExchange, summary, batchParams(len(req.Exchanges)),
+		func(ctx context.Context, h *ops.Handle) (any, error) {
+			total := int64(len(items))
+			for off := 0; off < len(items); off += batchChunk {
+				end := min(off+batchChunk, len(items))
+				for j, res := range s.Provider.ExchangeBatch(ctx, items[off:end]) {
+					i := slots[off+j]
+					if res.Err != nil {
+						resp.Results[i].Error = res.Err.Error()
+						continue
+					}
+					resp.Results[i].BlindSig = b64(res.BlindSig)
+				}
+				h.Progress(int64(end), total, "exchanging licenses")
+			}
+			return resp, nil
+		})
+}
+
+// handleRedeemBatchV2 runs bulk redemption as a background operation;
+// see handlePurchaseBatchV2 for the shape.
+func (s *Server) handleRedeemBatchV2(w http.ResponseWriter, r *http.Request) {
+	var req BatchRedeemRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeEnvErr(w, errBadRequest(err))
+		return
+	}
+	if e := checkBatchSize(len(req.Redeems)); e != nil {
+		writeEnvErr(w, e)
+		return
+	}
+	resp := BatchRedeemResponse{Results: make([]BatchRedeemResult, len(req.Redeems))}
+	items, slots := decodeSlots(req.Redeems, decodeRedeem,
+		func(i int, err error) { resp.Results[i].Error = err.Error() })
+	summary := fmt.Sprintf("bulk redemption of %d licenses", len(req.Redeems))
+	s.startOperation(w, opKindBulkRedeem, summary, batchParams(len(req.Redeems)),
+		func(ctx context.Context, h *ops.Handle) (any, error) {
+			total := int64(len(items))
+			for off := 0; off < len(items); off += batchChunk {
+				end := min(off+batchChunk, len(items))
+				for j, res := range s.Provider.RedeemBatch(ctx, items[off:end]) {
+					i := slots[off+j]
+					if res.Err != nil {
+						resp.Results[i].Error = res.Err.Error()
+						continue
+					}
+					resp.Results[i].License = b64(res.License.Marshal())
+				}
+				h.Progress(int64(end), total, "redeeming licenses")
+			}
+			return resp, nil
+		})
+}
+
+// batchParams records a bulk operation's size. The slots themselves are
+// deliberately not persisted: they carry one-shot coins and proofs, and
+// the operation is aborted (never re-run) after a restart.
+func batchParams(n int) map[string]int { return map[string]int{"items": n} }

@@ -1,0 +1,455 @@
+// Package ops is the daemon's durable background-operations registry:
+// the server half of the REST plane's 202 Accepted contract.
+//
+// Every long-running action — full compaction, replica snapshot
+// bootstrap, promotion, bulk issuance, revocation-filter rebuilds — is
+// Start()ed as an Operation with a stable ID, runs on its own
+// goroutine, and is polled at GET /v2/operations/{id} until it reaches
+// a terminal state. The lifecycle is
+//
+//	created → running → done | error | aborted
+//
+// and every transition is persisted into a kvstore BEFORE it is
+// observable, so the registry state survives a daemon restart — the
+// kvstore WAL is the same crash-safe log the protocol stores use.
+//
+// # Durable resume rules
+//
+// On restart, New reloads every persisted operation and Resume decides
+// the fate of those still in-flight (created or running at the moment
+// the old process died):
+//
+//   - kinds with a registered Resumer (Define) are RE-RUN from their
+//     persisted params — correct only for idempotent work such as
+//     compaction or a filter rebuild, where running twice converges to
+//     the same state. The re-run keeps the original operation ID and is
+//     marked Resumed, so a client polling across the restart sees its
+//     operation complete.
+//   - kinds without a Resumer are marked aborted with a descriptive
+//     error — correct for non-idempotent work such as bulk issuance,
+//     where blindly re-spending coins would be worse than failing.
+//
+// Either way an operation in flight at SIGKILL is still visible after
+// restart; it never silently vanishes. Terminal operations are kept
+// until GC reaps them (the daemon runs a periodic GC loop), giving
+// pollers a grace window to collect results.
+package ops
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"p2drm/internal/kvstore"
+)
+
+// Status is an operation lifecycle state.
+type Status string
+
+// Lifecycle: created → running → done | error | aborted. The aborted
+// state is reached only via restart adoption of a non-resumable kind.
+const (
+	StatusCreated Status = "created"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusError   Status = "error"
+	StatusAborted Status = "aborted"
+)
+
+// Terminal reports whether s is a final state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusError || s == StatusAborted
+}
+
+// Progress is an optional in-flight completion report.
+type Progress struct {
+	Done  int64  `json:"done"`
+	Total int64  `json:"total"`
+	Label string `json:"label,omitempty"`
+}
+
+// Operation is one background operation's public document — what
+// GET /v2/operations/{id} returns inside the envelope.
+type Operation struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	Summary   string          `json:"summary"`
+	Status    Status          `json:"status"`
+	CreatedAt time.Time       `json:"created-at"`
+	UpdatedAt time.Time       `json:"updated-at"`
+	Params    json.RawMessage `json:"params,omitempty"`
+	Progress  *Progress       `json:"progress,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	// Resumed marks an operation re-adopted from the durable registry
+	// after a daemon restart.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Task is the body of an operation. It runs on its own goroutine with
+// the registry's root context (canceled on Close); the returned value
+// is JSON-marshaled into Operation.Result on success.
+type Task func(ctx context.Context, h *Handle) (any, error)
+
+// Resumer rebuilds a Task from an interrupted operation's persisted
+// params after a restart. Registering one (Define) declares the kind
+// idempotent under re-execution.
+type Resumer func(params json.RawMessage) (Task, error)
+
+// ErrClosed rejects Start on a closed registry.
+var ErrClosed = errors.New("ops: registry closed")
+
+// keyPrefix namespaces operation records inside a shared store.
+const keyPrefix = "op:"
+
+func opKey(id string) []byte { return []byte(keyPrefix + id) }
+
+// Registry tracks operations, durably when backed by a store.
+type Registry struct {
+	store *kvstore.Store // nil = volatile (in-memory only)
+
+	mu       sync.Mutex
+	ops      map[string]*Operation
+	done     map[string]chan struct{} // closed when the op is terminal
+	resumers map[string]Resumer
+	closed   bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New opens a registry over store; nil means volatile (operations die
+// with the process — fine for tests and in-memory daemons). Persisted
+// operations are reloaded immediately; in-flight ones stay pending
+// until Resume assigns their fate.
+func New(store *kvstore.Store) *Registry {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Registry{
+		store:    store,
+		ops:      make(map[string]*Operation),
+		done:     make(map[string]chan struct{}),
+		resumers: make(map[string]Resumer),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	if store != nil {
+		store.PrefixScan([]byte(keyPrefix), func(k, v []byte) bool {
+			var op Operation
+			if err := json.Unmarshal(v, &op); err != nil || op.ID == "" {
+				return true // skip corrupt records rather than fail open
+			}
+			r.ops[op.ID] = &op
+			ch := make(chan struct{})
+			if op.Status.Terminal() {
+				close(ch)
+			}
+			r.done[op.ID] = ch
+			return true
+		})
+	}
+	return r
+}
+
+// Define registers a resume handler for kind, declaring it safe to
+// re-run after a restart. Call before Resume.
+func (r *Registry) Define(kind string, res Resumer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resumers[kind] = res
+}
+
+// Resume adopts every operation left in-flight by the previous process:
+// kinds with a Resumer re-run (same ID, Resumed=true), the rest are
+// marked aborted. It returns the counts. Call once, after Define.
+func (r *Registry) Resume() (resumed, aborted int) {
+	r.mu.Lock()
+	pending := make([]*Operation, 0)
+	for _, op := range r.ops {
+		if !op.Status.Terminal() {
+			pending = append(pending, op)
+		}
+	}
+	r.mu.Unlock()
+	for _, op := range pending {
+		res := func() Resumer {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return r.resumers[op.Kind]
+		}()
+		if res == nil {
+			r.abort(op, "daemon restarted with operation in flight and no resume handler for kind "+op.Kind)
+			aborted++
+			continue
+		}
+		task, err := res(op.Params)
+		if err != nil {
+			r.abort(op, fmt.Sprintf("resume %s: %v", op.Kind, err))
+			aborted++
+			continue
+		}
+		r.mu.Lock()
+		op.Resumed = true
+		r.mu.Unlock()
+		r.run(op, task)
+		resumed++
+	}
+	return resumed, aborted
+}
+
+// abort finalizes an orphaned operation.
+func (r *Registry) abort(op *Operation, msg string) {
+	r.mu.Lock()
+	op.Status = StatusAborted
+	op.Error = msg
+	op.UpdatedAt = time.Now().UTC()
+	r.persistLocked(op)
+	r.closeDoneLocked(op.ID)
+	r.mu.Unlock()
+}
+
+// newID returns a 16-hex-char random operation ID.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("ops: rand: " + err.Error()) // rand.Reader never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Start creates, persists and launches an operation. params (may be
+// nil) is JSON-marshaled and persisted so a Resumer can rebuild the
+// task after a restart. The returned snapshot has Status created or
+// running depending on scheduling; poll Get for progress.
+func (r *Registry) Start(kind, summary string, params any, task Task) (Operation, error) {
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return Operation{}, fmt.Errorf("ops: marshal params: %w", err)
+		}
+		raw = b
+	}
+	now := time.Now().UTC()
+	op := &Operation{
+		ID: newID(), Kind: kind, Summary: summary,
+		Status: StatusCreated, CreatedAt: now, UpdatedAt: now, Params: raw,
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return Operation{}, ErrClosed
+	}
+	if err := r.persistLocked(op); err != nil {
+		r.mu.Unlock()
+		return Operation{}, err
+	}
+	r.ops[op.ID] = op
+	r.done[op.ID] = make(chan struct{})
+	snap := *op
+	r.mu.Unlock()
+	r.run(op, task)
+	return snap, nil
+}
+
+// run transitions op to running and executes task on a goroutine.
+func (r *Registry) run(op *Operation, task Task) {
+	r.mu.Lock()
+	op.Status = StatusRunning
+	op.UpdatedAt = time.Now().UTC()
+	r.persistLocked(op) //nolint:errcheck — status flip re-persisted at finish
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		res, err := task(r.ctx, &Handle{r: r, op: op})
+		r.finish(op, res, err)
+	}()
+}
+
+// finish records the terminal state and releases waiters.
+func (r *Registry) finish(op *Operation, res any, err error) {
+	var raw json.RawMessage
+	if err == nil && res != nil {
+		if b, merr := json.Marshal(res); merr == nil {
+			raw = b
+		} else {
+			err = fmt.Errorf("ops: marshal result: %w", merr)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		op.Status = StatusError
+		op.Error = err.Error()
+	} else {
+		op.Status = StatusDone
+		op.Result = raw
+	}
+	op.UpdatedAt = time.Now().UTC()
+	r.persistLocked(op) //nolint:errcheck — terminal state stays in memory regardless
+	r.closeDoneLocked(op.ID)
+}
+
+func (r *Registry) closeDoneLocked(id string) {
+	if ch, ok := r.done[id]; ok {
+		select {
+		case <-ch: // already closed
+		default:
+			close(ch)
+		}
+	}
+}
+
+// persistLocked writes op through to the store. Caller holds r.mu.
+func (r *Registry) persistLocked(op *Operation) error {
+	if r.store == nil {
+		return nil
+	}
+	b, err := json.Marshal(op)
+	if err != nil {
+		return err
+	}
+	if err := r.store.Put(opKey(op.ID), b); err != nil {
+		return fmt.Errorf("ops: persist %s: %w", op.ID, err)
+	}
+	return nil
+}
+
+// Get returns a snapshot of one operation.
+func (r *Registry) Get(id string) (Operation, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[id]
+	if !ok {
+		return Operation{}, false
+	}
+	return cloneOp(op), true
+}
+
+// List returns snapshots of all known operations, newest first.
+func (r *Registry) List() []Operation {
+	r.mu.Lock()
+	out := make([]Operation, 0, len(r.ops))
+	for _, op := range r.ops {
+		out = append(out, cloneOp(op))
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.After(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// cloneOp deep-copies the mutable fields so snapshots cannot race the
+// running task's updates.
+func cloneOp(op *Operation) Operation {
+	c := *op
+	if op.Progress != nil {
+		p := *op.Progress
+		c.Progress = &p
+	}
+	c.Params = append(json.RawMessage(nil), op.Params...)
+	c.Result = append(json.RawMessage(nil), op.Result...)
+	return c
+}
+
+// Wait blocks until the operation reaches a terminal state (or ctx
+// ends) and returns its final snapshot.
+func (r *Registry) Wait(ctx context.Context, id string) (Operation, error) {
+	r.mu.Lock()
+	ch, ok := r.done[id]
+	r.mu.Unlock()
+	if !ok {
+		return Operation{}, fmt.Errorf("ops: unknown operation %q", id)
+	}
+	select {
+	case <-ch:
+	case <-ctx.Done():
+		return Operation{}, ctx.Err()
+	}
+	op, _ := r.Get(id)
+	return op, nil
+}
+
+// Delete removes a TERMINAL operation from the registry and store. It
+// refuses to delete a live one.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op, ok := r.ops[id]
+	if !ok {
+		return fmt.Errorf("ops: unknown operation %q", id)
+	}
+	if !op.Status.Terminal() {
+		return fmt.Errorf("ops: operation %s is %s; only terminal operations can be deleted", id, op.Status)
+	}
+	return r.dropLocked(id)
+}
+
+func (r *Registry) dropLocked(id string) error {
+	if r.store != nil {
+		if err := r.store.Delete(opKey(id)); err != nil {
+			return fmt.Errorf("ops: delete %s: %w", id, err)
+		}
+	}
+	delete(r.ops, id)
+	delete(r.done, id)
+	return nil
+}
+
+// GC reaps terminal operations whose last update is older than retain
+// and returns how many were removed. retain 0 reaps every terminal op.
+func (r *Registry) GC(retain time.Duration) int {
+	cutoff := time.Now().UTC().Add(-retain)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for id, op := range r.ops {
+		if op.Status.Terminal() && !op.UpdatedAt.After(cutoff) {
+			if r.dropLocked(id) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Close cancels the root context handed to running tasks and waits for
+// them to return. Operations still running when their task honors the
+// cancel finish as error; ones whose task ignores it are waited out.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+}
+
+// Handle is the task-side view of its own operation.
+type Handle struct {
+	r  *Registry
+	op *Operation
+}
+
+// ID returns the operation's ID.
+func (h *Handle) ID() string { return h.op.ID }
+
+// Progress records and persists an in-flight completion report; cheap
+// enough to call per work chunk at this plane's operation rates.
+func (h *Handle) Progress(done, total int64, label string) {
+	h.r.mu.Lock()
+	h.op.Progress = &Progress{Done: done, Total: total, Label: label}
+	h.op.UpdatedAt = time.Now().UTC()
+	h.r.persistLocked(h.op) //nolint:errcheck — progress is advisory
+	h.r.mu.Unlock()
+}

@@ -1,0 +1,248 @@
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"p2drm/internal/kvstore"
+)
+
+func waitDone(t *testing.T, r *Registry, id string) Operation {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	op, err := r.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	return op
+}
+
+func TestLifecycleDone(t *testing.T) {
+	r := New(nil)
+	defer r.Close()
+	started, err := r.Start("demo", "adds numbers", map[string]int{"n": 2}, func(ctx context.Context, h *Handle) (any, error) {
+		h.Progress(1, 2, "halfway")
+		return map[string]int{"sum": 4}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started.ID == "" || started.Kind != "demo" {
+		t.Fatalf("bad start snapshot: %+v", started)
+	}
+	op := waitDone(t, r, started.ID)
+	if op.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", op.Status, op.Error)
+	}
+	var res map[string]int
+	if err := json.Unmarshal(op.Result, &res); err != nil || res["sum"] != 4 {
+		t.Fatalf("result = %s, err %v", op.Result, err)
+	}
+	if op.Progress == nil || op.Progress.Done != 1 || op.Progress.Label != "halfway" {
+		t.Fatalf("progress = %+v", op.Progress)
+	}
+}
+
+func TestLifecycleError(t *testing.T) {
+	r := New(nil)
+	defer r.Close()
+	started, err := r.Start("demo", "fails", nil, func(ctx context.Context, h *Handle) (any, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := waitDone(t, r, started.ID)
+	if op.Status != StatusError || op.Error != "boom" {
+		t.Fatalf("op = %+v", op)
+	}
+}
+
+func TestListNewestFirstAndDelete(t *testing.T) {
+	r := New(nil)
+	defer r.Close()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		op, err := r.Start("demo", "noop", nil, func(ctx context.Context, h *Handle) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, op.ID)
+		waitDone(t, r, op.ID)
+		time.Sleep(2 * time.Millisecond) // distinct CreatedAt
+	}
+	l := r.List()
+	if len(l) != 3 || l[0].ID != ids[2] || l[2].ID != ids[0] {
+		t.Fatalf("list order = %v want newest first of %v", l, ids)
+	}
+	if err := r.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(ids[0]); ok {
+		t.Fatal("deleted op still present")
+	}
+}
+
+func TestDeleteRefusesRunning(t *testing.T) {
+	r := New(nil)
+	block := make(chan struct{})
+	op, err := r.Start("demo", "blocks", nil, func(ctx context.Context, h *Handle) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(op.ID); err == nil {
+		t.Fatal("Delete accepted a running operation")
+	}
+	close(block)
+	waitDone(t, r, op.ID)
+	r.Close()
+}
+
+func TestGC(t *testing.T) {
+	r := New(nil)
+	defer r.Close()
+	done, _ := r.Start("demo", "done", nil, func(ctx context.Context, h *Handle) (any, error) { return nil, nil })
+	waitDone(t, r, done.ID)
+	block := make(chan struct{})
+	defer close(block)
+	live, _ := r.Start("demo", "live", nil, func(ctx context.Context, h *Handle) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	if n := r.GC(0); n != 1 {
+		t.Fatalf("GC reaped %d, want 1", n)
+	}
+	if _, ok := r.Get(done.ID); ok {
+		t.Fatal("terminal op survived GC(0)")
+	}
+	if _, ok := r.Get(live.ID); !ok {
+		t.Fatal("GC reaped a running op")
+	}
+}
+
+// TestRestartAdoption is the durable-registry contract: an operation
+// in flight when the process dies is still visible after reopen —
+// re-run when its kind has a Resumer, aborted when it does not.
+func TestRestartAdoption(t *testing.T) {
+	dir := t.TempDir()
+	store, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := New(store)
+	block := make(chan struct{}) // never closed: simulates SIGKILL mid-run
+	resumable, err := r1.Start("compact", "resumable work", map[string]string{"store": "provider"},
+		func(ctx context.Context, h *Handle) (any, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, errors.New("interrupted")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan, err := r1.Start("bulk-issuance", "non-idempotent work", nil,
+		func(ctx context.Context, h *Handle) (any, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, errors.New("interrupted")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: the tasks are parked on a channel that never
+	// closes, so the persisted records still say "running". Close the
+	// store underneath them — the durable prefix is exactly what a
+	// SIGKILLed process would have left. (r1.Close at the end releases
+	// the parked goroutines; their late persists hit the closed store
+	// and are ignored, as they would be in a dead process.)
+	snap := make(map[string]Status)
+	store.PrefixScan([]byte(keyPrefix), func(k, v []byte) bool {
+		var op Operation
+		if err := json.Unmarshal(v, &op); err == nil {
+			snap[op.ID] = op.Status
+		}
+		return true
+	})
+	if snap[resumable.ID] != StatusRunning || snap[orphan.ID] != StatusRunning {
+		t.Fatalf("persisted pre-crash statuses = %v, want running", snap)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh registry over a fresh store on the same dir.
+	store2, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	r2 := New(store2)
+	defer r2.Close()
+	ran := make(chan json.RawMessage, 1)
+	r2.Define("compact", func(params json.RawMessage) (Task, error) {
+		return func(ctx context.Context, h *Handle) (any, error) {
+			ran <- params
+			return map[string]bool{"resumed": true}, nil
+		}, nil
+	})
+	resumed, aborted := r2.Resume()
+	if resumed != 1 || aborted != 1 {
+		t.Fatalf("Resume = (%d resumed, %d aborted), want (1, 1)", resumed, aborted)
+	}
+	select {
+	case params := <-ran:
+		var p map[string]string
+		if err := json.Unmarshal(params, &p); err != nil || p["store"] != "provider" {
+			t.Fatalf("resumer params = %s", params)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("resumer never ran")
+	}
+	op := waitDone(t, r2, resumable.ID)
+	if op.Status != StatusDone || !op.Resumed {
+		t.Fatalf("resumed op = %+v", op)
+	}
+	ab, ok := r2.Get(orphan.ID)
+	if !ok || ab.Status != StatusAborted || ab.Error == "" {
+		t.Fatalf("orphan op = %+v", ab)
+	}
+
+	// The terminal states must themselves be durable: a third open sees
+	// done/aborted without any Resume. (store2 stays open but idle, so
+	// the third open replays the same synced log.)
+	if err := store2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	store3, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
+	r3 := New(store3)
+	defer r3.Close()
+	if op, ok := r3.Get(resumable.ID); !ok || op.Status != StatusDone {
+		t.Fatalf("after second restart, resumable = %+v", op)
+	}
+	if op, ok := r3.Get(orphan.ID); !ok || op.Status != StatusAborted {
+		t.Fatalf("after second restart, orphan = %+v", op)
+	}
+
+	r1.Close() // release the parked goroutines; late persists hit the closed store and are dropped
+}

@@ -779,6 +779,12 @@ func (p *Provider) RevocationFilter() (*revocation.SignedFilter, error) {
 	return p.rev.ExportFilter(p.signer, p.cfg.Clock())
 }
 
+// RebuildRevocationFilter forces a full revocation Bloom-filter rebuild
+// and returns the resulting filter generation. Idempotent (a rebuild
+// scans the exact durable store), so the REST plane may expose it as a
+// resumable background operation.
+func (p *Provider) RebuildRevocationFilter() uint64 { return p.rev.Rebuild() }
+
 // RevocationSnapshot exports a signed Merkle snapshot plus the tree that
 // serves inclusion ("this license is dead") proofs.
 func (p *Provider) RevocationSnapshot() (*revocation.Snapshot, *merkle.Tree, error) {

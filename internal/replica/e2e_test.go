@@ -6,6 +6,7 @@ package replica_test
 // same wiring cmd/p2drmd uses for -replica-of. Runs under -race in CI.
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"net/http/httptest"
@@ -188,7 +189,46 @@ func TestEndToEndHTTPReplication(t *testing.T) {
 		t.Errorf("primary status incomplete: %+v", pst.Stores["provider"])
 	}
 
-	// Promotion over HTTP: the same write now succeeds.
+	// Async resync via the /v2 operations plane: re-bootstrap the
+	// provider follower from a fresh snapshot while serving, then prove
+	// it converges to the same live set again.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	op, err := rc.ResyncReplica("provider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err = rc.WaitOperation(ctx, op.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resynced httpapi.ResyncResult
+	if err := httpapi.OperationResult(op, &resynced); err != nil {
+		t.Fatalf("resync operation failed: %v (op %+v)", err, op)
+	}
+	if len(resynced.Resynced) != 1 || resynced.Resynced[0] != "provider" {
+		t.Fatalf("resync result = %+v", resynced)
+	}
+	waitCaughtUp("after async resync")
+
+	// Promotion as a /v2 background operation: the same write now
+	// succeeds.
+	op, err = rc.PromoteAsync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err = rc.WaitOperation(ctx, op.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted httpapi.PromoteResult
+	if err := httpapi.OperationResult(op, &promoted); err != nil {
+		t.Fatalf("promote operation failed: %v (op %+v)", err, op)
+	}
+	if len(promoted.Promoted) != 2 {
+		t.Fatalf("promote result = %+v", promoted)
+	}
+	// The /v1 shim stays wire-compatible and promotion is idempotent.
 	if err := rc.ReplicaPromote(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -132,6 +133,10 @@ type Follower struct {
 	stopOnce  sync.Once
 	stop      chan struct{}
 	done      chan struct{}
+	// resyncCh carries explicit snapshot-bootstrap requests (the REST
+	// plane's POST /v2/replica/resync operation) into the tail loop,
+	// which is the only goroutine allowed to run resync.
+	resyncCh chan chan error
 }
 
 // Open prepares a follower (without starting its tail loop): the state
@@ -158,9 +163,10 @@ func Open(opts Options) (*Follower, error) {
 		opts.KV.Sync = kvstore.SyncGroupCommit
 	}
 	f := &Follower{
-		opts: opts,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		opts:     opts,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		resyncCh: make(chan chan error, 1),
 	}
 	f.maxChunk.Store(opts.MaxChunk)
 	f.status.State = "init"
@@ -352,6 +358,9 @@ func (f *Follower) run() {
 		select {
 		case <-f.stop:
 			return
+		case reply := <-f.resyncCh:
+			f.handleResync(reply)
+			continue
 		default:
 		}
 		progressed, err := f.step()
@@ -385,15 +394,56 @@ func (f *Follower) run() {
 	}
 }
 
-// sleep waits d or until stopped; reports whether to keep running.
+// sleep waits d or until stopped; reports whether to keep running. An
+// explicit resync request cuts the wait short so the operation does not
+// idle out a full poll interval.
 func (f *Follower) sleep(d time.Duration) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-f.stop:
 		return false
+	case reply := <-f.resyncCh:
+		f.handleResync(reply)
+		return true
 	case <-t.C:
 		return true
+	}
+}
+
+// handleResync runs one explicit snapshot bootstrap on the tail-loop
+// goroutine and reports the outcome to the requester.
+func (f *Follower) handleResync(reply chan error) {
+	f.setState("snapshotting")
+	err := f.resync()
+	if err != nil {
+		f.noteError(err)
+	}
+	reply <- err
+}
+
+// Resync asks the tail loop for an explicit full snapshot bootstrap
+// (the entry point behind POST /v2/replica/resync) and waits for it to
+// finish. The resync itself is the same pinned-manifest, CRC-verified,
+// new-generation-swap path the loop uses for automatic fallbacks, so a
+// restarted daemon simply bootstrapping again supersedes an interrupted
+// call — the REST plane marks such operations aborted, not resumed.
+func (f *Follower) Resync(ctx context.Context) error {
+	reply := make(chan error, 1)
+	select {
+	case f.resyncCh <- reply:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-f.done:
+		return errors.New("replica: follower stopped")
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-f.done:
+		return errors.New("replica: follower stopped")
 	}
 }
 

@@ -162,6 +162,29 @@ func (l *List) rebuild(target uint64) {
 	l.mu.Unlock()
 }
 
+// Rebuild forces a full filter rebuild — the entry point behind the
+// REST plane's POST /v2/revocation/rebuild operation. It launches the
+// same background rebuild the capacity trigger uses (sized for the
+// current count, never smaller than the current capacity), waits for
+// the in-flight cycle to land, and returns the resulting generation.
+// Safe to run twice: rebuilding is idempotent over the exact store, so
+// the operation can be resumed after a daemon restart.
+func (l *List) Rebuild() uint64 {
+	l.mu.Lock()
+	if !l.rebuilding {
+		target := l.capacity
+		for target < uint64(l.count) {
+			target *= 2
+		}
+		l.rebuilding = true
+		l.rebuildWG.Add(1)
+		go l.rebuild(target)
+	}
+	l.mu.Unlock()
+	l.rebuildWG.Wait()
+	return l.Generation()
+}
+
 // Generation reports how many background filter rebuilds have completed.
 func (l *List) Generation() uint64 {
 	l.mu.RLock()

@@ -41,6 +41,7 @@ func main() {
 		home   = flag.String("home", ".p2drm", "local wallet directory")
 		out    = flag.String("o", "", "output file (play/exchange)")
 		lab    = flag.Bool("lab", false, "laboratory group parameters (must match the daemon)")
+		token  = flag.String("token", "", "bearer token for a daemon with auth configured (user tier for buy/exchange/redeem, admin tier for init)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -51,9 +52,11 @@ func main() {
 	if *lab {
 		group = schnorr.Group768()
 	}
+	client := httpapi.NewClient(*server, group)
+	client.Token = *token
 	w := &wallet{
 		home:   *home,
-		client: httpapi.NewClient(*server, group),
+		client: client,
 		group:  group,
 	}
 

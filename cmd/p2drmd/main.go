@@ -24,9 +24,10 @@
 // marked aborted — on the next start.
 //
 // -user-token and -admin-token configure bearer credentials for the
-// /v2/ tiers; with both empty the API is open (every caller is admin),
-// which keeps demo setups working. -admin-socket additionally serves
-// the same handler on a unix socket whose callers are authenticated by
+// auth tiers, enforced identically on /v1/ and /v2/; with both empty
+// the API is open (every caller is admin), which keeps demo setups
+// working. -admin-socket additionally serves the same handler on a
+// unix socket (created mode 0600) whose callers are authenticated by
 // SO_PEERCRED (root and the daemon's own uid are admin), so local
 // administration needs no token — the snapd model.
 //
@@ -100,20 +101,21 @@ const (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8474", "listen address")
-		adminSocket = flag.String("admin-socket", "", "also serve on this unix socket with SO_PEERCRED admin auth")
-		stateDir    = flag.String("state", "", "state directory (empty = in-memory)")
-		rsaBits     = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
-		lab         = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
-		seedDemo    = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
-		userToken   = flag.String("user-token", "", "bearer token for the /v2 user tier (empty with -admin-token empty = open API)")
-		adminToken  = flag.String("admin-token", "", "bearer token for the /v2 admin tier")
-		bankShards  = flag.Int("bank-shards", payment.DefaultBankShards, "bank balance-shard count")
-		groupWAL    = flag.Bool("wal-group-commit", true, "fsync durable stores via group commit (off = fsync only on close)")
-		kvShards    = flag.Int("kv-index-shards", kvstore.DefaultIndexShards, "kvstore index lock-stripe count (rounded up to a power of two)")
-		kvSegBytes  = flag.Int64("kv-segment-bytes", kvstore.DefaultSegmentBytes, "kvstore WAL segment size cap in bytes")
-		replicaOf   = flag.String("replica-of", "", "run as a read replica of the primary daemon at this base URL")
-		replicaPoll = flag.Duration("replica-poll", 500*time.Millisecond, "replica idle tail poll interval")
+		addr         = flag.String("addr", ":8474", "listen address")
+		adminSocket  = flag.String("admin-socket", "", "also serve on this unix socket with SO_PEERCRED admin auth")
+		stateDir     = flag.String("state", "", "state directory (empty = in-memory)")
+		rsaBits      = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
+		lab          = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
+		seedDemo     = flag.Bool("seed-demo", true, "seed demo catalog and bank account")
+		userToken    = flag.String("user-token", "", "bearer token for the user tier, enforced on /v1 and /v2 (empty with -admin-token empty = open API)")
+		adminToken   = flag.String("admin-token", "", "bearer token for the admin tier, enforced on /v1 and /v2")
+		bankShards   = flag.Int("bank-shards", payment.DefaultBankShards, "bank balance-shard count")
+		groupWAL     = flag.Bool("wal-group-commit", true, "fsync durable stores via group commit (off = fsync only on close)")
+		kvShards     = flag.Int("kv-index-shards", kvstore.DefaultIndexShards, "kvstore index lock-stripe count (rounded up to a power of two)")
+		kvSegBytes   = flag.Int64("kv-segment-bytes", kvstore.DefaultSegmentBytes, "kvstore WAL segment size cap in bytes")
+		replicaOf    = flag.String("replica-of", "", "run as a read replica of the primary daemon at this base URL")
+		replicaPoll  = flag.Duration("replica-poll", 500*time.Millisecond, "replica idle tail poll interval")
+		primaryToken = flag.String("primary-token", "", "bearer token presented to the primary daemon (replica mode, when the primary has auth configured)")
 	)
 	flag.Parse()
 
@@ -131,7 +133,7 @@ func main() {
 	auth := httpapi.Auth{UserToken: *userToken, AdminToken: *adminToken}
 
 	if *replicaOf != "" {
-		runReplica(*addr, *adminSocket, *stateDir, *replicaOf, *replicaPoll, walOpts, auth)
+		runReplica(*addr, *adminSocket, *stateDir, *replicaOf, *primaryToken, *replicaPoll, walOpts, auth)
 		return
 	}
 	log.Printf("p2drmd: bank-shards=%d wal-group-commit=%v kv-index-shards=%d kv-segment-bytes=%d kv-compact-every=%s",
@@ -345,6 +347,14 @@ func serveAdminSocket(path string, handler http.Handler) (*http.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// net.Listen creates the socket world-connectable; since any peer on
+	// it gets at least the user tier via SO_PEERCRED, restrict it to the
+	// daemon's own uid. Operators who want a looser group socket can
+	// widen it after start.
+	if err := os.Chmod(path, 0o600); err != nil {
+		l.Close()
+		return nil, err
+	}
 	srv := &http.Server{Handler: handler, ConnContext: httpapi.PeerCredConnContext}
 	go func() {
 		log.Printf("p2drmd: admin socket on %s", path)
@@ -360,9 +370,12 @@ func serveAdminSocket(path string, handler http.Handler) (*http.Server, error) {
 // reconnect/backoff) and serve the read-only replica HTTP surface. No
 // keys are generated — a replica holds replicated state, not signing
 // capability; POST /v2/replica/promote opens the stores for writes.
-func runReplica(addr, adminSocket, stateDir, primaryURL string, poll time.Duration, walOpts kvstore.Options, auth httpapi.Auth) {
+func runReplica(addr, adminSocket, stateDir, primaryURL, primaryToken string, poll time.Duration, walOpts kvstore.Options, auth httpapi.Auth) {
 	log.Printf("p2drmd: replica mode, tailing %s (poll %s)", primaryURL, poll)
 	client := httpapi.NewClient(primaryURL, nil)
+	// The replication reads are guest-tier, but releasing a pin lease is
+	// user-tier on an auth-configured primary.
+	client.Token = primaryToken
 	followers := make(map[string]*replica.Follower, 2)
 	for _, name := range []string{"provider", "bank"} {
 		dir := ""

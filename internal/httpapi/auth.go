@@ -12,20 +12,26 @@ import (
 
 // Auth is the REST plane's access policy: two shared-secret bearer
 // tokens plus unix-socket peer credentials for the admin plane,
-// mirroring snapd's guest / authenticated / trusted split.
+// mirroring snapd's guest / authenticated / trusted split. The same
+// policy gates both API versions — /v1 routes enforce the tier of
+// their /v2 equivalents, so configured tokens protect the whole
+// surface, not just the enveloped half.
 //
 // Open mode: when both tokens are empty, every request resolves to
 // TierAdmin. This keeps a default `p2drmd` invocation (and every /v1
 // client) fully usable; tiers bite only once tokens are configured.
 //
-// With tokens set, a request's tier resolves in order:
+// With tokens set, a request's tier is the best of:
 //
 //  1. Peer credentials on a unix socket (see PeerCredConnContext):
 //     uid 0 or the daemon's own uid → TierAdmin, any other uid →
 //     TierUser. This is how snapd trusts its snapd.socket callers.
+//     (serveAdminSocket creates the socket mode 0600, so other uids
+//     only appear when the operator deliberately widens it.)
 //  2. `Authorization: Bearer <token>` compared (constant-time)
-//     against AdminToken then UserToken.
-//  3. Otherwise the request is a guest.
+//     against AdminToken then UserToken. Peer credentials never mask
+//     this: a non-root socket caller presenting the admin token still
+//     reaches TierAdmin.
 type Auth struct {
 	UserToken  string
 	AdminToken string
@@ -42,24 +48,30 @@ const (
 	credValid
 )
 
-// tierOf resolves the request's access tier and how it got there.
+// tierOf resolves the request's access tier and how it got there: the
+// best of the peer-credential tier and the bearer-token tier, so a
+// socket caller below a route's tier can still present a token.
 func (a Auth) tierOf(r *http.Request) (Tier, credState) {
 	if a.open() {
 		return TierAdmin, credValid
 	}
+	tier, cred := TierGuest, credNone
 	if uid, ok := peerUID(r.Context()); ok {
 		if uid == 0 || uid == uint32(os.Getuid()) {
 			return TierAdmin, credValid
 		}
-		return TierUser, credValid
+		tier, cred = TierUser, credValid
 	}
 	auth := r.Header.Get("Authorization")
 	if auth == "" {
-		return TierGuest, credNone
+		return tier, cred
 	}
 	tok, ok := strings.CutPrefix(auth, "Bearer ")
 	if !ok {
-		return TierGuest, credInvalid
+		if cred == credNone {
+			cred = credInvalid
+		}
+		return tier, cred
 	}
 	if a.AdminToken != "" && subtle.ConstantTimeCompare([]byte(tok), []byte(a.AdminToken)) == 1 {
 		return TierAdmin, credValid
@@ -67,7 +79,12 @@ func (a Auth) tierOf(r *http.Request) (Tier, credState) {
 	if a.UserToken != "" && subtle.ConstantTimeCompare([]byte(tok), []byte(a.UserToken)) == 1 {
 		return TierUser, credValid
 	}
-	return TierGuest, credInvalid
+	// Unrecognized token: keep whatever the peer credential earned (a
+	// valid socket caller stays TierUser → 403, not 401, on denial).
+	if cred == credNone {
+		cred = credInvalid
+	}
+	return tier, cred
 }
 
 // check enforces a route's minimum tier: nil on success, 401 when no

@@ -197,15 +197,30 @@ func newAPI() api {
 }
 
 // legacy registers a /v1 compatibility shim for ep (bare JSON wire
-// format, `{"error":...}` failures).
-func (a *api) legacy(method, path string, ep endpoint) {
-	a.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+// format, `{"error":...}` failures). The shim enforces the same tier
+// as the route's /v2 equivalent — the legacy surface must not be an
+// auth bypass once tokens are configured (in open mode every caller
+// is admin, so unconfigured daemons behave exactly as before).
+func (a *api) legacy(method, path string, tier Tier, ep endpoint) {
+	a.legacyRaw(method, path, tier, func(w http.ResponseWriter, r *http.Request) {
 		res, apiErr := ep(r)
 		if apiErr != nil {
 			writeErr(w, apiErr.status, apiErr)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
+	})
+}
+
+// legacyRaw registers a /v1 route with tier enforcement and a custom
+// writer (raw byte streams). Auth failures use the legacy error body.
+func (a *api) legacyRaw(method, path string, tier Tier, h http.HandlerFunc) {
+	a.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+		if e := a.auth.check(r, tier); e != nil {
+			writeErr(w, e.status, e)
+			return
+		}
+		h(w, r)
 	})
 }
 

@@ -19,10 +19,12 @@
 // ops.Registry, so an operation in flight when the daemon dies is still
 // visible — resumed or marked aborted — after restart.
 //
-// The original /v1/ surface is kept verbatim as thin compatibility
-// shims over the same endpoint cores: bare JSON bodies, `{"error":...}`
-// failures, identical status codes, no auth. New clients should speak
-// /v2/; docs/rest.md is the authoritative reference for both.
+// The original /v1/ surface is kept as thin compatibility shims over
+// the same endpoint cores: bare JSON bodies, `{"error":...}` failures,
+// identical status codes. Each shim enforces the same auth tier as its
+// /v2 equivalent, so configured tokens protect the whole surface (with
+// no tokens configured both versions stay open). New clients should
+// speak /v2/; docs/rest.md is the authoritative reference for both.
 //
 // # Wire conventions
 //
@@ -76,29 +78,29 @@ type Server struct {
 // /v1/ compatibility shims over the same endpoint cores.
 func NewServer(p *provider.Provider) *Server {
 	s := &Server{Provider: p, api: newAPI()}
-	s.legacy("GET", "/v1/catalog", s.epCatalog)
-	s.mux.HandleFunc("GET /v1/content", s.handleContent)
-	s.legacy("GET", "/v1/denomination", s.epDenomination)
-	s.legacy("GET", "/v1/challenge", s.epChallenge)
-	s.legacy("POST", "/v1/register", s.epRegister)
-	s.legacy("POST", "/v1/purchase", s.epPurchase)
-	s.legacy("POST", "/v1/purchase/batch", s.epPurchaseBatch)
-	s.legacy("POST", "/v1/exchange", s.epExchange)
-	s.legacy("POST", "/v1/exchange/batch", s.epExchangeBatch)
-	s.legacy("POST", "/v1/redeem", s.epRedeem)
-	s.legacy("POST", "/v1/redeem/batch", s.epRedeemBatch)
-	s.legacy("GET", "/v1/revocation/filter", s.epFilter)
-	s.legacy("GET", "/v1/stats", s.epStats)
-	s.legacy("GET", "/v1/kv/get", s.epKVGet)
-	s.legacy("GET", "/v1/kv/has", s.epKVHas)
-	s.legacy("GET", "/v1/replica/manifest", s.epReplicaManifest)
-	s.mux.HandleFunc("GET /v1/replica/segment/{id}", s.handleReplicaSegment)
-	s.legacy("POST", "/v1/replica/release", s.epReplicaRelease)
-	s.legacy("GET", "/v1/replica/status", s.epReplicaStatus)
-	s.legacy("GET", "/v1/provider/key", s.epProviderKey)
-	s.legacy("GET", "/v1/bank/coinkey", s.epCoinKey)
-	s.legacy("POST", "/v1/bank/account", s.epBankAccount)
-	s.legacy("POST", "/v1/bank/withdraw", s.epWithdraw)
+	s.legacy("GET", "/v1/catalog", TierGuest, s.epCatalog)
+	s.legacyRaw("GET", "/v1/content", TierGuest, s.handleContent)
+	s.legacy("GET", "/v1/denomination", TierGuest, s.epDenomination)
+	s.legacy("GET", "/v1/challenge", TierGuest, s.epChallenge)
+	s.legacy("POST", "/v1/register", TierUser, s.epRegister)
+	s.legacy("POST", "/v1/purchase", TierUser, s.epPurchase)
+	s.legacy("POST", "/v1/purchase/batch", TierUser, s.epPurchaseBatch)
+	s.legacy("POST", "/v1/exchange", TierUser, s.epExchange)
+	s.legacy("POST", "/v1/exchange/batch", TierUser, s.epExchangeBatch)
+	s.legacy("POST", "/v1/redeem", TierUser, s.epRedeem)
+	s.legacy("POST", "/v1/redeem/batch", TierUser, s.epRedeemBatch)
+	s.legacy("GET", "/v1/revocation/filter", TierGuest, s.epFilter)
+	s.legacy("GET", "/v1/stats", TierGuest, s.epStats)
+	s.legacy("GET", "/v1/kv/get", TierGuest, s.epKVGet)
+	s.legacy("GET", "/v1/kv/has", TierGuest, s.epKVHas)
+	s.legacy("GET", "/v1/replica/manifest", TierGuest, s.epReplicaManifest)
+	s.legacyRaw("GET", "/v1/replica/segment/{id}", TierGuest, s.handleReplicaSegment)
+	s.legacy("POST", "/v1/replica/release", TierUser, s.epReplicaRelease)
+	s.legacy("GET", "/v1/replica/status", TierGuest, s.epReplicaStatus)
+	s.legacy("GET", "/v1/provider/key", TierGuest, s.epProviderKey)
+	s.legacy("GET", "/v1/bank/coinkey", TierGuest, s.epCoinKey)
+	s.legacy("POST", "/v1/bank/account", TierAdmin, s.epBankAccount)
+	s.legacy("POST", "/v1/bank/withdraw", TierUser, s.epWithdraw)
 	s.registerV2()
 	return s
 }
@@ -736,8 +738,26 @@ func NewClient(baseURL string, g *schnorr.Group) *Client {
 	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient, Group: g}
 }
 
+// newReq builds a request against BaseURL with the client's bearer
+// token attached — the same credential serves both API versions, since
+// the server enforces the same tiers on /v1 and /v2.
+func (c *Client) newReq(method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return req, nil
+}
+
 func (c *Client) get(path string, out interface{}) error {
-	resp, err := c.HTTP.Get(c.BaseURL + path)
+	req, err := c.newReq("GET", path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -750,7 +770,12 @@ func (c *Client) post(path string, in, out interface{}) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	req, err := c.newReq("POST", path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -780,7 +805,11 @@ func (c *Client) Catalog() ([]CatalogEntry, error) {
 
 // Content downloads an encrypted content blob.
 func (c *Client) Content(id license.ContentID) ([]byte, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/content?id=" + string(id))
+	req, err := c.newReq("GET", "/v1/content?id="+string(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
 	}

@@ -230,13 +230,13 @@ type ReplicaServer struct {
 // followers (keyed by store name, e.g. "provider" and "bank").
 func NewReplicaServer(followers map[string]*replica.Follower) *ReplicaServer {
 	rs := &ReplicaServer{followers: followers, api: newAPI()}
-	rs.legacy("GET", "/v1/kv/get", rs.epGet)
-	rs.legacy("GET", "/v1/kv/has", rs.epHas)
-	rs.legacy("POST", "/v1/kv/put", rs.epPut)
-	rs.legacy("GET", "/v1/stats", rs.epStats)
-	rs.legacy("GET", "/v1/replica/status", rs.epStatus)
-	rs.legacy("POST", "/v1/replica/promote", rs.epPromoteSync)
-	rs.legacy("GET", "/v1/revocation/contains", rs.epContains)
+	rs.legacy("GET", "/v1/kv/get", TierGuest, rs.epGet)
+	rs.legacy("GET", "/v1/kv/has", TierGuest, rs.epHas)
+	rs.legacy("POST", "/v1/kv/put", TierUser, rs.epPut)
+	rs.legacy("GET", "/v1/stats", TierGuest, rs.epStats)
+	rs.legacy("GET", "/v1/replica/status", TierGuest, rs.epStatus)
+	rs.legacy("POST", "/v1/replica/promote", TierAdmin, rs.epPromoteSync)
+	rs.legacy("GET", "/v1/revocation/contains", TierGuest, rs.epContains)
 
 	rs.v2("GET", "/v2/kv/get", TierGuest, rs.epGet)
 	rs.v2("GET", "/v2/kv/has", TierGuest, rs.epHas)
@@ -471,12 +471,16 @@ func (c *Client) ReplicaManifest(store string, pin bool) (*replica.Manifest, err
 
 // ReplicaSegment fetches raw segment bytes; see replica.Fetcher.
 func (c *Client) ReplicaSegment(store string, id uint64, from, max int64, wantGen uint64, pinID string) (*replica.Chunk, error) {
-	u := fmt.Sprintf("%s/v1/replica/segment/%d?store=%s&from=%d&max=%d&gen=%d",
-		c.BaseURL, id, url.QueryEscape(store), from, max, wantGen)
+	p := fmt.Sprintf("/v1/replica/segment/%d?store=%s&from=%d&max=%d&gen=%d",
+		id, url.QueryEscape(store), from, max, wantGen)
 	if pinID != "" {
-		u += "&pin=" + url.QueryEscape(pinID)
+		p += "&pin=" + url.QueryEscape(pinID)
 	}
-	resp, err := c.HTTP.Get(u)
+	req, err := c.newReq("GET", p, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
 	}

@@ -202,6 +202,80 @@ func TestV2AuthTiers(t *testing.T) {
 	}
 }
 
+// rawV1 issues a bare request against the legacy surface and returns
+// the status plus the legacy error body (empty on success).
+func rawV1(t *testing.T, baseURL, method, path, token, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, baseURL+path, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb errorBody
+	json.NewDecoder(resp.Body).Decode(&eb) //nolint:errcheck — success bodies aren't errorBody
+	return resp.StatusCode, eb.Error
+}
+
+// TestV1AuthParity proves the legacy surface is not an auth bypass:
+// with tokens configured, each /v1 route demands the tier of its /v2
+// equivalent, while guest reads and open-mode daemons stay usable.
+func TestV1AuthParity(t *testing.T) {
+	h := newV2Harness(t, Auth{UserToken: "u-secret", AdminToken: "a-secret"})
+
+	// Guest reads need no credential.
+	if _, err := h.client.Catalog(); err != nil {
+		t.Fatalf("guest /v1 catalog: %v", err)
+	}
+
+	// Admin-only account minting: 401 bare, 403 as user, 200 as admin.
+	mint := `{"id":"mallory","funds":999}`
+	if status, _ := rawV1(t, h.srv.URL, "POST", "/v1/bank/account", "", mint); status != http.StatusUnauthorized {
+		t.Errorf("bare /v1/bank/account: status %d, want 401", status)
+	}
+	if status, _ := rawV1(t, h.srv.URL, "POST", "/v1/bank/account", "u-secret", mint); status != http.StatusForbidden {
+		t.Errorf("user /v1/bank/account: status %d, want 403", status)
+	}
+	if status, msg := rawV1(t, h.srv.URL, "POST", "/v1/bank/account", "a-secret", mint); status != http.StatusOK {
+		t.Errorf("admin /v1/bank/account: status %d (%s), want 200", status, msg)
+	}
+
+	// User-tier spend paths refuse guests outright.
+	for _, path := range []string{"/v1/bank/withdraw", "/v1/purchase", "/v1/purchase/batch", "/v1/exchange", "/v1/redeem"} {
+		if status, _ := rawV1(t, h.srv.URL, "POST", path, "", "{}"); status != http.StatusUnauthorized {
+			t.Errorf("bare %s: status %d, want 401", path, status)
+		}
+	}
+
+	// The SDK attaches its token to /v1 calls too.
+	h.client.Token = "a-secret"
+	if err := h.client.CreateAccount("bob", 5); err != nil {
+		t.Fatalf("admin SDK /v1 account: %v", err)
+	}
+
+	// Follower role: promote is admin, kv/put is user.
+	rsrv := httptest.NewServer(NewReplicaServer(nil).WithAuth(Auth{UserToken: "u-secret", AdminToken: "a-secret"}))
+	defer rsrv.Close()
+	if status, _ := rawV1(t, rsrv.URL, "POST", "/v1/replica/promote", "", ""); status != http.StatusUnauthorized {
+		t.Errorf("bare /v1/replica/promote: status %d, want 401", status)
+	}
+	if status, _ := rawV1(t, rsrv.URL, "POST", "/v1/replica/promote", "u-secret", ""); status != http.StatusForbidden {
+		t.Errorf("user /v1/replica/promote: status %d, want 403", status)
+	}
+	if status, _ := rawV1(t, rsrv.URL, "POST", "/v1/kv/put", "", "{}"); status != http.StatusUnauthorized {
+		t.Errorf("bare /v1/kv/put: status %d, want 401", status)
+	}
+	if status, _ := rawV1(t, rsrv.URL, "POST", "/v1/replica/promote", "a-secret", ""); status != http.StatusOK {
+		t.Errorf("admin /v1/replica/promote: status %d, want 200", status)
+	}
+}
+
 func TestV2AsyncCompact(t *testing.T) {
 	h := newV2Harness(t, Auth{})
 	op, err := h.client.CompactStore("provider")

@@ -258,14 +258,27 @@ func (r *Registry) Start(kind, summary string, params any, task Task) (Operation
 	return snap, nil
 }
 
-// run transitions op to running and executes task on a goroutine.
+// run transitions op to running and executes task on a goroutine. The
+// closed re-check, status flip and wg.Add share one critical section:
+// a concurrent Close can therefore never pass wg.Wait between the
+// check and the Add and have the task outlive the closed registry —
+// an op that loses that race is marked aborted instead of started.
 func (r *Registry) run(op *Operation, task Task) {
 	r.mu.Lock()
+	if r.closed {
+		op.Status = StatusAborted
+		op.Error = "ops: registry closed before the operation could start"
+		op.UpdatedAt = time.Now().UTC()
+		r.persistLocked(op) //nolint:errcheck — aborted state stays in memory regardless
+		r.closeDoneLocked(op.ID)
+		r.mu.Unlock()
+		return
+	}
 	op.Status = StatusRunning
 	op.UpdatedAt = time.Now().UTC()
 	r.persistLocked(op) //nolint:errcheck — status flip re-persisted at finish
-	r.mu.Unlock()
 	r.wg.Add(1)
+	r.mu.Unlock()
 	go func() {
 		defer r.wg.Done()
 		res, err := task(r.ctx, &Handle{r: r, op: op})
@@ -377,7 +390,13 @@ func (r *Registry) Wait(ctx context.Context, id string) (Operation, error) {
 	case <-ctx.Done():
 		return Operation{}, ctx.Err()
 	}
-	op, _ := r.Get(id)
+	op, ok := r.Get(id)
+	if !ok {
+		// GC or Delete reaped the operation between the done-channel
+		// close and this lookup; say so rather than returning a
+		// zero-value snapshot that reads as "still pending".
+		return Operation{}, fmt.Errorf("ops: operation %q finished but was deleted before its result was read", id)
+	}
 	return op, nil
 }
 

@@ -77,8 +77,11 @@ type List struct {
 	pending [][]byte
 	// gen increments on every completed filter swap.
 	gen uint64
-	// rebuildWG lets tests and shutdown paths drain the rebuild.
-	rebuildWG sync.WaitGroup
+	// rebuildDone is closed when the in-flight rebuild finishes; nil
+	// while no rebuild runs. A fresh channel per rebuild (captured under
+	// l.mu) lets Rebuild and waitRebuild wait without the
+	// Add-at-zero-concurrent-with-Wait hazard a shared WaitGroup has.
+	rebuildDone chan struct{}
 }
 
 // Open loads (or creates) a list backed by store. expected sizes the Bloom
@@ -119,8 +122,8 @@ func (l *List) maybeRebuildLocked() {
 		target *= 2
 	}
 	l.rebuilding = true
-	l.rebuildWG.Add(1)
-	go l.rebuild(target)
+	l.rebuildDone = make(chan struct{})
+	go l.rebuild(target, l.rebuildDone)
 }
 
 // rebuild scans the exact store into a filter sized for target and swaps
@@ -130,14 +133,19 @@ func (l *List) maybeRebuildLocked() {
 // sharing the store) proceed throughout; any serial the relaxed scan
 // misses was added after the rebuild started and is covered by the
 // pending queue.
-func (l *List) rebuild(target uint64) {
-	defer l.rebuildWG.Done()
+func (l *List) rebuild(target uint64, done chan struct{}) {
+	// Closing done (after the swap is visible) releases Rebuild and
+	// waitRebuild callers holding this cycle's channel. When the final
+	// maybeRebuildLocked chains another rebuild, rebuildDone has already
+	// been replaced with the next cycle's channel.
+	defer close(done)
 	f, err := bloom.NewWithEstimates(target, DefaultFalsePositiveRate)
 	if err != nil {
 		// Can't size a new filter: keep the old one (correct, just a
 		// higher false-positive rate) and allow a future retry.
 		l.mu.Lock()
 		l.rebuilding = false
+		l.rebuildDone = nil
 		l.pending = nil
 		l.mu.Unlock()
 		return
@@ -156,6 +164,7 @@ func (l *List) rebuild(target uint64) {
 	l.filter = f
 	l.capacity = target
 	l.rebuilding = false
+	l.rebuildDone = nil
 	l.gen++
 	// The count may have grown past the new target while scanning.
 	l.maybeRebuildLocked()
@@ -177,11 +186,12 @@ func (l *List) Rebuild() uint64 {
 			target *= 2
 		}
 		l.rebuilding = true
-		l.rebuildWG.Add(1)
-		go l.rebuild(target)
+		l.rebuildDone = make(chan struct{})
+		go l.rebuild(target, l.rebuildDone)
 	}
+	done := l.rebuildDone
 	l.mu.Unlock()
-	l.rebuildWG.Wait()
+	<-done
 	return l.Generation()
 }
 
@@ -199,8 +209,19 @@ func (l *List) FilterCapacity() uint64 {
 	return l.capacity
 }
 
-// waitRebuild drains any in-flight rebuild (tests and shutdown paths).
-func (l *List) waitRebuild() { l.rebuildWG.Wait() }
+// waitRebuild drains in-flight rebuilds, chained ones included (tests
+// and shutdown paths).
+func (l *List) waitRebuild() {
+	for {
+		l.mu.Lock()
+		done := l.rebuildDone
+		l.mu.Unlock()
+		if done == nil {
+			return
+		}
+		<-done
+	}
+}
 
 // Add marks a serial revoked. Idempotent.
 func (l *List) Add(s license.Serial) error {

@@ -352,3 +352,47 @@ func TestAsyncRebuildConcurrent(t *testing.T) {
 		t.Error("expected at least one rebuild generation")
 	}
 }
+
+// TestForcedRebuildConcurrent races the explicit Rebuild entry point
+// (the REST plane's rebuild operation) against capacity-triggered
+// rebuilds from TryAdd. With a shared WaitGroup this was the
+// documented Add-at-zero-concurrent-with-Wait misuse; the per-rebuild
+// done channel must neither panic nor return before a cycle lands.
+func TestForcedRebuildConcurrent(t *testing.T) {
+	st, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := l.TryAdd(newSerial(t)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				l.Rebuild()
+			}
+		}()
+	}
+	wg.Wait()
+	l.waitRebuild()
+	if l.Generation() == 0 {
+		t.Error("expected at least one rebuild generation")
+	}
+	if l.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", l.Len())
+	}
+}

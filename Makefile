@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fuzz-smoke kv-crash replica-crash examples fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke fuzz-smoke kv-crash replica-crash load-smoke examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ kv-crash:
 replica-crash:
 	$(GO) test -run 'TestReplicaCrash' -count=2 ./internal/replica
 
+# End-to-end load smoke: boots a real primary + one replica, drives a
+# 5-second mixed scenario at low RPS through cmd/p2drm-load, and fails
+# on any non-2xx response or an empty latency histogram in the report.
+load-smoke:
+	$(GO) test -run 'TestLoadSmoke' -count=1 ./cmd/p2drm-load
+
 # Compile check over examples/ so doc-facing code cannot rot; `go vet`
 # also runs them for free via ./... but this keeps the failure isolated.
 examples:
@@ -64,4 +70,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke examples kv-crash replica-crash
+ci: build vet fmt-check test race bench-smoke fuzz-smoke examples kv-crash replica-crash load-smoke

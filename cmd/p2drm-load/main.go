@@ -1,0 +1,160 @@
+// Command p2drm-load drives a live p2drmd topology over HTTP with a
+// named traffic scenario and prints a machine-readable JSON report:
+// per-operation latency histograms (p50/p90/p99/p999/max), error
+// tallies, and achieved vs target RPS.
+//
+//	p2drm-load -list
+//	p2drm-load -primary http://127.0.0.1:8080 -lab -scenario mixed -rps 20 -duration 5s
+//	p2drm-load -primary http://127.0.0.1:8080 -replicas http://127.0.0.1:8081 -lab \
+//	    -scenario flashcrowd -rps 10 -duration 10s -out report.json
+//
+// The scenario trace is a pure function of -seed, so runs are
+// reproducible; reads a replica can serve (stats, revocation checks)
+// round-robin across -replicas, writes always hit -primary.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/httpapi"
+	"p2drm/internal/workload"
+)
+
+// Report is the command's JSON output envelope.
+type Report struct {
+	Scenario string               `json:"scenario"`
+	Seed     int64                `json:"seed"`
+	Users    int                  `json:"users"`
+	Primary  string               `json:"primary"`
+	Replicas []string             `json:"replicas,omitempty"`
+	Phases   []workload.Phase     `json:"phases"`
+	Result   *workload.LoadResult `json:"result"`
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		primary  = flag.String("primary", "http://127.0.0.1:8080", "primary daemon base URL (writes and primary-only reads)")
+		replicas = flag.String("replicas", "", "comma-separated replica base URLs (serve stats/revocation reads)")
+		scenario = flag.String("scenario", "mixed", "scenario name (see -list)")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+		rps      = flag.Float64("rps", 20, "base arrival rate (open loop)")
+		duration = flag.Duration("duration", 5*time.Second, "total schedule length")
+		conc     = flag.Int("concurrency", 64, "max in-flight requests; excess arrivals are shed")
+		users    = flag.Int("users", 16, "simulated user population")
+		contents = flag.Int("contents", 8, "catalog slots the trace spreads over")
+		ops      = flag.Int("ops", 0, "trace length (default: enough to cover the schedule)")
+		seed     = flag.Int64("seed", 1, "trace seed (same seed, same request trace)")
+		readFrac = flag.Float64("read-fraction", 0.9, "read share for the mixed scenario")
+		token    = flag.String("token", "", "bearer token for user-tier endpoints (register/purchase/withdraw)")
+		admin    = flag.String("admin-token", "", "bearer token for account creation (defaults to -token)")
+		lab      = flag.Bool("lab", false, "laboratory group parameters (match p2drmd -lab)")
+		funds    = flag.Int64("funds", 0, "per-user account balance (default 1e6)")
+		prefix   = flag.String("account-prefix", "", "bank account namespace (default: random per run)")
+		out      = flag.String("out", "", "write the JSON report to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Scenarios {
+			fmt.Printf("%-12s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+
+	s, err := workload.FindScenario(*scenario)
+	if err != nil {
+		log.Fatalf("p2drm-load: %v", err)
+	}
+	group := schnorr.Group2048()
+	if *lab {
+		group = schnorr.Group768()
+	}
+	mkClient := func(url, tok string) *httpapi.Client {
+		c := httpapi.NewClient(url, group)
+		c.Token = tok
+		return c
+	}
+	topo := workload.Topology{Primary: mkClient(*primary, *token)}
+	var replicaURLs []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			replicaURLs = append(replicaURLs, u)
+			topo.Replicas = append(topo.Replicas, mkClient(u, *token))
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Account creation is admin-tier; run it with the stronger token
+	// while load traffic keeps the user token.
+	if *admin == "" {
+		*admin = *token
+	}
+	ex, err := workload.NewExecutor(ctx, topo, *users, *seed, workload.ExecOptions{
+		AccountPrefix: *prefix,
+		Funds:         *funds,
+		Admin:         mkClient(*primary, *admin),
+	})
+	if err != nil {
+		log.Fatalf("p2drm-load: setup: %v", err)
+	}
+
+	cfg := workload.ScenarioConfig{
+		Seed:         *seed,
+		Users:        *users,
+		Contents:     *contents,
+		Ops:          *ops,
+		RPS:          *rps,
+		Duration:     *duration,
+		ReadFraction: *readFrac,
+		MaxInFlight:  *conc,
+	}
+	log.Printf("p2drm-load: scenario %q against %s (%d replicas), %g rps for %s",
+		s.Name, *primary, len(topo.Replicas), *rps, *duration)
+	res, err := ex.RunScenario(ctx, s, cfg)
+	if err != nil {
+		log.Fatalf("p2drm-load: %v", err)
+	}
+
+	rep := Report{
+		Scenario: s.Name,
+		Seed:     *seed,
+		Users:    *users,
+		Primary:  *primary,
+		Replicas: replicaURLs,
+		Phases:   s.Schedule(cfg),
+		Result:   res,
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("p2drm-load: encode report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatalf("p2drm-load: %v", err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	for _, kind := range res.Kinds() {
+		sum := res.Ops[kind]
+		log.Printf("p2drm-load: %-18s n=%-6d err=%-4d p50=%s p99=%s p999=%s",
+			kind, sum.Count, sum.Errors, sum.Latency.P50S, sum.Latency.P99S, sum.Latency.P999S)
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+// load-smoke: build the real binaries, boot a primary + one replica,
+// drive a short mixed scenario at low RPS through p2drm-load, and fail
+// on any non-2xx (the command exits non-zero if the report counts any
+// error) or on an empty histogram in the parsed report. This is the
+// end-to-end proof that the load harness, the daemon topology, and the
+// replica read routing compose.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"p2drm/internal/workload"
+)
+
+// freePort reserves an ephemeral port long enough to hand it to a
+// daemon about to bind it.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// waitHTTP polls url until it answers 200 or the deadline passes.
+func waitHTTP(t *testing.T, url string, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s not ready after %s", url, deadline)
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+}
+
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots daemons; skipped in -short")
+	}
+	bin := t.TempDir()
+	p2drmd := filepath.Join(bin, "p2drmd")
+	p2drmLoad := filepath.Join(bin, "p2drm-load")
+	for path, pkg := range map[string]string{p2drmd: "p2drm/cmd/p2drmd", p2drmLoad: "p2drm/cmd/p2drm-load"} {
+		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	primaryPort := freePort(t)
+	replicaPort := freePort(t)
+	primaryURL := fmt.Sprintf("http://127.0.0.1:%d", primaryPort)
+	replicaURL := fmt.Sprintf("http://127.0.0.1:%d", replicaPort)
+
+	// Durable state on both sides: an in-memory primary has no WAL to
+	// ship, which would leave the replica in permanent snapshot
+	// fallback instead of actually replicating.
+	startDaemon(t, p2drmd, "-lab", "-state", filepath.Join(bin, "primary-state"),
+		"-addr", fmt.Sprintf("127.0.0.1:%d", primaryPort))
+	waitHTTP(t, primaryURL+"/v1/catalog", 30*time.Second)
+	startDaemon(t, p2drmd, "-lab", "-seed-demo=false", "-state", filepath.Join(bin, "replica-state"),
+		"-addr", fmt.Sprintf("127.0.0.1:%d", replicaPort), "-replica-of", primaryURL)
+	waitHTTP(t, replicaURL+"/v1/replica/status", 30*time.Second)
+
+	report := filepath.Join(bin, "report.json")
+	cmd := exec.Command(p2drmLoad,
+		"-lab", "-primary", primaryURL, "-replicas", replicaURL,
+		"-scenario", "mixed", "-rps", "20", "-duration", "5s",
+		"-users", "4", "-seed", "7", "-out", report)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// The command exits non-zero when any request failed (non-2xx):
+		// that IS the smoke failure.
+		t.Fatalf("p2drm-load failed: %v\n%s", err, out)
+	}
+	t.Logf("p2drm-load:\n%s", out)
+
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Scenario string               `json:"scenario"`
+		Result   *workload.LoadResult `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v\n%s", err, raw)
+	}
+	res := rep.Result
+	if rep.Scenario != "mixed" || res == nil {
+		t.Fatalf("malformed report: %s", raw)
+	}
+	if res.Sent == 0 {
+		t.Fatal("report: nothing sent")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("report counts %d errors: %s", res.Errors, raw)
+	}
+	if len(res.Ops) == 0 {
+		t.Fatal("report has no per-op sections")
+	}
+	for kind, sum := range res.Ops {
+		if sum.Count > 0 && (sum.Latency.Count == 0 || sum.Latency.Max == 0) {
+			t.Errorf("op %s: %d requests but empty histogram", kind, sum.Count)
+		}
+	}
+	if res.AchievedRPS <= 0 {
+		t.Error("report: achieved RPS missing")
+	}
+}

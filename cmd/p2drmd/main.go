@@ -323,8 +323,12 @@ func opsGCLoop(ctx context.Context, reg *ops.Registry) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			if n := reg.GC(opsGCRetain); n > 0 {
-				log.Printf("p2drmd: reaped %d finished operations", n)
+			res := reg.GC(opsGCRetain)
+			if res.Reaped > 0 {
+				log.Printf("p2drmd: reaped %d finished operations (by kind: %v)", res.Reaped, res.ByKind)
+			}
+			if len(res.Errors) > 0 {
+				log.Printf("p2drmd: ops GC could not delete operations: %v", res.Errors)
 			}
 		}
 	}

@@ -90,6 +90,7 @@ func NewServer(p *provider.Provider) *Server {
 	s.legacy("POST", "/v1/redeem", TierUser, s.epRedeem)
 	s.legacy("POST", "/v1/redeem/batch", TierUser, s.epRedeemBatch)
 	s.legacy("GET", "/v1/revocation/filter", TierGuest, s.epFilter)
+	s.legacy("GET", "/v1/revocation/contains", TierGuest, s.epRevocationContains)
 	s.legacy("GET", "/v1/stats", TierGuest, s.epStats)
 	s.legacy("GET", "/v1/kv/get", TierGuest, s.epKVGet)
 	s.legacy("GET", "/v1/kv/has", TierGuest, s.epKVHas)
@@ -719,6 +720,20 @@ func (s *Server) epFilter(r *http.Request) (any, *apiError) {
 	return FilterResponse{
 		Filter: b64(sf.Filter), IssuedAt: sf.IssuedAt, Sig: b64(sf.Sig),
 	}, nil
+}
+
+// epRevocationContains is the primary's exact-answer revocation check,
+// mirroring the replica endpoint so clients can point the same call at
+// either tier: the bloom filter is the offline approximation, this is
+// the authoritative store lookup.
+func (s *Server) epRevocationContains(r *http.Request) (any, *apiError) {
+	raw, err := base64.URLEncoding.DecodeString(r.URL.Query().Get("serial"))
+	var serial license.Serial
+	if err != nil || len(raw) != len(serial) {
+		return nil, errBadRequest(errors.New("httpapi: bad serial (want base64url of exact length)"))
+	}
+	copy(serial[:], raw)
+	return KVValueResponse{Found: s.Provider.Revoked(serial)}, nil
 }
 
 // Client is the SDK speaking to a Server. The /v1 helpers talk bare

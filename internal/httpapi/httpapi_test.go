@@ -202,6 +202,15 @@ func TestFullTransferOverHTTP(t *testing.T) {
 	if !f.Contains(lic.Serial[:]) {
 		t.Error("wire filter missing revoked serial")
 	}
+	// The primary now answers the exact containment check directly (the
+	// same SDK call a replica serves), so load-balanced clients can ask
+	// either tier.
+	if found, err := h.client.RevocationContains(lic.Serial); err != nil || !found {
+		t.Errorf("primary RevocationContains(exchanged serial) = %v, %v; want true", found, err)
+	}
+	if found, err := h.client.RevocationContains(serial); err != nil || found {
+		t.Errorf("primary RevocationContains(fresh serial) = %v, %v; want false", found, err)
+	}
 }
 
 func TestServerRejectsBadRequests(t *testing.T) {

@@ -32,6 +32,7 @@ func (s *Server) registerV2() {
 	s.v2("POST", "/v2/exchange", TierUser, s.epExchange)
 	s.v2("POST", "/v2/redeem", TierUser, s.epRedeem)
 	s.v2("GET", "/v2/revocation/filter", TierGuest, s.epFilter)
+	s.v2("GET", "/v2/revocation/contains", TierGuest, s.epRevocationContains)
 	s.v2("GET", "/v2/stats", TierGuest, s.epStats)
 	s.v2("GET", "/v2/kv/get", TierGuest, s.epKVGet)
 	s.v2("GET", "/v2/kv/has", TierGuest, s.epKVHas)

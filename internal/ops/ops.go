@@ -426,21 +426,44 @@ func (r *Registry) dropLocked(id string) error {
 	return nil
 }
 
-// GC reaps terminal operations whose last update is older than retain
-// and returns how many were removed. retain 0 reaps every terminal op.
-func (r *Registry) GC(retain time.Duration) int {
+// GCResult breaks a GC pass down by operation kind, so a reap that
+// silently fails (store errors) or reaps the wrong population is
+// visible in logs instead of folded into one opaque count.
+type GCResult struct {
+	// Reaped is the total number of operations removed.
+	Reaped int `json:"reaped"`
+	// ByKind tallies removed operations per kind.
+	ByKind map[string]int `json:"by_kind,omitempty"`
+	// Errors tallies per kind the terminal operations that were due for
+	// removal but could not be deleted from the durable store.
+	Errors map[string]int `json:"errors,omitempty"`
+}
+
+// GC reaps terminal operations whose last update is older than retain.
+// retain 0 reaps every terminal op.
+func (r *Registry) GC(retain time.Duration) GCResult {
 	cutoff := time.Now().UTC().Add(-retain)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := 0
+	var res GCResult
 	for id, op := range r.ops {
-		if op.Status.Terminal() && !op.UpdatedAt.After(cutoff) {
-			if r.dropLocked(id) == nil {
-				n++
+		if !op.Status.Terminal() || op.UpdatedAt.After(cutoff) {
+			continue
+		}
+		if r.dropLocked(id) == nil {
+			if res.ByKind == nil {
+				res.ByKind = make(map[string]int)
 			}
+			res.Reaped++
+			res.ByKind[op.Kind]++
+		} else {
+			if res.Errors == nil {
+				res.Errors = make(map[string]int)
+			}
+			res.Errors[op.Kind]++
 		}
 	}
-	return n
+	return res
 }
 
 // Close cancels the root context handed to running tasks and waits for

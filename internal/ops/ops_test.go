@@ -122,14 +122,56 @@ func TestGC(t *testing.T) {
 		}
 		return nil, nil
 	})
-	if n := r.GC(0); n != 1 {
-		t.Fatalf("GC reaped %d, want 1", n)
+	if res := r.GC(0); res.Reaped != 1 || res.ByKind["demo"] != 1 {
+		t.Fatalf("GC reaped %+v, want 1 of kind demo", res)
 	}
 	if _, ok := r.Get(done.ID); ok {
 		t.Fatal("terminal op survived GC(0)")
 	}
 	if _, ok := r.Get(live.ID); !ok {
 		t.Fatal("GC reaped a running op")
+	}
+}
+
+// TestGCPerKindTallies is the error-attribution regression test: a GC
+// pass must break both its reaps and its failures down by operation
+// kind, so a store that stops accepting deletes names the affected
+// kinds instead of silently under-reaping.
+func TestGCPerKindTallies(t *testing.T) {
+	dir := t.TempDir()
+	store, err := kvstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(store)
+	defer r.Close()
+	noop := func(ctx context.Context, h *Handle) (any, error) { return nil, nil }
+	for i := 0; i < 2; i++ {
+		op, err := r.Start("compact", "done", nil, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, r, op.ID)
+	}
+	op, err := r.Start("rebuild", "done", nil, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, r, op.ID)
+
+	// Kill the durable store out from under the registry: every due op
+	// must land in the per-kind error tally, and none may be dropped
+	// from the in-memory registry (the store row would leak otherwise).
+	store.Close()
+	res := r.GC(0)
+	if res.Reaped != 0 || len(res.ByKind) != 0 {
+		t.Fatalf("GC with dead store reaped %+v, want none", res)
+	}
+	if res.Errors["compact"] != 2 || res.Errors["rebuild"] != 1 {
+		t.Fatalf("GC error tallies = %v, want compact:2 rebuild:1", res.Errors)
+	}
+	if _, ok := r.Get(op.ID); !ok {
+		t.Fatal("op vanished from registry despite failed durable delete")
 	}
 }
 

@@ -40,6 +40,10 @@ type ConcurrentResult struct {
 	// OpsPerSec counts completed protocol operations (purchases +
 	// transfers) per wall-clock second across all workers.
 	OpsPerSec float64
+	// Errors tallies failed operations per kind ("purchase",
+	// "transfer"), so a failing run is attributable instead of one
+	// opaque first-error. Nil when the run was clean.
+	Errors map[string]int
 }
 
 // RunConcurrent executes the concurrent trace against a core.System. All
@@ -66,13 +70,18 @@ func RunConcurrent(sys *core.System, cfg ConcurrentConfig) (*ConcurrentResult, e
 		mu        sync.Mutex
 		purchases int
 		transfers int
+		errTally  map[string]int
 		firstErr  error
 	)
-	fail := func(err error) {
+	fail := func(kind string, err error) {
 		mu.Lock()
 		if firstErr == nil {
 			firstErr = err
 		}
+		if errTally == nil {
+			errTally = make(map[string]int)
+		}
+		errTally[kind]++
 		mu.Unlock()
 	}
 	start := time.Now()
@@ -94,7 +103,7 @@ func RunConcurrent(sys *core.System, cfg ConcurrentConfig) (*ConcurrentResult, e
 				contentID := license.ContentID(fmt.Sprintf("content-%03d", zipf.Uint64()))
 				lic, err := sys.Purchase(u, contentID)
 				if err != nil {
-					fail(fmt.Errorf("workload: worker %d purchase %d: %w", wi, n, err))
+					fail("purchase", fmt.Errorf("workload: worker %d purchase %d: %w", wi, n, err))
 					return
 				}
 				mu.Lock()
@@ -102,7 +111,7 @@ func RunConcurrent(sys *core.System, cfg ConcurrentConfig) (*ConcurrentResult, e
 				mu.Unlock()
 				if cfg.TransferFraction > 0 && rng.Float64() < cfg.TransferFraction && peer != u {
 					if _, err := sys.Transfer(u, lic, peer); err != nil {
-						fail(fmt.Errorf("workload: worker %d transfer %d: %w", wi, n, err))
+						fail("transfer", fmt.Errorf("workload: worker %d transfer %d: %w", wi, n, err))
 						return
 					}
 					mu.Lock()
@@ -114,16 +123,19 @@ func RunConcurrent(sys *core.System, cfg ConcurrentConfig) (*ConcurrentResult, e
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if firstErr != nil {
-		return nil, firstErr
-	}
 	res := &ConcurrentResult{
 		Purchases: purchases,
 		Transfers: transfers,
 		Elapsed:   elapsed,
+		Errors:    errTally,
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.OpsPerSec = float64(purchases+transfers) / sec
+	}
+	// The partial result comes back alongside the first error: per-kind
+	// tallies in res.Errors make the failure attributable.
+	if firstErr != nil {
+		return res, firstErr
 	}
 	return res, nil
 }

@@ -1,0 +1,270 @@
+// Package hist is a lock-free HDR-style latency histogram for the load
+// harness: power-of-two buckets subdivided into linear sub-buckets, so
+// recorded values keep a bounded relative error (≤ 1/subBuckets ≈ 1.6%)
+// across the whole nanosecond-to-minutes range while Record stays a
+// single atomic add on the hot path.
+//
+// Worker goroutines either record into one shared histogram (every slot
+// is an independent atomic counter, so concurrent Records never
+// contend on a lock) or keep a private histogram each and Merge them
+// at the end — both compose to the same totals.
+//
+// The zero value is NOT ready to use; call New.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBucketBits sets the linear resolution inside each power-of-two
+	// range: 2^6 = 64 sub-buckets, so any recorded value is off by at
+	// most its bucket width = value/64 (plus 1ns integer rounding).
+	subBucketBits = 6
+	subBuckets    = 1 << subBucketBits
+
+	// exponents covers shifted magnitudes up to 63-bit values; exponent
+	// e holds values in [subBuckets << (e-1), subBuckets << e).
+	exponents = 64 - subBucketBits
+
+	// slots: row 0 is exact (values 0..subBuckets-1, width 1); each
+	// further exponent row uses its upper half of sub-buckets, but
+	// keeping full rows makes indexing branch-free and costs only
+	// ~30 KB per histogram.
+	slots = (exponents + 1) * subBuckets
+)
+
+// Hist is a mergeable, concurrency-safe latency histogram. All methods
+// are safe to call concurrently; Record and Merge are lock-free.
+type Hist struct {
+	counts [slots]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64 // stored as math.MaxInt64 when empty
+}
+
+// New returns an empty histogram.
+func New() *Hist {
+	h := &Hist{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// slotOf maps a non-negative value to its slot index.
+func slotOf(v int64) int {
+	if v < subBuckets {
+		return int(v) // exact row
+	}
+	// bits.Len64(v) > subBucketBits here, so exp ≥ 1 and the shifted
+	// sub-index lands in the upper half [subBuckets/2, subBuckets).
+	exp := bits.Len64(uint64(v)) - subBucketBits
+	return exp*subBuckets + int(v>>uint(exp))
+}
+
+// slotBounds returns the inclusive value range a slot covers.
+func slotBounds(s int) (low, high int64) {
+	if s < subBuckets {
+		return int64(s), int64(s)
+	}
+	exp := s / subBuckets
+	sub := int64(s % subBuckets)
+	low = sub << uint(exp)
+	high = low + (int64(1) << uint(exp)) - 1
+	return low, high
+}
+
+// slotValue is the representative value reported for a slot: the
+// midpoint, which bounds the error at half the bucket width.
+func slotValue(s int) int64 {
+	low, high := slotBounds(s)
+	return low + (high-low)/2
+}
+
+// Record adds one observation. Negative durations clamp to zero (a
+// backwards clock must not corrupt the histogram).
+func (h *Hist) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordValue adds one raw int64 observation (nanoseconds, by
+// convention).
+func (h *Hist) RecordValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[slotOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Merge adds o's counts into h. Safe against concurrent Records on
+// either side; the merged totals are exact.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if v := o.max.Load(); v > h.max.Load() {
+		for {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+	if v := o.min.Load(); v < h.min.Load() {
+		for {
+			cur := h.min.Load()
+			if v >= cur || h.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Max returns the exact largest recorded value (0 when empty).
+func (h *Hist) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Min returns the exact smallest recorded value (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the value at quantile q in [0,1]: the representative
+// value of the bucket holding the ceil(q*count)-th observation. q ≥ 1
+// returns the exact max; an empty histogram returns 0.
+//
+// The scan snapshots each slot once; concurrent Records can make the
+// cumulative total disagree with Count by the in-flight observations,
+// which only shifts the rank by those few samples — quantiles are
+// approximate by construction anyway.
+func (h *Hist) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max.Load()
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for s := 0; s < slots; s++ {
+		c := h.counts[s].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			// Clamp the interpolated midpoint into the observed range so
+			// a single-value histogram reports that value exactly.
+			v := slotValue(s)
+			if max := h.max.Load(); v > max {
+				v = max
+			}
+			if min := h.min.Load(); v < min {
+				v = min
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// Summary is one histogram's JSON-ready report. Durations are
+// nanoseconds; the *Str fields repeat them human-readably.
+type Summary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean_ns"`
+	P50   int64   `json:"p50_ns"`
+	P90   int64   `json:"p90_ns"`
+	P99   int64   `json:"p99_ns"`
+	P999  int64   `json:"p999_ns"`
+	Max   int64   `json:"max_ns"`
+	P50S  string  `json:"p50,omitempty"`
+	P99S  string  `json:"p99,omitempty"`
+	P999S string  `json:"p999,omitempty"`
+	MaxS  string  `json:"max,omitempty"`
+}
+
+// Snapshot summarizes the histogram at the standard report quantiles.
+func (h *Hist) Snapshot() Summary {
+	s := Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+	s.P50S = time.Duration(s.P50).String()
+	s.P99S = time.Duration(s.P99).String()
+	s.P999S = time.Duration(s.P999).String()
+	s.MaxS = time.Duration(s.Max).String()
+	return s
+}
+
+// String renders the standard quantiles for logs.
+func (h *Hist) String() string {
+	s := h.Snapshot()
+	return fmt.Sprintf("n=%d p50=%s p90=%s p99=%s p999=%s max=%s",
+		s.Count, time.Duration(s.P50), time.Duration(s.P90),
+		time.Duration(s.P99), time.Duration(s.P999), time.Duration(s.Max))
+}
+
+// RelativeError bounds the histogram's quantization error for value v:
+// any recorded v is reported within ±RelativeError(v) by Quantile.
+func RelativeError(v int64) int64 {
+	if v < subBuckets {
+		return 0
+	}
+	low, high := slotBounds(slotOf(v))
+	return high - low // full bucket width: midpoint is within this of v
+}

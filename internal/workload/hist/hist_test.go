@@ -1,0 +1,239 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecordRoundTripBounds: any single recorded value must be reported
+// back (as p50 of a one-value histogram) within the documented bucket
+// width, exactly below subBuckets, and Max/Min must be exact always.
+func TestRecordRoundTripBounds(t *testing.T) {
+	values := []int64{
+		0, 1, 2, 63, 64, 65, 100, 127, 128, 1000, 4095, 4096, 4097,
+		1_000_000, 123_456_789, int64(time.Second), int64(time.Hour),
+		math.MaxInt64 / 2, math.MaxInt64,
+	}
+	for _, v := range values {
+		h := New()
+		h.RecordValue(v)
+		if got := h.Max(); got != v {
+			t.Errorf("Max after recording %d = %d", v, got)
+		}
+		if got := h.Min(); got != v {
+			t.Errorf("Min after recording %d = %d", v, got)
+		}
+		got := h.Quantile(0.5)
+		if diff := got - v; diff < -RelativeError(v) || diff > RelativeError(v) {
+			t.Errorf("Quantile(0.5) of single value %d = %d (err %d > bound %d)",
+				v, got, diff, RelativeError(v))
+		}
+		if v < subBuckets && got != v {
+			t.Errorf("small value %d not exact: got %d", v, got)
+		}
+		// Bucket width is a relative bound: width/value ≤ 2/subBuckets.
+		if v > 0 && RelativeError(v) > v/(subBuckets/2)+1 {
+			t.Errorf("bucket width %d for value %d exceeds relative bound", RelativeError(v), v)
+		}
+	}
+}
+
+// exactQuantile is the sorted-slice reference the histogram is scored
+// against: the ceil(q*n)-th smallest observation.
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkAgainstReference records vs into a histogram and asserts every
+// standard quantile agrees with the exact reference within the bucket
+// width at that value.
+func checkAgainstReference(t *testing.T, name string, vs []int64) {
+	t.Helper()
+	h := New()
+	for _, v := range vs {
+		h.RecordValue(v)
+	}
+	sorted := append([]int64(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if h.Count() != int64(len(vs)) {
+		t.Fatalf("%s: count = %d, want %d", name, h.Count(), len(vs))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		ref := exactQuantile(sorted, q)
+		got := h.Quantile(q)
+		bound := RelativeError(ref) + 1
+		if diff := got - ref; diff < -bound || diff > bound {
+			t.Errorf("%s: q=%v got %d want %d±%d", name, q, got, ref, bound)
+		}
+	}
+	if got, want := h.Max(), sorted[len(sorted)-1]; got != want {
+		t.Errorf("%s: max = %d, want %d (must be exact)", name, got, want)
+	}
+	if got, want := h.Min(), sorted[0]; got != want {
+		t.Errorf("%s: min = %d, want %d (must be exact)", name, got, want)
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += float64(v)
+	}
+	if mean := h.Mean(); math.Abs(mean-sum/float64(len(vs))) > 1e-6*sum {
+		t.Errorf("%s: mean = %f, want %f", name, mean, sum/float64(len(vs)))
+	}
+}
+
+func TestQuantilesAgainstExactReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+
+	uniform := make([]int64, 10000)
+	for i := range uniform {
+		uniform[i] = rng.Int63n(10_000_000)
+	}
+	checkAgainstReference(t, "uniform", uniform)
+
+	// Heavy-tailed: exponentiated uniform spans seven decades, the shape
+	// latency distributions actually take.
+	heavy := make([]int64, 10000)
+	for i := range heavy {
+		heavy[i] = int64(math.Exp(rng.Float64()*16)) + 1
+	}
+	checkAgainstReference(t, "heavy-tail", heavy)
+
+	// Adversarial shapes.
+	constant := make([]int64, 1000)
+	for i := range constant {
+		constant[i] = 777_777
+	}
+	checkAgainstReference(t, "constant", constant)
+
+	bimodal := make([]int64, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		bimodal = append(bimodal, 1, 1_000_000_000)
+	}
+	checkAgainstReference(t, "bimodal", bimodal)
+
+	var edges []int64
+	for exp := 0; exp < 40; exp++ {
+		p := int64(1) << uint(exp)
+		edges = append(edges, p-1, p, p+1)
+	}
+	checkAgainstReference(t, "bucket-edges", edges)
+
+	zeros := make([]int64, 500)
+	checkAgainstReference(t, "zeros", zeros)
+}
+
+// TestNegativeClamps: a backwards wall clock must record as zero, not
+// corrupt a slot index.
+func TestNegativeClamps(t *testing.T) {
+	h := New()
+	h.Record(-5 * time.Second)
+	if h.Count() != 1 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Errorf("negative record: count=%d p50=%d max=%d, want 1/0/0",
+			h.Count(), h.Quantile(0.5), h.Max())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+// TestConcurrentRecordAndMerge runs 32 recorders two ways — all into one
+// shared histogram, and each into a private histogram merged afterwards —
+// and requires identical totals and quantiles. Run under -race this is
+// also the lock-freedom proof for Record/Merge.
+func TestConcurrentRecordAndMerge(t *testing.T) {
+	const workers = 32
+	const perWorker = 5000
+
+	shared := New()
+	privs := make([]*Hist, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		privs[w] = New()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				v := rng.Int63n(50_000_000)
+				shared.RecordValue(v)
+				privs[w].RecordValue(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	merged := New()
+	// Merge concurrently too: Merge must be safe against other Merges.
+	var mwg sync.WaitGroup
+	for _, p := range privs {
+		mwg.Add(1)
+		go func(p *Hist) {
+			defer mwg.Done()
+			merged.Merge(p)
+		}(p)
+	}
+	mwg.Wait()
+
+	if shared.Count() != workers*perWorker || merged.Count() != workers*perWorker {
+		t.Fatalf("counts: shared=%d merged=%d, want %d",
+			shared.Count(), merged.Count(), workers*perWorker)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		if a, b := shared.Quantile(q), merged.Quantile(q); a != b {
+			t.Errorf("q=%v: shared %d != merged %d", q, a, b)
+		}
+	}
+	if shared.Max() != merged.Max() || shared.Min() != merged.Min() {
+		t.Errorf("extremes differ: shared [%d,%d] merged [%d,%d]",
+			shared.Min(), shared.Max(), merged.Min(), merged.Max())
+	}
+	if shared.Mean() != merged.Mean() {
+		t.Errorf("means differ: %f vs %f", shared.Mean(), merged.Mean())
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	h := New()
+	for i := int64(1); i <= 1000; i++ {
+		h.RecordValue(i * int64(time.Millisecond))
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+	if s.MaxS != time.Duration(s.Max).String() {
+		t.Errorf("MaxS = %q", s.MaxS)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.RecordValue(v)
+			v = (v*2862933555777941757 + 3037000493) & 0x3fffffff
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package workload
+
+// Open-loop load generation: arrivals fire on a fixed schedule derived
+// from the target RPS, whether or not earlier requests have completed.
+// A closed loop (fire, wait, fire) silently degrades its own arrival
+// rate when the server queues — exactly the regime where tail latency
+// matters — so the generator never waits for responses; it only bounds
+// the number in flight, and an arrival that finds no free slot is
+// counted as shed rather than delaying the schedule.
+//
+// Latency is measured from the SCHEDULED arrival time, not dispatch,
+// so queueing delay inside the generator is charged to the server's
+// tail the way a real user would experience it (the standard defence
+// against coordinated omission).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2drm/internal/workload/hist"
+)
+
+// OpKind names one operation type in a load run; histograms and error
+// tallies are kept per kind.
+type OpKind string
+
+// Op is one dispatchable request: a kind label plus the closure that
+// performs it.
+type Op struct {
+	Kind OpKind
+	Do   func(ctx context.Context) error
+}
+
+// Phase is one step of the RPS schedule; a flash-crowd scenario is a
+// sequence of phases with a step up and back down.
+type Phase struct {
+	Duration time.Duration `json:"duration"`
+	RPS      float64       `json:"rps"`
+}
+
+// LoadConfig parameterizes an open-loop run.
+type LoadConfig struct {
+	// Phases is the arrival schedule, executed in order.
+	Phases []Phase
+	// MaxInFlight bounds concurrent requests (default 64). Arrivals
+	// beyond the bound are shed, not queued — queuing would turn the
+	// generator back into a closed loop.
+	MaxInFlight int
+}
+
+// maxErrorKinds caps the per-kind error-tally map so a pathological
+// server cannot balloon the report; overflow lands in "other".
+const maxErrorKinds = 16
+
+// kindStats accumulates one op kind's results. Hist is lock-free; the
+// mutex only guards the (rare) error path.
+type kindStats struct {
+	hist   *hist.Hist
+	sent   atomic.Int64
+	errs   atomic.Int64
+	shed   atomic.Int64
+	mu     sync.Mutex
+	byKind map[string]int
+}
+
+func (k *kindStats) recordErr(err error) {
+	k.errs.Add(1)
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.byKind == nil {
+		k.byKind = make(map[string]int)
+	}
+	msg := err.Error()
+	if _, ok := k.byKind[msg]; !ok && len(k.byKind) >= maxErrorKinds {
+		msg = "other"
+	}
+	k.byKind[msg]++
+}
+
+// OpSummary is one op kind's slice of the report.
+type OpSummary struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	Shed   int64 `json:"shed,omitempty"`
+	// ErrorKinds tallies failures by error message (capped; overflow
+	// aggregates under "other") so a failing run names its failure mode.
+	ErrorKinds map[string]int `json:"error_kinds,omitempty"`
+	Latency    hist.Summary   `json:"latency"`
+}
+
+// LoadResult is a completed run's machine-readable report body.
+type LoadResult struct {
+	TargetRPS   float64               `json:"target_rps"`
+	AchievedRPS float64               `json:"achieved_rps"`
+	Duration    time.Duration         `json:"duration_ns"`
+	Sent        int64                 `json:"sent"`
+	Errors      int64                 `json:"errors"`
+	Shed        int64                 `json:"shed"`
+	Ops         map[string]OpSummary  `json:"ops"`
+	hists       map[OpKind]*hist.Hist // raw histograms for callers that merge runs
+}
+
+// Hist returns the raw histogram for one op kind (nil if the kind never
+// ran), for callers that merge or re-quantile across runs.
+func (r *LoadResult) Hist(kind OpKind) *hist.Hist { return r.hists[kind] }
+
+// Kinds lists the op kinds seen, sorted.
+func (r *LoadResult) Kinds() []string {
+	out := make([]string, 0, len(r.Ops))
+	for k := range r.Ops {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunLoad executes the open-loop schedule. next(i) supplies the i-th
+// operation of the trace; returning ok=false ends the run early (trace
+// exhausted). RunLoad returns once every dispatched request has
+// completed or ctx is done.
+func RunLoad(ctx context.Context, cfg LoadConfig, next func(i int) (Op, bool)) (*LoadResult, error) {
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("workload: no load phases configured")
+	}
+	for _, ph := range cfg.Phases {
+		if ph.RPS <= 0 || ph.Duration <= 0 {
+			return nil, fmt.Errorf("workload: invalid phase %+v", ph)
+		}
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 64
+	}
+
+	var (
+		mu    sync.Mutex
+		stats = make(map[OpKind]*kindStats)
+	)
+	statsFor := func(kind OpKind) *kindStats {
+		mu.Lock()
+		defer mu.Unlock()
+		ks := stats[kind]
+		if ks == nil {
+			ks = &kindStats{hist: hist.New()}
+			stats[kind] = ks
+		}
+		return ks
+	}
+
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	var sent, shed int64
+
+	start := time.Now()
+	i := 0
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+pacing:
+	for _, ph := range cfg.Phases {
+		interval := time.Duration(float64(time.Second) / ph.RPS)
+		phaseStart := time.Since(start)
+		for off := time.Duration(0); off < ph.Duration; off += interval {
+			scheduled := start.Add(phaseStart + off)
+			if wait := time.Until(scheduled); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-ctx.Done():
+					break pacing
+				case <-timer.C:
+				}
+			} else if ctx.Err() != nil {
+				break pacing
+			}
+			op, ok := next(i)
+			if !ok {
+				break pacing
+			}
+			i++
+			ks := statsFor(op.Kind)
+			select {
+			case sem <- struct{}{}:
+			default:
+				// Open loop: a saturated in-flight window sheds the
+				// arrival instead of stalling the schedule.
+				shed++
+				ks.shed.Add(1)
+				continue
+			}
+			sent++
+			ks.sent.Add(1)
+			wg.Add(1)
+			go func(op Op, ks *kindStats, scheduled time.Time) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				err := op.Do(ctx)
+				ks.hist.Record(time.Since(scheduled))
+				if err != nil {
+					ks.recordErr(err)
+				}
+			}(op, ks, scheduled)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Duration: elapsed,
+		Sent:     sent,
+		Shed:     shed,
+		Ops:      make(map[string]OpSummary, len(stats)),
+		hists:    make(map[OpKind]*hist.Hist, len(stats)),
+	}
+	var totalDur time.Duration
+	for _, ph := range cfg.Phases {
+		res.TargetRPS += ph.RPS * ph.Duration.Seconds()
+		totalDur += ph.Duration
+	}
+	if totalDur > 0 {
+		res.TargetRPS /= totalDur.Seconds() // time-weighted mean target
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.AchievedRPS = float64(sent) / sec
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for kind, ks := range stats {
+		ks.mu.Lock()
+		byKind := make(map[string]int, len(ks.byKind))
+		for m, n := range ks.byKind {
+			byKind[m] = n
+		}
+		ks.mu.Unlock()
+		if len(byKind) == 0 {
+			byKind = nil
+		}
+		res.Errors += ks.errs.Load()
+		res.Ops[string(kind)] = OpSummary{
+			Count:      ks.sent.Load(),
+			Errors:     ks.errs.Load(),
+			Shed:       ks.shed.Load(),
+			ErrorKinds: byKind,
+			Latency:    ks.hist.Snapshot(),
+		}
+		res.hists[kind] = ks.hist
+	}
+	// Cancellation mid-run is a normal way to end a load test; the
+	// partial result is still the answer. Config errors returned above
+	// are the only error path.
+	return res, nil
+}

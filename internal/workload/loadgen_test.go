@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunLoadValidatesConfig(t *testing.T) {
+	ctx := context.Background()
+	noop := func(i int) (Op, bool) {
+		return Op{Kind: "noop", Do: func(context.Context) error { return nil }}, true
+	}
+	if _, err := RunLoad(ctx, LoadConfig{}, noop); err == nil {
+		t.Error("empty phases: want error")
+	}
+	bad := LoadConfig{Phases: []Phase{{Duration: time.Second, RPS: 0}}}
+	if _, err := RunLoad(ctx, bad, noop); err == nil {
+		t.Error("zero RPS: want error")
+	}
+	bad = LoadConfig{Phases: []Phase{{Duration: 0, RPS: 10}}}
+	if _, err := RunLoad(ctx, bad, noop); err == nil {
+		t.Error("zero duration: want error")
+	}
+}
+
+// TestRunLoadPerKindTallies drives two op kinds, one of which fails with
+// two distinct error messages, and checks the per-kind counts and
+// error-kind tallies that make a failing run attributable.
+func TestRunLoadPerKindTallies(t *testing.T) {
+	var n atomic.Int64
+	next := func(i int) (Op, bool) {
+		if i%2 == 0 {
+			return Op{Kind: "read", Do: func(context.Context) error { return nil }}, true
+		}
+		return Op{Kind: "write", Do: func(context.Context) error {
+			if n.Add(1)%2 == 0 {
+				return errors.New("boom-even")
+			}
+			return errors.New("boom-odd")
+		}}, true
+	}
+	cfg := LoadConfig{Phases: []Phase{{Duration: 200 * time.Millisecond, RPS: 500}}}
+	res, err := RunLoad(context.Background(), cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	read, ok := res.Ops["read"]
+	if !ok || read.Count == 0 || read.Errors != 0 {
+		t.Errorf("read summary wrong: %+v", read)
+	}
+	write, ok := res.Ops["write"]
+	if !ok || write.Count == 0 {
+		t.Fatalf("write summary missing: %+v", res.Ops)
+	}
+	if write.Errors != write.Count {
+		t.Errorf("write errors = %d, want %d (all fail)", write.Errors, write.Count)
+	}
+	var tallied int
+	for msg, c := range write.ErrorKinds {
+		if !strings.HasPrefix(msg, "boom-") {
+			t.Errorf("unexpected error kind %q", msg)
+		}
+		tallied += c
+	}
+	if int64(tallied) != write.Errors {
+		t.Errorf("error kinds sum to %d, want %d", tallied, write.Errors)
+	}
+	if res.Errors != write.Errors {
+		t.Errorf("total errors = %d, want %d", res.Errors, write.Errors)
+	}
+	if res.Hist("read") == nil || res.Hist("read").Count() != read.Count {
+		t.Error("raw histogram accessor disagrees with summary")
+	}
+	if got := res.Kinds(); len(got) != 2 || got[0] != "read" || got[1] != "write" {
+		t.Errorf("Kinds() = %v", got)
+	}
+}
+
+// TestRunLoadErrorKindCap: a server failing with unbounded distinct
+// messages must not balloon the report past maxErrorKinds+1.
+func TestRunLoadErrorKindCap(t *testing.T) {
+	var n atomic.Int64
+	next := func(i int) (Op, bool) {
+		return Op{Kind: "w", Do: func(context.Context) error {
+			return errors.New(strings.Repeat("x", int(n.Add(1)%64)+1))
+		}}, true
+	}
+	cfg := LoadConfig{Phases: []Phase{{Duration: 200 * time.Millisecond, RPS: 1000}}}
+	res, err := RunLoad(context.Background(), cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds := len(res.Ops["w"].ErrorKinds); kinds > maxErrorKinds+1 {
+		t.Errorf("error kinds = %d, want ≤ %d", kinds, maxErrorKinds+1)
+	}
+}
+
+// TestRunLoadShedsAtMaxInFlight: with one slot and ops that outlive the
+// whole schedule, exactly one arrival is dispatched and the rest shed —
+// the open loop must never queue behind a stuck server.
+func TestRunLoadShedsAtMaxInFlight(t *testing.T) {
+	release := make(chan struct{})
+	next := func(i int) (Op, bool) {
+		return Op{Kind: "slow", Do: func(ctx context.Context) error {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil
+		}}, true
+	}
+	cfg := LoadConfig{
+		Phases:      []Phase{{Duration: 100 * time.Millisecond, RPS: 200}},
+		MaxInFlight: 1,
+	}
+	done := make(chan *LoadResult, 1)
+	go func() {
+		res, err := RunLoad(context.Background(), cfg, next)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	time.Sleep(150 * time.Millisecond)
+	close(release)
+	res := <-done
+	if res.Sent != 1 {
+		t.Errorf("sent = %d, want 1 (single in-flight slot)", res.Sent)
+	}
+	if res.Shed == 0 {
+		t.Error("no arrivals shed despite saturated window")
+	}
+	if s := res.Ops["slow"]; s.Shed != res.Shed {
+		t.Errorf("per-kind shed %d != total %d", s.Shed, res.Shed)
+	}
+}
+
+// TestRunLoadTraceExhaustion: next returning ok=false ends the run after
+// exactly that many dispatches.
+func TestRunLoadTraceExhaustion(t *testing.T) {
+	const trace = 25
+	next := func(i int) (Op, bool) {
+		if i >= trace {
+			return Op{}, false
+		}
+		return Op{Kind: "op", Do: func(context.Context) error { return nil }}, true
+	}
+	cfg := LoadConfig{Phases: []Phase{{Duration: time.Hour, RPS: 5000}}}
+	start := time.Now()
+	res, err := RunLoad(context.Background(), cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("trace exhaustion did not end the run promptly")
+	}
+	if res.Sent+res.Shed != trace {
+		t.Errorf("sent+shed = %d, want %d", res.Sent+res.Shed, trace)
+	}
+}
+
+// TestRunLoadCancelReturnsPartial: cancelling mid-run is a normal stop;
+// the partial result must still come back without error.
+func TestRunLoadCancelReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired atomic.Int64
+	next := func(i int) (Op, bool) {
+		return Op{Kind: "op", Do: func(context.Context) error {
+			if fired.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		}}, true
+	}
+	cfg := LoadConfig{Phases: []Phase{{Duration: time.Hour, RPS: 1000}}}
+	res, err := RunLoad(ctx, cfg, next)
+	if err != nil {
+		t.Fatalf("cancelled run returned error: %v", err)
+	}
+	if res.Sent < 3 {
+		t.Errorf("sent = %d, want ≥ 3", res.Sent)
+	}
+	if res.Duration >= time.Hour {
+		t.Error("run did not stop on cancel")
+	}
+}

@@ -1,0 +1,273 @@
+package workload
+
+// Named traffic shapes for the load harness. A scenario is two pure
+// functions of (config, seed): an RPS schedule and a request trace.
+// Traces are materialized up front from a seeded PRNG so the same seed
+// always produces the same sequence of operations — load runs are
+// reproducible in CI, and the determinism test pins that property.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Operation kinds a scenario can emit. Read kinds that replicas serve
+// (stats, revocation checks) are routed to replicas by the executor;
+// everything else goes to the primary.
+const (
+	OpCatalog  OpKind = "catalog"
+	OpContent  OpKind = "content"
+	OpStats    OpKind = "stats"
+	OpRevCheck OpKind = "revocation-check"
+	OpRevList  OpKind = "revocation-filter"
+	OpRegister OpKind = "register"
+	OpPurchase OpKind = "purchase"
+	OpPlayback OpKind = "playback"
+)
+
+// OpSpec is one entry of a materialized request trace: which user does
+// which operation against which catalog slot. Peer names the playback
+// recipient for OpPlayback.
+type OpSpec struct {
+	Kind    OpKind
+	User    int
+	Content int
+	Peer    int
+}
+
+// ScenarioConfig parameterizes trace generation and the default
+// schedule.
+type ScenarioConfig struct {
+	Seed     int64
+	Users    int           // population size (default 16)
+	Contents int           // catalog slots the trace spreads over (default 8)
+	Ops      int           // trace length (default RPS*Duration rounded up)
+	RPS      float64       // base arrival rate (default 20)
+	Duration time.Duration // total schedule length (default 5s)
+	// ReadFraction is the read share of the "mixed" scenario (default
+	// 0.9); other scenarios fix their own mix.
+	ReadFraction float64
+	// MaxInFlight bounds concurrent requests (see LoadConfig).
+	MaxInFlight int
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Users <= 0 {
+		c.Users = 16
+	}
+	if c.Contents <= 0 {
+		c.Contents = 8
+	}
+	if c.RPS <= 0 {
+		c.RPS = 20
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.ReadFraction <= 0 || c.ReadFraction > 1 {
+		c.ReadFraction = 0.9
+	}
+	if c.Ops <= 0 {
+		// Enough trace to cover the schedule even if every arrival fires.
+		c.Ops = int(c.RPS*c.Duration.Seconds()) + 1
+	}
+	return c
+}
+
+// Scenario is a named traffic shape.
+type Scenario struct {
+	Name string
+	Desc string
+	// Trace materializes the deterministic request sequence.
+	Trace func(cfg ScenarioConfig) []OpSpec
+	// Phases builds the RPS schedule (nil means one flat phase at
+	// cfg.RPS for cfg.Duration).
+	Phases func(cfg ScenarioConfig) []Phase
+}
+
+// Schedule returns the scenario's RPS phases for cfg.
+func (s *Scenario) Schedule(cfg ScenarioConfig) []Phase {
+	cfg = cfg.withDefaults()
+	if s.Phases != nil {
+		return s.Phases(cfg)
+	}
+	return []Phase{{Duration: cfg.Duration, RPS: cfg.RPS}}
+}
+
+// readOp picks a uniform read kind. Stats and revocation checks are the
+// reads a replica can serve; catalog/content exercise the primary's
+// read path.
+func readOp(rng *rand.Rand, u, content int) OpSpec {
+	switch rng.Intn(4) {
+	case 0:
+		return OpSpec{Kind: OpCatalog, User: u}
+	case 1:
+		return OpSpec{Kind: OpContent, User: u, Content: content}
+	case 2:
+		return OpSpec{Kind: OpStats, User: u}
+	default:
+		return OpSpec{Kind: OpRevCheck, User: u}
+	}
+}
+
+// zipfOver returns a sampler of catalog slots with zipfian popularity:
+// slot 0 is the hit, the tail falls off as rank^-1.2.
+func zipfOver(rng *rand.Rand, contents int) func() int {
+	z := rand.NewZipf(rng, 1.2, 1, uint64(contents-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+// Scenarios is the catalog of named traffic shapes, sorted by name.
+var Scenarios = []*Scenario{
+	{
+		Name: "mixed",
+		Desc: "configurable read/write mix (ReadFraction reads, rest purchases), uniform users, zipfian contents",
+		Trace: func(cfg ScenarioConfig) []OpSpec {
+			cfg = cfg.withDefaults()
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			pick := zipfOver(rng, cfg.Contents)
+			out := make([]OpSpec, cfg.Ops)
+			for i := range out {
+				u := rng.Intn(cfg.Users)
+				if rng.Float64() < cfg.ReadFraction {
+					out[i] = readOp(rng, u, pick())
+				} else {
+					out[i] = OpSpec{Kind: OpPurchase, User: u, Content: pick()}
+				}
+			}
+			return out
+		},
+	},
+	{
+		Name: "zipf",
+		Desc: "zipfian catalog popularity: content fetches and purchases concentrate on a few hot items",
+		Trace: func(cfg ScenarioConfig) []OpSpec {
+			cfg = cfg.withDefaults()
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			pick := zipfOver(rng, cfg.Contents)
+			out := make([]OpSpec, cfg.Ops)
+			for i := range out {
+				u := rng.Intn(cfg.Users)
+				c := pick()
+				if rng.Float64() < 0.7 {
+					out[i] = OpSpec{Kind: OpContent, User: u, Content: c}
+				} else {
+					out[i] = OpSpec{Kind: OpPurchase, User: u, Content: c}
+				}
+			}
+			return out
+		},
+	},
+	{
+		Name: "flashcrowd",
+		Desc: "release-day step function: base RPS, then 5x on one hot item, then back down",
+		Trace: func(cfg ScenarioConfig) []OpSpec {
+			cfg = cfg.withDefaults()
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			out := make([]OpSpec, cfg.Ops)
+			for i := range out {
+				u := rng.Intn(cfg.Users)
+				// Everyone piles onto slot 0 — the release.
+				if rng.Float64() < 0.8 {
+					out[i] = OpSpec{Kind: OpContent, User: u, Content: 0}
+				} else {
+					out[i] = OpSpec{Kind: OpPurchase, User: u, Content: 0}
+				}
+			}
+			return out
+		},
+		Phases: func(cfg ScenarioConfig) []Phase {
+			base, spike := cfg.Duration*2/5, cfg.Duration/5
+			return []Phase{
+				{Duration: base, RPS: cfg.RPS},
+				{Duration: spike, RPS: cfg.RPS * 5},
+				{Duration: cfg.Duration - base - spike, RPS: cfg.RPS},
+			}
+		},
+	},
+	{
+		Name: "churn",
+		Desc: "device churn: users keep re-registering fresh pseudonyms, with occasional purchases",
+		Trace: func(cfg ScenarioConfig) []OpSpec {
+			cfg = cfg.withDefaults()
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			pick := zipfOver(rng, cfg.Contents)
+			out := make([]OpSpec, cfg.Ops)
+			for i := range out {
+				u := rng.Intn(cfg.Users)
+				switch p := rng.Float64(); {
+				case p < 0.7:
+					out[i] = OpSpec{Kind: OpRegister, User: u}
+				case p < 0.9:
+					out[i] = OpSpec{Kind: OpRevCheck, User: u}
+				default:
+					out[i] = OpSpec{Kind: OpPurchase, User: u, Content: pick()}
+				}
+			}
+			return out
+		},
+	},
+	{
+		Name: "revstorm",
+		Desc: "revocation storm: clients hammer revocation checks and filter downloads after a mass revocation",
+		Trace: func(cfg ScenarioConfig) []OpSpec {
+			cfg = cfg.withDefaults()
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			pick := zipfOver(rng, cfg.Contents)
+			out := make([]OpSpec, cfg.Ops)
+			for i := range out {
+				u := rng.Intn(cfg.Users)
+				switch p := rng.Float64(); {
+				case p < 0.75:
+					out[i] = OpSpec{Kind: OpRevCheck, User: u}
+				case p < 0.95:
+					out[i] = OpSpec{Kind: OpRevList, User: u}
+				default:
+					out[i] = OpSpec{Kind: OpPurchase, User: u, Content: pick()}
+				}
+			}
+			return out
+		},
+	},
+	{
+		Name: "playback",
+		Desc: "unlinkable multiparty playback: buyer purchases, exchanges for an anonymous license, a distinct peer redeems it",
+		Trace: func(cfg ScenarioConfig) []OpSpec {
+			cfg = cfg.withDefaults()
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			out := make([]OpSpec, cfg.Ops)
+			for i := range out {
+				u := rng.Intn(cfg.Users)
+				peer := rng.Intn(cfg.Users - 1)
+				if peer >= u {
+					peer++ // peer is always a different user
+				}
+				// Single content: every pair hides in the same
+				// anonymity set.
+				out[i] = OpSpec{Kind: OpPlayback, User: u, Peer: peer}
+			}
+			return out
+		},
+	},
+}
+
+func init() {
+	sort.Slice(Scenarios, func(i, j int) bool { return Scenarios[i].Name < Scenarios[j].Name })
+}
+
+// FindScenario returns the named scenario or an error listing the
+// catalog.
+func FindScenario(name string) (*Scenario, error) {
+	for _, s := range Scenarios {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, len(Scenarios))
+	for i, s := range Scenarios {
+		names[i] = s.Name
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, names)
+}

@@ -1,0 +1,114 @@
+package workload
+
+// The paper's core privacy claim, scored end to end over HTTP: a
+// license purchased at the provider and played back via a third party
+// must be uncorrelatable in the provider's own trace. The executor
+// keeps per-pair ground truth (which blinded blob and which anonymous
+// serial belong together), runs K pairs interleaved, and the test
+// hands the provider's journal to linkage.Attack — the strongest
+// provider-side adversary the repo models. With blinding on, the
+// attack must stay at (here: below) the 1/K random-guess baseline;
+// the deliberately-linkable control run (blinding disabled, exactly
+// core.Options.DisableBlinding's ablation) must link every single
+// pair, proving the test can detect linkage when it exists.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"p2drm/internal/linkage"
+	"p2drm/internal/provider"
+)
+
+// runPlaybackPairs executes K interleaved playback pairs and returns
+// the correlation count: how many pairs the provider-side attack
+// managed to connect from its own journal.
+func runPlaybackPairs(t *testing.T, k int, linkable bool) (correlated int, pairs []PlaybackPair) {
+	t.Helper()
+	topo, prov := newLoadHarness(t, 1)
+	cfg := ScenarioConfig{
+		Seed: 42, Users: k, Contents: 1, Ops: k,
+		// High RPS + wide in-flight window: all K pairs run
+		// concurrently, so exchanges and redeems interleave in the
+		// journal instead of arriving as tidy sequential blocks.
+		RPS: 500, Duration: 2 * time.Second, MaxInFlight: k,
+	}
+	ex, err := NewExecutor(context.Background(), topo, cfg.Users, cfg.Seed, ExecOptions{Linkable: linkable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FindScenario("playback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.RunScenario(context.Background(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("playback run errored: %+v", res.Ops)
+	}
+	pairs = ex.Pairs()
+	if len(pairs) != k {
+		t.Fatalf("completed %d pairs, want %d", len(pairs), k)
+	}
+
+	events := prov.Events()
+	clustering := linkage.Attack(events, topo.Primary.Denomination)
+
+	// Locate each pair's two journal faces by the executor's ground
+	// truth: the exchange event carrying the blob we sent, and the
+	// redeem event carrying the serial the peer revealed.
+	exchangeSeq := make(map[string]int)
+	redeemSeq := make(map[string]int)
+	for _, e := range events {
+		switch e.Type {
+		case provider.EvExchange:
+			exchangeSeq[e.BlindedHash] = e.Seq
+		case provider.EvRedeem:
+			redeemSeq[e.AnonSerial] = e.Seq
+		}
+	}
+	for _, p := range pairs {
+		ex, ok := exchangeSeq[p.BlindedHash]
+		if !ok {
+			t.Fatalf("pair %+v: blinded hash missing from journal", p)
+		}
+		rd, ok := redeemSeq[p.AnonSerial]
+		if !ok {
+			t.Fatalf("pair %+v: anonymous serial missing from journal", p)
+		}
+		if clustering.SameCluster(ex, rd) {
+			correlated++
+		}
+	}
+	return correlated, pairs
+}
+
+// TestPlaybackUnlinkability: with blinding, the provider cannot
+// correlate any purchase to its playback — 0 of K, at/below the 1/K
+// random-guess baseline.
+func TestPlaybackUnlinkability(t *testing.T) {
+	const k = 8
+	correlated, pairs := runPlaybackPairs(t, k, false)
+	// Random guessing links 1/K of pairs in expectation; the attack's
+	// rules (pseudonym reuse, blinded-hash matching) find nothing at
+	// all against fresh pseudonyms and properly blinded blobs.
+	if baseline := len(pairs) / k; correlated > baseline {
+		t.Errorf("attack correlated %d/%d pairs, above the random baseline %d",
+			correlated, len(pairs), baseline)
+	}
+}
+
+// TestPlaybackLinkableControl: the same harness with blinding disabled
+// must link EVERY pair — the negative control proving the property
+// test has teeth.
+func TestPlaybackLinkableControl(t *testing.T) {
+	const k = 8
+	correlated, pairs := runPlaybackPairs(t, k, true)
+	if correlated != len(pairs) {
+		t.Errorf("linkable control: attack correlated %d/%d pairs, want all",
+			correlated, len(pairs))
+	}
+}

@@ -260,3 +260,36 @@ func TestRunConcurrentValidation(t *testing.T) {
 		t.Error("zero config accepted")
 	}
 }
+
+// TestRunConcurrentErrorTallies is the error-attribution regression
+// test: a failing run must come back WITH the partial result and a
+// per-kind error tally, not just an opaque first error.
+func TestRunConcurrentErrorTallies(t *testing.T) {
+	s := newSystem(t)
+	// Populate one content but let the trace span two: every worker
+	// that draws the missing item fails its purchase.
+	if err := Populate(s, Config{Contents: 1, PriceCredits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ConcurrentConfig{
+		Workers: 4, PerWorker: 8, Contents: 2,
+		PriceCredits: 1, ZipfS: 1.01, Seed: 11,
+	}
+	res, err := RunConcurrent(s, cfg)
+	if err == nil {
+		t.Fatal("run against a missing catalog item succeeded")
+	}
+	if res == nil {
+		t.Fatal("failing run returned no partial result")
+	}
+	if res.Errors["purchase"] == 0 {
+		t.Errorf("error tally = %v, want purchase failures counted", res.Errors)
+	}
+	var total int
+	for _, n := range res.Errors {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no errors tallied despite failed run")
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fuzz-smoke kv-crash replica-crash load-smoke examples fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-smoke timing-guard fuzz-smoke kv-crash replica-crash load-smoke examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -13,19 +13,33 @@ test:
 
 # Race detector over the concurrent serving path and everything that
 # drives it concurrently (workload generator, revocation list, sharded
-# bank property tests, root integration tests).
+# bank property tests, root integration tests, and the crypto
+# precompute layer's shared tables/pools).
 race:
-	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/payment ./internal/replica ./internal/revocation ./internal/workload .
+	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/payment ./internal/replica ./internal/revocation ./internal/workload ./internal/cryptox/precomp ./internal/cryptox/schnorr ./internal/cryptox/rsablind .
 
 # Full evaluation benchmarks (minutes; see bench_test.go for families).
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1s .
+
+# Machine-readable per-PR performance snapshot: run the protocol-level
+# T2_/T3_ families and archive name → ns/op as JSON (BENCH_PR8.json).
+# BENCHTIME=1x turns it into a compile-and-run smoke for CI.
+BENCHTIME ?= 2s
+bench-json:
+	$(GO) test -run=NONE -bench='BenchmarkT[23]_' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 # One iteration per benchmark: proves they compile and run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkT1_ -benchtime=1x ./...
 	$(GO) test -run=NONE -bench='BenchmarkT3_(Purchase|Exchange|Deposit|Get|PutIfAbsent)' -benchtime=1x .
 	$(GO) test -run=NONE -bench=BenchmarkT3_ReplicaCatchup -benchtime=1x ./internal/replica
+
+# Statistical timing guard over the blinded crypto ops (dudect-style
+# Welch t-test, see docs/crypto.md): fails only on a leak confirmed in
+# two independent rounds, skips on boxes too noisy for a verdict.
+timing-guard:
+	$(GO) test -count=1 ./internal/cryptox/ctcheck/
 
 # Short-deadline go-native fuzzing (one -fuzz target per package run):
 # corrupted WAL tails and license encodings must error, never panic or
@@ -70,4 +84,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race bench-smoke fuzz-smoke examples kv-crash replica-crash load-smoke
+ci: build vet fmt-check test race bench-smoke timing-guard fuzz-smoke examples kv-crash replica-crash load-smoke

@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report: benchmark name → ns/op (plus iteration
+// counts and the box identification lines), so CI can archive per-PR
+// performance snapshots and tooling can diff them without scraping
+// bench text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'T2_|T3_' -benchtime 2s . | benchjson -o BENCH_PR8.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Report is the output schema. Benchmarks maps the benchmark name (the
+// trailing -GOMAXPROCS suffix stripped, sub-benchmark paths kept) to
+// its result.
+type Report struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+// parse reads `go test -bench` text and collects the report.
+func parse(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, hdr := range []struct {
+			prefix string
+			dst    *string
+		}{
+			{"goos: ", &rep.Goos},
+			{"goarch: ", &rep.Goarch},
+			{"pkg: ", &rep.Pkg},
+			{"cpu: ", &rep.CPU},
+		} {
+			if v, ok := strings.CutPrefix(line, hdr.prefix); ok {
+				*hdr.dst = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		rep.Benchmarks[m[1]] = Result{Iterations: iters, NsPerOp: ns}
+	}
+	return rep, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatalf("benchjson: read: %v", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: encode: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}

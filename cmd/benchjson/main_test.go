@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: p2drm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkT2_PurchaseP2DRM 	    1518	   1618278 ns/op
+BenchmarkT3_PurchaseBatch-4 	    1873	    661754 ns/op
+BenchmarkT3_DepositParallel/group_commit/shards_16-8 	     500	   2400000 ns/op
+BenchmarkBad no numbers here
+PASS
+ok  	p2drm	13.218s
+`
+	rep, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "p2drm" {
+		t.Fatalf("header fields = %q %q %q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	want := map[string]Result{
+		"BenchmarkT2_PurchaseP2DRM":                          {Iterations: 1518, NsPerOp: 1618278},
+		"BenchmarkT3_PurchaseBatch":                          {Iterations: 1873, NsPerOp: 661754},
+		"BenchmarkT3_DepositParallel/group_commit/shards_16": {Iterations: 500, NsPerOp: 2400000},
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(rep.Benchmarks), len(want), rep.Benchmarks)
+	}
+	for name, w := range want {
+		got, ok := rep.Benchmarks[name]
+		if !ok {
+			t.Fatalf("missing %s in %v", name, rep.Benchmarks)
+		}
+		if got != w {
+			t.Fatalf("%s = %+v, want %+v", name, got, w)
+		}
+	}
+}

@@ -39,6 +39,12 @@ type Report struct {
 	Replicas []string             `json:"replicas,omitempty"`
 	Phases   []workload.Phase     `json:"phases"`
 	Result   *workload.LoadResult `json:"result"`
+	// ServerStats is the primary's /v2/stats snapshot sampled right after
+	// the run: store engine gauges plus the crypto acceleration state
+	// (pool depth and hit rate, batch-verify counters), so a load report
+	// records how much of the run was served precomputed. Absent when the
+	// stats call fails — the run result stands on its own.
+	ServerStats *httpapi.StatsResponse `json:"server_stats,omitempty"`
 }
 
 func main() {
@@ -136,6 +142,11 @@ func main() {
 		Replicas: replicaURLs,
 		Phases:   s.Schedule(cfg),
 		Result:   res,
+	}
+	if st, err := topo.Primary.StatsV2(); err != nil {
+		log.Printf("p2drm-load: server stats snapshot unavailable: %v", err)
+	} else {
+		rep.ServerStats = st
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

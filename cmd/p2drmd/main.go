@@ -116,6 +116,9 @@ func main() {
 		replicaOf    = flag.String("replica-of", "", "run as a read replica of the primary daemon at this base URL")
 		replicaPoll  = flag.Duration("replica-poll", 500*time.Millisecond, "replica idle tail poll interval")
 		primaryToken = flag.String("primary-token", "", "bearer token presented to the primary daemon (replica mode, when the primary has auth configured)")
+		cryptoPre    = flag.Bool("crypto-precompute", true, "build the fixed-base exponentiation table for the group generator")
+		noncePool    = flag.Int("crypto-nonce-pool", 256, "Schnorr/KEM nonce pool capacity (0 disables pooling)")
+		poolFillers  = flag.Int("crypto-pool-fillers", 1, "background filler goroutines per crypto pool")
 	)
 	flag.Parse()
 
@@ -145,6 +148,17 @@ func main() {
 		group = schnorr.Group768()
 		bits = 1024
 	}
+	if *cryptoPre {
+		group.Precompute()
+	}
+	if *noncePool > 0 {
+		fillers := *poolFillers
+		if fillers < 1 {
+			fillers = 1
+		}
+		group.EnableNoncePool(*noncePool, fillers)
+	}
+	log.Printf("p2drmd: crypto precompute=%v nonce-pool=%d fillers=%d", *cryptoPre, *noncePool, *poolFillers)
 
 	log.Printf("p2drmd: generating %d-bit keys (group %s)...", bits, group.Name)
 	bankKey, err := rsa.GenerateKey(rand.Reader, bits)

@@ -1,0 +1,88 @@
+// Package ctcheck is a dudect-style timing-variance guard for the
+// blinded crypto hot paths: it measures an operation under two input
+// classes (typically "fixed secret" vs "fresh random secret"),
+// interleaved to cancel machine drift, and reports Welch's t-statistic
+// between the two timing populations. A statistically significant split
+// means the operation's running time depends on the secret.
+//
+// The guard is a tripwire, not a proof: it catches gross leaks (secret-
+// dependent branches, table walks without exponent blinding) on the box
+// it runs on. Passing does not certify constant time.
+package ctcheck
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Measure collects n interleaved timing samples of a and b each,
+// returning the two populations in nanoseconds. Interleaving (abab...)
+// spreads slow-drift noise (thermal, scheduler) evenly across both
+// classes instead of biasing one. Each sample is the minimum of reps
+// back-to-back timings: the minimum is the estimator least polluted by
+// preemptions and GC pauses, which only ever add time.
+func Measure(n, reps int, a, b func()) (ta, tb []float64) {
+	if reps < 1 {
+		reps = 1
+	}
+	ta = make([]float64, 0, n)
+	tb = make([]float64, 0, n)
+	best := func(f func()) float64 {
+		min := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			f()
+			if d := float64(time.Since(start)); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	for i := 0; i < n; i++ {
+		ta = append(ta, best(a))
+		tb = append(tb, best(b))
+	}
+	return ta, tb
+}
+
+// Trim sorts a copy of xs and drops the top frac fraction — timing
+// distributions are right-skewed by preemptions and GC pauses, and the
+// long tail swamps the mean the t-test compares.
+func Trim(xs []float64, frac float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	keep := len(cp) - int(float64(len(cp))*frac)
+	if keep < 2 {
+		keep = len(cp)
+	}
+	return cp[:keep]
+}
+
+// Welch computes Welch's t-statistic between two samples (unequal
+// variances). |t| below ~4 is statistical noise at these sample sizes;
+// large |t| means the population means differ.
+func Welch(a, b []float64) float64 {
+	ma, va := meanVar(a)
+	mb, vb := meanVar(b)
+	denom := math.Sqrt(va/float64(len(a)) + vb/float64(len(b)))
+	if denom == 0 {
+		return 0
+	}
+	return (ma - mb) / denom
+}
+
+func meanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	if len(xs) > 1 {
+		variance /= float64(len(xs) - 1)
+	}
+	return mean, variance
+}

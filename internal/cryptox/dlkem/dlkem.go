@@ -29,6 +29,9 @@ const KEKLen = 32
 
 // Encap generates a fresh encapsulation against public key y. It returns
 // the ciphertext (a fixed-width group element) and the derived KEK.
+// The ephemeral (k, g^k) pair comes from the group's nonce pool when one
+// is enabled and random is crypto/rand.Reader; otherwise it is generated
+// inline from the caller's reader exactly as before.
 func Encap(g *schnorr.Group, y *big.Int, random io.Reader) (ct, kek []byte, err error) {
 	if g == nil {
 		return nil, nil, errors.New("dlkem: nil group")
@@ -36,12 +39,12 @@ func Encap(g *schnorr.Group, y *big.Int, random io.Reader) (ct, kek []byte, err 
 	if err := g.ValidatePublicKey(y); err != nil {
 		return nil, nil, fmt.Errorf("dlkem: recipient key: %w", err)
 	}
-	k, err := randScalar(g, random)
+	nonce, err := g.Nonce(random)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("dlkem: %w", err)
 	}
-	c := new(big.Int).Exp(g.G, k, g.P)
-	shared := new(big.Int).Exp(y, k, g.P)
+	c := nonce.R
+	shared := new(big.Int).Exp(y, nonce.K, g.P)
 	kek, err = deriveKEK(g, c, shared)
 	if err != nil {
 		return nil, nil, err
@@ -70,20 +73,4 @@ func Decap(g *schnorr.Group, x *big.Int, ct []byte) ([]byte, error) {
 func deriveKEK(g *schnorr.Group, c, shared *big.Int) ([]byte, error) {
 	ikm := append(g.EncodeElement(c), g.EncodeElement(shared)...)
 	return kdf.Key(ikm, []byte("p2drm/dlkem/v1/"+g.Name), nil, KEKLen)
-}
-
-func randScalar(g *schnorr.Group, random io.Reader) (*big.Int, error) {
-	byteLen := (g.Q.BitLen() + 7) / 8
-	buf := make([]byte, byteLen)
-	topMask := byte(0xff >> (uint(byteLen*8) - uint(g.Q.BitLen())))
-	for {
-		if _, err := io.ReadFull(random, buf); err != nil {
-			return nil, fmt.Errorf("dlkem: randomness: %w", err)
-		}
-		buf[0] &= topMask
-		x := new(big.Int).SetBytes(buf)
-		if x.Sign() > 0 && x.Cmp(g.Q) < 0 {
-			return x, nil
-		}
-	}
 }

@@ -1,0 +1,152 @@
+package precomp
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// A small odd modulus and base exercise the digit walk without slow
+// big-number math; a second test uses crypto-sized numbers.
+func TestTableMatchesExp(t *testing.T) {
+	p, _ := new(big.Int).SetString("fffffffffffffffffffffffffffffffeffffffffffffffff", 16)
+	base := big.NewInt(7)
+	tab := NewTable(base, p, 200)
+	for i := 0; i < 200; i++ {
+		x, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(base, x, p)
+		if got := tab.Exp(x); got.Cmp(want) != 0 {
+			t.Fatalf("Exp(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestTableEdgeExponents(t *testing.T) {
+	p := big.NewInt(1019) // prime
+	base := big.NewInt(2)
+	tab := NewTable(base, p, 64)
+	cases := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(15),
+		big.NewInt(16), big.NewInt(17), new(big.Int).SetUint64(1<<63 + 12345),
+	}
+	for _, x := range cases {
+		want := new(big.Int).Exp(base, x, p)
+		if got := tab.Exp(x); got.Cmp(want) != 0 {
+			t.Fatalf("Exp(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Over-wide and negative exponents fall back to math/big.
+	wide := new(big.Int).Lsh(big.NewInt(3), 100)
+	if got, want := tab.Exp(wide), new(big.Int).Exp(base, wide, p); got.Cmp(want) != 0 {
+		t.Fatalf("wide fallback: got %v want %v", got, want)
+	}
+	neg := big.NewInt(-5)
+	if got, want := tab.Exp(neg), new(big.Int).Exp(base, neg, p); (got == nil) != (want == nil) {
+		t.Fatalf("negative fallback mismatch")
+	}
+}
+
+func TestPoolDrawPrefillStats(t *testing.T) {
+	var next int64
+	var mu sync.Mutex
+	p := NewPool(8, 1, func() (int64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		next++
+		return next, nil
+	})
+	defer p.Close()
+	if err := p.Prefill(8); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		v, ok := p.Draw()
+		if !ok {
+			continue
+		}
+		hits++
+		if seen[v] {
+			t.Fatalf("value %d handed out twice", v)
+		}
+		seen[v] = true
+	}
+	if hits == 0 {
+		t.Fatal("no hits after prefill")
+	}
+	s := p.Stats()
+	if s.Capacity != 8 {
+		t.Fatalf("capacity %d, want 8", s.Capacity)
+	}
+	if s.Hits != uint64(hits) {
+		t.Fatalf("hits %d, want %d", s.Hits, hits)
+	}
+	if s.Hits+s.Misses != 100 {
+		t.Fatalf("hits+misses = %d, want 100", s.Hits+s.Misses)
+	}
+	if s.HitRate <= 0 || s.HitRate > 1 {
+		t.Fatalf("hit rate %v out of range", s.HitRate)
+	}
+}
+
+// Uniqueness under concurrency: many goroutines drawing from a pool
+// being concurrently refilled must never observe the same value twice.
+// Run with -race.
+func TestPoolUniquenessConcurrent(t *testing.T) {
+	var ctr int64
+	var mu sync.Mutex
+	p := NewPool(64, 4, func() (int64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		ctr++
+		return ctr, nil
+	})
+	defer p.Close()
+
+	const workers = 8
+	const draws = 500
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < draws; i++ {
+				if v, ok := p.Draw(); ok {
+					results[w] = append(results[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	total := 0
+	for _, rs := range results {
+		for _, v := range rs {
+			if seen[v] {
+				t.Fatalf("value %d drawn twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no successful draws")
+	}
+}
+
+func TestPoolCloseStopsFillers(t *testing.T) {
+	p := NewPool(4, 2, func() (int, error) { return 1, nil })
+	p.Close()
+	p.Close() // idempotent
+	// After close, buffered values drain then Draw misses; either way it
+	// must not block or panic.
+	for i := 0; i < 10; i++ {
+		p.Draw()
+	}
+}

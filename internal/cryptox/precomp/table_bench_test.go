@@ -1,0 +1,42 @@
+package precomp
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// benchPrime is a 768-bit safe-prime modulus (the classic Oakley group),
+// matching the lab group the repo-level benchmarks run on.
+var benchPrime, _ = new(big.Int).SetString(
+	"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"+
+		"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"+
+		"4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF", 16)
+
+// The pair below is the accelerator's reason to exist: fixed-base
+// windowed lookup versus math/big square-and-multiply, both at the
+// blinded-exponent width (group order + 64 blinding bits) real callers
+// use.
+func BenchmarkTableExp(b *testing.B) {
+	t := NewTable(big.NewInt(2), benchPrime, 840)
+	x, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 830))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Exp(x)
+	}
+}
+
+func BenchmarkBigIntExp(b *testing.B) {
+	g := big.NewInt(2)
+	x, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 830))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(big.Int).Exp(g, x, benchPrime)
+	}
+}

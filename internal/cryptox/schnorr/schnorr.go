@@ -101,7 +101,7 @@ func GenerateKey(g *Group, random io.Reader) (*PrivateKey, error) {
 	if err != nil {
 		return nil, err
 	}
-	y := new(big.Int).Exp(g.G, x, g.P)
+	y := g.ExpG(x)
 	return &PrivateKey{Group: g, X: x, PublicKey: PublicKey{Y: y}}, nil
 }
 
@@ -115,13 +115,18 @@ func NewPrivateKey(g *Group, secret []byte) (*PrivateKey, error) {
 	x := new(big.Int).SetBytes(secret)
 	x.Mod(x, new(big.Int).Sub(g.Q, big.NewInt(1)))
 	x.Add(x, big.NewInt(1)) // x in [1, Q-1]
-	y := new(big.Int).Exp(g.G, x, g.P)
+	y := g.ExpG(x)
 	return &PrivateKey{Group: g, X: x, PublicKey: PublicKey{Y: y}}, nil
 }
 
 // ValidatePublicKey checks that y is a non-trivial member of the order-Q
-// subgroup: 1 < y < p and y^Q ≡ 1 (mod p). The provider runs this on every
-// registered pseudonym to block small-subgroup tricks.
+// subgroup: 1 < y < p and y is a quadratic residue mod p. For a safe
+// prime p = 2q+1 the order-q subgroup is exactly the QRs, so the Jacobi
+// symbol decides membership in ~µs instead of the full y^q ≡ 1
+// exponentiation (p-1, the only element of order 2 in range, has
+// Jacobi(p-1, p) = -1 since q is odd, so it is rejected too). The
+// provider runs this on every registered pseudonym to block
+// small-subgroup tricks.
 func (g *Group) ValidatePublicKey(y *big.Int) error {
 	if y == nil {
 		return errors.New("schnorr: nil public key")
@@ -130,19 +135,26 @@ func (g *Group) ValidatePublicKey(y *big.Int) error {
 	if y.Cmp(one) <= 0 || y.Cmp(new(big.Int).Sub(g.P, one)) >= 0 {
 		return errors.New("schnorr: public key out of range")
 	}
-	if new(big.Int).Exp(y, g.Q, g.P).Cmp(one) != 0 {
+	if big.Jacobi(y, g.P) != 1 {
 		return errors.New("schnorr: public key not in prime-order subgroup")
 	}
 	return nil
 }
 
 // Signature is a Fiat–Shamir Schnorr signature (challenge E, response S).
+// R is the nonce commitment g^k; Sign computes it anyway, and carrying
+// it lets batch verification check many signatures with one
+// multi-exponentiation. R is advisory: plain Verify never uses it, and a
+// signature parsed from the legacy two-scalar wire form has R == nil.
 type Signature struct {
 	E *big.Int
 	S *big.Int
+	R *big.Int
 }
 
-// Bytes encodes the signature fixed-width for transport.
+// Bytes encodes the signature fixed-width for transport. The encoding
+// is the two scalars only — R is droppable by construction — so stored
+// signatures (licenses, device records) are byte-stable across versions.
 func (sig *Signature) Bytes(g *Group) []byte {
 	n := g.scalarLen()
 	out := make([]byte, 2*n)
@@ -163,20 +175,23 @@ func ParseSignature(g *Group, data []byte) (*Signature, error) {
 	}, nil
 }
 
-// Sign produces a Schnorr signature over msg.
+// Sign produces a Schnorr signature over msg. With random ==
+// crypto/rand.Reader and a nonce pool enabled on the group, the nonce
+// pair comes precomputed from the pool; any other reader generates
+// inline (consuming exactly the bytes the un-pooled path always did, so
+// deterministic test readers are unaffected).
 func (k *PrivateKey) Sign(msg []byte, random io.Reader) (*Signature, error) {
 	g := k.Group
-	nonce, err := randScalar(g, random)
+	nonce, err := g.Nonce(random)
 	if err != nil {
 		return nil, err
 	}
-	r := new(big.Int).Exp(g.G, nonce, g.P)
-	e := challenge(g, k.Y, r, msg)
-	// s = nonce + e*x mod q
+	e := challenge(g, k.Y, nonce.R, msg)
+	// s = k + e*x mod q
 	s := new(big.Int).Mul(e, k.X)
-	s.Add(s, nonce)
+	s.Add(s, nonce.K)
 	s.Mod(s, g.Q)
-	return &Signature{E: e, S: s}, nil
+	return &Signature{E: e, S: s, R: nonce.R}, nil
 }
 
 // Verify checks sig over msg under public key y.
@@ -190,14 +205,12 @@ func Verify(g *Group, y *big.Int, msg []byte, sig *Signature) error {
 	if err := g.ValidatePublicKey(y); err != nil {
 		return err
 	}
-	// r' = g^s * y^{-e} mod p
-	gs := new(big.Int).Exp(g.G, sig.S, g.P)
-	ye := new(big.Int).Exp(y, sig.E, g.P)
-	yeInv := new(big.Int).ModInverse(ye, g.P)
-	if yeInv == nil {
-		return errors.New("schnorr: degenerate public key")
-	}
-	r := new(big.Int).Mul(gs, yeInv)
+	// r' = g^s * y^{-e} mod p. ValidatePublicKey confirmed y has order q,
+	// so y^{-e} = y^{q-e} — one exponentiation instead of Exp+ModInverse
+	// (e = 0 gives y^q = 1, which is the correct inverse of y^0).
+	gs := g.ExpG(sig.S)
+	ye := new(big.Int).Exp(y, new(big.Int).Sub(g.Q, sig.E), g.P)
+	r := gs.Mul(gs, ye)
 	r.Mod(r, g.P)
 	if challenge(g, y, r, msg).Cmp(sig.E) != 0 {
 		return errors.New("schnorr: verification failed")
@@ -233,14 +246,38 @@ func VerifyProof(g *Group, y *big.Int, context []byte, p *Proof) error {
 	return Verify(g, y, append([]byte(proofTag), context...), &p.Sig)
 }
 
-// Bytes encodes the proof for transport.
-func (p *Proof) Bytes(g *Group) []byte { return p.Sig.Bytes(g) }
+// Bytes encodes the proof for transport: E ‖ S, followed by the nonce
+// commitment R when the proof carries one. The commitment costs one
+// group element on the wire and lets the server batch-verify many
+// proofs with a single multi-exponentiation (see VerifyProofBatch).
+func (p *Proof) Bytes(g *Group) []byte {
+	sig := p.Sig.Bytes(g)
+	if p.Sig.R == nil {
+		return sig
+	}
+	return append(sig, g.EncodeElement(p.Sig.R)...)
+}
 
-// ParseProof decodes a proof.
+// ParseProof decodes a proof in either wire form: the legacy two-scalar
+// encoding (R stays nil — still verifiable one at a time) or the
+// extended form with the trailing commitment.
 func ParseProof(g *Group, data []byte) (*Proof, error) {
+	n := g.scalarLen()
+	var rBytes []byte
+	if len(data) == 2*n+g.elemLen() {
+		rBytes = data[2*n:]
+		data = data[:2*n]
+	}
 	sig, err := ParseSignature(g, data)
 	if err != nil {
 		return nil, err
+	}
+	if rBytes != nil {
+		r := new(big.Int).SetBytes(rBytes)
+		if r.Sign() <= 0 || r.Cmp(g.P) >= 0 {
+			return nil, errors.New("schnorr: proof commitment out of range")
+		}
+		sig.R = r
 	}
 	return &Proof{Sig: *sig}, nil
 }

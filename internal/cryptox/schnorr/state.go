@@ -1,0 +1,147 @@
+package schnorr
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+	"sync"
+	"sync/atomic"
+
+	"p2drm/internal/cryptox/precomp"
+)
+
+// Per-group acceleration state (fixed-base table for G, nonce pool)
+// lives in a package-level registry keyed by the *Group rather than in
+// Group itself: Group stays a plain value type that callers may copy
+// freely, while the singletons returned by Group768/Group2048 pick up
+// acceleration for every user at once.
+type groupState struct {
+	table atomic.Pointer[precomp.Table]
+	pool  atomic.Pointer[precomp.Pool[Nonce]]
+}
+
+var groupStates sync.Map // *Group -> *groupState
+
+func (g *Group) state() *groupState {
+	if st, ok := groupStates.Load(g); ok {
+		return st.(*groupState)
+	}
+	st, _ := groupStates.LoadOrStore(g, &groupState{})
+	return st.(*groupState)
+}
+
+// blindBits is the width of the exponent-blinding factor: ExpG computes
+// g^x as g^(x + r·q) with r drawn fresh from crypto/rand — the same
+// group element, since G has order q — so the digit/bit pattern the
+// exponentiation consumes is randomized per call even for a fixed
+// secret exponent. The table is sized to cover the widened exponent.
+const blindBits = 64
+
+// Precompute builds the fixed-base table for g.G (idempotent; tens of
+// ms and ~4 MB for the 768-bit group, a few hundred ms and ~20 MB for
+// the 2048-bit group). After it returns, Sign, Prove, GenerateKey,
+// Verify's commitment side, and dlkem encapsulation all use the table;
+// without it they fall back to math/big exactly as before.
+func (g *Group) Precompute() {
+	st := g.state()
+	if st.table.Load() != nil {
+		return
+	}
+	st.table.Store(precomp.NewTable(g.G, g.P, g.Q.BitLen()+blindBits+8))
+}
+
+// Precomputed reports whether the fixed-base table is built.
+func (g *Group) Precomputed() bool { return g.state().table.Load() != nil }
+
+// ExpG computes G^x mod P, via the fixed-base table when one is built.
+// Non-negative exponents are blinded with a fresh multiple of the group
+// order (x + r·q, r 64-bit random — the same group element, randomized
+// digit pattern) on BOTH the table path and the math/big fallback, so
+// the memory-access pattern of either path is decorrelated from x and
+// the two paths carry the same side-channel posture.
+func (g *Group) ExpG(x *big.Int) *big.Int {
+	if x.Sign() < 0 {
+		return new(big.Int).Exp(g.G, x, g.P)
+	}
+	e := x
+	var rb [blindBits / 8]byte
+	if _, err := io.ReadFull(rand.Reader, rb[:]); err == nil {
+		r := new(big.Int).SetBytes(rb[:])
+		e = r.Mul(r, g.Q).Add(r, x)
+	}
+	if t := g.state().table.Load(); t != nil {
+		return t.Exp(e)
+	}
+	return new(big.Int).Exp(g.G, e, g.P)
+}
+
+// Nonce is a precomputed Schnorr nonce pair (K secret, R = G^K).
+type Nonce struct {
+	K *big.Int
+	R *big.Int
+}
+
+// Nonce returns a fresh nonce pair. When random is crypto/rand.Reader
+// and a nonce pool is enabled, the pair comes from the pool (each pool
+// entry is delivered exactly once); otherwise it is generated inline
+// from the caller's reader — so deterministic test readers consume
+// exactly the same bytes as the un-pooled code path always did.
+func (g *Group) Nonce(random io.Reader) (Nonce, error) {
+	if random == rand.Reader {
+		if p := g.state().pool.Load(); p != nil {
+			if n, ok := p.Draw(); ok {
+				return n, nil
+			}
+		}
+	}
+	k, err := randScalar(g, random)
+	if err != nil {
+		return Nonce{}, err
+	}
+	return Nonce{K: k, R: g.ExpG(k)}, nil
+}
+
+// EnableNoncePool starts a background-filled pool of nonce pairs for
+// this group (idempotent: an existing pool is kept). Entries are only
+// consumed by callers using crypto/rand.Reader.
+func (g *Group) EnableNoncePool(capacity, fillers int) {
+	st := g.state()
+	if st.pool.Load() != nil {
+		return
+	}
+	p := precomp.NewPool(capacity, fillers, func() (Nonce, error) {
+		k, err := randScalar(g, rand.Reader)
+		if err != nil {
+			return Nonce{}, err
+		}
+		return Nonce{K: k, R: g.ExpG(k)}, nil
+	})
+	if !st.pool.CompareAndSwap(nil, p) {
+		p.Close()
+	}
+}
+
+// DisableNoncePool stops and removes the group's nonce pool.
+func (g *Group) DisableNoncePool() {
+	if p := g.state().pool.Swap(nil); p != nil {
+		p.Close()
+	}
+}
+
+// PrefillNoncePool synchronously fills up to n entries (no-op without a
+// pool); benchmarks use it to measure the steady warm-pool state.
+func (g *Group) PrefillNoncePool(n int) error {
+	if p := g.state().pool.Load(); p != nil {
+		return p.Prefill(n)
+	}
+	return nil
+}
+
+// NoncePoolStats snapshots the pool gauges; ok=false when no pool is
+// enabled.
+func (g *Group) NoncePoolStats() (precomp.PoolStats, bool) {
+	if p := g.state().pool.Load(); p != nil {
+		return p.Stats(), true
+	}
+	return precomp.PoolStats{}, false
+}

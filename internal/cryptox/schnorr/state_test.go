@@ -1,0 +1,153 @@
+package schnorr
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// freshGroup returns a new *Group with the 768-bit parameters so pool
+// state does not leak between tests (the registry is keyed by pointer).
+func freshGroup() *Group { return mustGroup("modp768-test", hex768) }
+
+func TestExpGMatchesExpWithTable(t *testing.T) {
+	g := freshGroup()
+	g.Precompute()
+	if !g.Precomputed() {
+		t.Fatal("Precomputed() false after Precompute")
+	}
+	for i := 0; i < 20; i++ {
+		x, err := randScalar(g, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(g.G, x, g.P)
+		if got := g.ExpG(x); got.Cmp(want) != 0 {
+			t.Fatalf("ExpG mismatch for %v", x)
+		}
+		// Blinding is per call: same exponent twice must still agree.
+		if got := g.ExpG(x); got.Cmp(want) != 0 {
+			t.Fatalf("ExpG second call mismatch for %v", x)
+		}
+	}
+	// Edge scalars.
+	for _, x := range []*big.Int{big.NewInt(1), big.NewInt(2), new(big.Int).Sub(g.Q, big.NewInt(1))} {
+		want := new(big.Int).Exp(g.G, x, g.P)
+		if got := g.ExpG(x); got.Cmp(want) != 0 {
+			t.Fatalf("ExpG edge mismatch for %v", x)
+		}
+	}
+}
+
+// Nonce-pool uniqueness: concurrent signers drawing pooled nonces must
+// never produce two signatures sharing a commitment — a repeated Schnorr
+// nonce leaks the private key. Run with -race.
+func TestNoncePoolUniquenessConcurrent(t *testing.T) {
+	g := freshGroup()
+	g.Precompute()
+	g.EnableNoncePool(64, 2)
+	defer g.DisableNoncePool()
+	if err := g.PrefillNoncePool(64); err != nil {
+		t.Fatal(err)
+	}
+	k, err := GenerateKey(g, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const signs = 40
+	sigs := make([][]*Signature, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < signs; i++ {
+				sig, err := k.Sign([]byte("msg"), rand.Reader)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sigs[w] = append(sigs[w], sig)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := map[[32]byte]bool{}
+	for _, ws := range sigs {
+		for _, sig := range ws {
+			if err := Verify(g, k.Y, []byte("msg"), sig); err != nil {
+				t.Fatalf("pooled signature does not verify: %v", err)
+			}
+			fp := sha256.Sum256(sig.R.Bytes())
+			if seen[fp] {
+				t.Fatal("nonce commitment repeated across signatures")
+			}
+			seen[fp] = true
+		}
+	}
+
+	st, ok := g.NoncePoolStats()
+	if !ok {
+		t.Fatal("NoncePoolStats: no pool")
+	}
+	if st.Hits == 0 {
+		t.Error("pool recorded no hits despite prefill")
+	}
+	if st.Capacity != 64 {
+		t.Errorf("capacity %d, want 64", st.Capacity)
+	}
+}
+
+// A deterministic reader must bypass the pool and consume exactly the
+// bytes the inline path always consumed: same seed, same signature,
+// pool or no pool.
+func TestDeterministicReaderBypassesPool(t *testing.T) {
+	g := freshGroup()
+	seed := bytes.Repeat([]byte{0x5a, 0x17, 0xc3, 0x09}, 64)
+	k, err := NewPrivateKey(g, []byte("fixed secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigBare, err := k.Sign([]byte("m"), bytes.NewReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g.EnableNoncePool(16, 1)
+	defer g.DisableNoncePool()
+	if err := g.PrefillNoncePool(16); err != nil {
+		t.Fatal(err)
+	}
+	sigPooled, err := k.Sign([]byte("m"), bytes.NewReader(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sigBare.Bytes(g), sigPooled.Bytes(g)) {
+		t.Fatal("pool changed the deterministic-reader signature")
+	}
+	st, _ := g.NoncePoolStats()
+	if st.Hits != 0 {
+		t.Fatalf("deterministic reader hit the pool %d times", st.Hits)
+	}
+}
+
+func TestNoncePoolDisableIdempotent(t *testing.T) {
+	g := freshGroup()
+	g.EnableNoncePool(4, 1)
+	g.EnableNoncePool(8, 1) // second enable keeps the first pool
+	st, ok := g.NoncePoolStats()
+	if !ok || st.Capacity != 4 {
+		t.Fatalf("stats after double enable: %+v ok=%v", st, ok)
+	}
+	g.DisableNoncePool()
+	g.DisableNoncePool()
+	if _, ok := g.NoncePoolStats(); ok {
+		t.Fatal("pool still reported after disable")
+	}
+}

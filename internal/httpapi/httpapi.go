@@ -397,9 +397,12 @@ type FilterResponse struct {
 
 // StatsResponse reports per-store kvstore engine statistics (segments,
 // live keys, dead bytes, compactions), keyed by the name each store was
-// registered under.
+// registered under, plus — on primaries — the crypto acceleration
+// gauges (precompute state, nonce/blinding pool depth and hit rate,
+// batch proof-verification counters). Replicas leave Crypto unset.
 type StatsResponse struct {
 	Stores map[string]kvstore.Stats `json:"stores"`
+	Crypto *provider.CryptoStats    `json:"crypto,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -708,6 +711,9 @@ func (s *Server) epStats(r *http.Request) (any, *apiError) {
 	resp := StatsResponse{Stores: make(map[string]kvstore.Stats, len(s.stores))}
 	for name, st := range s.stores {
 		resp.Stores[name] = st.Stats()
+	}
+	if s.Provider != nil {
+		resp.Crypto = s.Provider.CryptoStats()
 	}
 	return resp, nil
 }

@@ -1,0 +1,148 @@
+package provider
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+
+	"p2drm/internal/cryptox/rsablind"
+	"p2drm/internal/cryptox/schnorr"
+	"p2drm/internal/license"
+)
+
+// exchangeItem builds one valid ExchangeBatch entry for a license held
+// by pseudonym index.
+func (w *world) exchangeItem(t *testing.T, lic *license.Personalized, index uint32) ExchangeItem {
+	t.Helper()
+	denomPub, denomID, err := w.prov.DenomPublic(lic.ContentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := license.NewSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blinded, _, err := rsablind.Blind(denomPub, license.AnonymousSigningBytes(serial, denomID), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, err := w.prov.Challenge(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := w.card.Prove(index, ExchangeContext(nonce, lic.Serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ExchangeItem{License: lic, Proof: proof, Nonce: nonce, Blinded: blinded}
+}
+
+// ExchangeBatch with the combined proof check must accept and reject
+// exactly what per-item Exchange would: valid items succeed, a
+// corrupted proof fails with ErrBadProof without poisoning its
+// neighbors, and the nonce check still fires first for a dead nonce.
+func TestExchangeBatchPreverifyEquivalence(t *testing.T) {
+	w := newWorld(t)
+	const n = 6
+	items := make([]ExchangeItem, n)
+	for i := 0; i < n; i++ {
+		lic := w.buy(t, uint32(i))
+		items[i] = w.exchangeItem(t, lic, uint32(i))
+	}
+	// 1: corrupted proof scalar.
+	items[1].Proof.Sig.S = new(big.Int).Add(items[1].Proof.Sig.S, big.NewInt(1))
+	items[1].Proof.Sig.S.Mod(items[1].Proof.Sig.S, w.prov.Group().Q)
+	// 2: nil proof.
+	items[2].Proof = nil
+	// 3: stale nonce — consumed before the batch runs; the nonce error
+	// must win even though the proof itself is valid.
+	if err := w.prov.consumeNonce(items[3].Nonce); err != nil {
+		t.Fatal(err)
+	}
+	// 4: legacy proof without commitment (still valid, verifies inline).
+	legacy, err := schnorr.ParseProof(w.prov.Group(), items[4].Proof.Sig.Bytes(w.prov.Group()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items[4].Proof = legacy
+
+	results := w.prov.ExchangeBatch(context.Background(), items)
+	wantErr := map[int]error{1: ErrBadProof, 2: ErrBadProof, 3: ErrBadNonce}
+	for i, res := range results {
+		if want, bad := wantErr[i]; bad {
+			if !errors.Is(res.Err, want) {
+				t.Errorf("item %d: err %v, want %v", i, res.Err, want)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Errorf("item %d: unexpected error %v", i, res.Err)
+		}
+		if len(res.BlindSig) == 0 {
+			t.Errorf("item %d: empty blind signature", i)
+		}
+	}
+
+	cs := w.prov.CryptoStats()
+	if cs.BatchVerifyRuns == 0 {
+		t.Error("no batch verify run recorded")
+	}
+	// Items 0,1,3,4,5 had license+proof material; 2 (nil proof) did not.
+	if cs.BatchVerifyItems != 5 {
+		t.Errorf("batch items = %d, want 5", cs.BatchVerifyItems)
+	}
+	if cs.BatchVerifyRejected != 1 {
+		t.Errorf("batch rejected = %d, want 1 (the corrupted proof)", cs.BatchVerifyRejected)
+	}
+}
+
+// A batch where every proof is valid must consume no per-item
+// verification at all and still enforce single-winner semantics when
+// the same license appears twice.
+func TestExchangeBatchDuplicateLicenseSingleWinner(t *testing.T) {
+	w := newWorld(t)
+	lic := w.buy(t, 0)
+	items := []ExchangeItem{
+		w.exchangeItem(t, lic, 0),
+		w.exchangeItem(t, lic, 0),
+	}
+	results := w.prov.ExchangeBatch(context.Background(), items)
+	winners := 0
+	for _, res := range results {
+		if res.Err == nil {
+			winners++
+		} else if !errors.Is(res.Err, ErrLicenseRevoked) {
+			t.Errorf("loser error = %v, want ErrLicenseRevoked", res.Err)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners for one license, want exactly 1", winners)
+	}
+}
+
+func TestCryptoStatsShape(t *testing.T) {
+	w := newWorld(t)
+	g := w.prov.Group()
+	g.EnableNoncePool(8, 1)
+	defer g.DisableNoncePool()
+	denomPub, denomID, err := w.prov.DenomPublic(w.item.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsablind.EnableBlindingPool(denomPub, 8, 1)
+	defer rsablind.DisableBlindingPool(denomPub)
+
+	cs := w.prov.CryptoStats()
+	if cs.NoncePool == nil {
+		t.Error("nonce pool stats missing")
+	} else if cs.NoncePool.Capacity != 8 {
+		t.Errorf("nonce pool capacity %d, want 8", cs.NoncePool.Capacity)
+	}
+	if st, ok := cs.BlindingPools[denomID.String()]; !ok {
+		t.Error("denom blinding pool stats missing")
+	} else if st.Capacity != 8 {
+		t.Errorf("blinding pool capacity %d, want 8", st.Capacity)
+	}
+}

@@ -173,6 +173,9 @@ type Provider struct {
 	// spawning its own full-width pool.
 	batchSlots chan struct{}
 
+	// crypto counts batch proof-verification activity (see crypto.go).
+	crypto cryptoCounters
+
 	rev *revocation.List
 }
 
@@ -573,10 +576,15 @@ type ExchangeBatchResult struct {
 // item keeps Exchange's single-winner and revoke-before-sign semantics.
 func (p *Provider) ExchangeBatch(ctx context.Context, items []ExchangeItem) []ExchangeBatchResult {
 	results := make([]ExchangeBatchResult, len(items))
+	// One combined Schnorr multi-exponentiation settles every well-formed
+	// ownership proof up front; the per-item workers then skip their own
+	// VerifyProof. Items the batch could not judge (nil license/proof)
+	// verify inline as before.
+	verdicts := p.preverifyExchangeProofs(items)
 	p.runBatch(ctx, len(items),
 		func(i int) {
 			it := items[i]
-			sig, err := p.Exchange(ctx, it.License, it.Proof, it.Nonce, it.Blinded)
+			sig, err := p.exchange(ctx, it.License, it.Proof, it.Nonce, it.Blinded, verdicts[i])
 			results[i] = ExchangeBatchResult{BlindSig: sig, Err: err}
 		},
 		func(i int, err error) { results[i] = ExchangeBatchResult{Err: err} })
@@ -659,6 +667,14 @@ func ExchangeContext(nonce string, serial license.Serial) []byte {
 // presented blinded anonymous-serial under the item's denomination key.
 // The provider never sees the serial inside `blinded`.
 func (p *Provider) Exchange(ctx context.Context, lic *license.Personalized, proof *schnorr.Proof, nonce string, blinded []byte) ([]byte, error) {
+	return p.exchange(ctx, lic, proof, nonce, blinded, nil)
+}
+
+// exchange is Exchange with an optional pre-computed ownership-proof
+// verdict from the batch verifier. The verdict is exactly what the
+// inline VerifyProof would return for the same inputs, so every check
+// still runs in the same order with the same errors.
+func (p *Provider) exchange(ctx context.Context, lic *license.Personalized, proof *schnorr.Proof, nonce string, blinded []byte, verdict *proofVerdict) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -677,10 +693,17 @@ func (p *Provider) Exchange(ctx context.Context, lic *license.Personalized, proo
 		return nil, ErrLicenseRevoked
 	}
 	// Holder must prove ownership: stops theft-by-exchange of a copied
-	// license file. Schnorr verification runs lock-free.
-	holderY := new(big.Int).SetBytes(lic.HolderSign)
-	if err := schnorr.VerifyProof(p.group, holderY, ExchangeContext(nonce, lic.Serial), proof); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadProof, err)
+	// license file. Schnorr verification runs lock-free; batch callers
+	// arrive with the verdict already settled by the combined check.
+	proofErr := error(nil)
+	if verdict != nil {
+		proofErr = verdict.err
+	} else {
+		holderY := new(big.Int).SetBytes(lic.HolderSign)
+		proofErr = schnorr.VerifyProof(p.group, holderY, ExchangeContext(nonce, lic.Serial), proof)
+	}
+	if proofErr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProof, proofErr)
 	}
 	denomSigner, okd := p.denomSignerByContent(lic.ContentID)
 	if !okd {

@@ -148,7 +148,11 @@ func (c *Card) Pseudonym(index uint32) (*Pseudonym, error) {
 }
 
 // Prove produces a proof of knowledge of the pseudonym's signing key,
-// bound to context (typically a provider nonce).
+// bound to context (typically a provider nonce). Proofs are generated
+// with crypto/rand, so when the group has a nonce pool enabled
+// (schnorr.Group.EnableNoncePool) the commitment comes precomputed —
+// the card model charges the exponentiation either way, since real
+// card hardware would still pay it.
 func (c *Card) Prove(index uint32, context []byte) (*schnorr.Proof, error) {
 	p, err := c.Pseudonym(index)
 	if err != nil {

@@ -16,7 +16,7 @@ test:
 # bank property tests, root integration tests, and the crypto
 # precompute layer's shared tables/pools).
 race:
-	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/payment ./internal/replica ./internal/revocation ./internal/workload ./internal/cryptox/precomp ./internal/cryptox/schnorr ./internal/cryptox/rsablind .
+	$(GO) test -race ./internal/provider ./internal/httpapi ./internal/kvstore ./internal/payment ./internal/replica ./internal/revocation ./internal/workload ./internal/obs ./internal/cryptox/precomp ./internal/cryptox/schnorr ./internal/cryptox/rsablind .
 
 # Full evaluation benchmarks (minutes; see bench_test.go for families).
 bench:
@@ -64,6 +64,9 @@ replica-crash:
 # End-to-end load smoke: boots a real primary + one replica, drives a
 # 5-second mixed scenario at low RPS through cmd/p2drm-load, and fails
 # on any non-2xx response or an empty latency histogram in the report.
+# Also scrapes /v2/metrics on both roles before and after the run,
+# failing on a missing core metric family or a counter that moved
+# backwards.
 load-smoke:
 	$(GO) test -run 'TestLoadSmoke' -count=1 ./cmd/p2drm-load
 

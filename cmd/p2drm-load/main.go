@@ -11,9 +11,17 @@
 // The scenario trace is a pure function of -seed, so runs are
 // reproducible; reads a replica can serve (stats, revocation checks)
 // round-robin across -replicas, writes always hit -primary.
+//
+// The primary's /v2/stats and /v2/metrics are sampled immediately
+// before and after the run, so the report pairs the client-observed
+// latency histograms with the server-observed ones (rebuilt from the
+// Prometheus scrape delta) and attributes engine work — fsyncs, logged
+// bytes, crypto pool hits — to the run rather than to the daemon's
+// lifetime.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -27,6 +35,8 @@ import (
 
 	"p2drm/internal/cryptox/schnorr"
 	"p2drm/internal/httpapi"
+	"p2drm/internal/kvstore"
+	"p2drm/internal/obs"
 	"p2drm/internal/workload"
 )
 
@@ -39,12 +49,92 @@ type Report struct {
 	Replicas []string             `json:"replicas,omitempty"`
 	Phases   []workload.Phase     `json:"phases"`
 	Result   *workload.LoadResult `json:"result"`
-	// ServerStats is the primary's /v2/stats snapshot sampled right after
-	// the run: store engine gauges plus the crypto acceleration state
-	// (pool depth and hit rate, batch-verify counters), so a load report
-	// records how much of the run was served precomputed. Absent when the
-	// stats call fails — the run result stands on its own.
-	ServerStats *httpapi.StatsResponse `json:"server_stats,omitempty"`
+	// ServerStatsStart/ServerStats are the primary's /v2/stats snapshots
+	// sampled right before and right after the run: store engine gauges
+	// plus the crypto acceleration state (pool depth and hit rate,
+	// batch-verify counters). Either is absent when its call fails — the
+	// run result stands on its own.
+	ServerStatsStart *httpapi.StatsResponse `json:"server_stats_start,omitempty"`
+	ServerStats      *httpapi.StatsResponse `json:"server_stats,omitempty"`
+	// ServerDelta attributes the engine work between the two snapshots to
+	// this run, and carries the server-observed HTTP latency percentiles
+	// rebuilt from the /v2/metrics scrape pair.
+	ServerDelta *ServerDelta `json:"server_delta,omitempty"`
+}
+
+// ServerDelta is what the primary did DURING the run: element-wise
+// differences of the /v2/stats engine counters, crypto accelerator
+// counter deltas, and the server-side HTTP request-latency histogram
+// reconstructed from the Prometheus bucket deltas between the start and
+// end scrapes. Pairing HTTPLatency with Result's client histograms
+// separates queueing/network time from server processing time.
+type ServerDelta struct {
+	Stores      map[string]kvstore.Stats `json:"stores,omitempty"`
+	Crypto      *CryptoDelta             `json:"crypto,omitempty"`
+	HTTPLatency *obs.HistSummary         `json:"http_latency_seconds,omitempty"`
+}
+
+// CryptoDelta is the run's share of the provider's crypto accelerator
+// counters.
+type CryptoDelta struct {
+	BatchVerifyRuns     uint64 `json:"batch_verify_runs"`
+	BatchVerifyItems    uint64 `json:"batch_verify_items"`
+	BatchVerifyRejected uint64 `json:"batch_verify_rejected"`
+	NonceHits           uint64 `json:"nonce_hits"`
+	NonceMisses         uint64 `json:"nonce_misses"`
+}
+
+// scrapeMetrics fetches and parses /v2/metrics; nil (with a log line)
+// when the endpoint is unavailable, e.g. against a pre-metrics daemon.
+func scrapeMetrics(c *httpapi.Client, when string) *obs.Metrics {
+	raw, err := c.MetricsV2()
+	if err != nil {
+		log.Printf("p2drm-load: %s metrics scrape unavailable: %v", when, err)
+		return nil
+	}
+	m, err := obs.ParseMetrics(bytes.NewReader(raw))
+	if err != nil {
+		log.Printf("p2drm-load: %s metrics scrape unparsable: %v", when, err)
+		return nil
+	}
+	return m
+}
+
+// statsDelta computes end-start over the engine counters and crypto
+// counters. Gauge-like fields (LiveKeys, Segments) are differenced too:
+// the result reads as "grew by N during the run" and may be negative
+// after compaction.
+func statsDelta(start, end *httpapi.StatsResponse) *ServerDelta {
+	if start == nil || end == nil {
+		return nil
+	}
+	d := &ServerDelta{Stores: make(map[string]kvstore.Stats, len(end.Stores))}
+	for name, e := range end.Stores {
+		s := start.Stores[name] // zero value if the store is new
+		d.Stores[name] = kvstore.Stats{
+			Segments:        e.Segments - s.Segments,
+			LiveKeys:        e.LiveKeys - s.LiveKeys,
+			LiveBytes:       e.LiveBytes - s.LiveBytes,
+			LoggedBytes:     e.LoggedBytes - s.LoggedBytes,
+			DeadBytes:       e.DeadBytes - s.DeadBytes,
+			Compactions:     e.Compactions - s.Compactions,
+			CompactionSkips: e.CompactionSkips - s.CompactionSkips,
+			IndexShards:     e.IndexShards,
+		}
+	}
+	if sc, ec := start.Crypto, end.Crypto; sc != nil && ec != nil {
+		cd := &CryptoDelta{
+			BatchVerifyRuns:     ec.BatchVerifyRuns - sc.BatchVerifyRuns,
+			BatchVerifyItems:    ec.BatchVerifyItems - sc.BatchVerifyItems,
+			BatchVerifyRejected: ec.BatchVerifyRejected - sc.BatchVerifyRejected,
+		}
+		if sc.NoncePool != nil && ec.NoncePool != nil {
+			cd.NonceHits = ec.NoncePool.Hits - sc.NoncePool.Hits
+			cd.NonceMisses = ec.NoncePool.Misses - sc.NoncePool.Misses
+		}
+		d.Crypto = cd
+	}
+	return d
 }
 
 func main() {
@@ -127,6 +217,15 @@ func main() {
 		ReadFraction: *readFrac,
 		MaxInFlight:  *conc,
 	}
+	// Snapshot the server view AFTER executor setup (account creation,
+	// withdrawals) so the delta covers exactly the scenario traffic.
+	startStats, err := topo.Primary.StatsV2()
+	if err != nil {
+		log.Printf("p2drm-load: start stats snapshot unavailable: %v", err)
+		startStats = nil
+	}
+	startMetrics := scrapeMetrics(topo.Primary, "start")
+
 	log.Printf("p2drm-load: scenario %q against %s (%d replicas), %g rps for %s",
 		s.Name, *primary, len(topo.Replicas), *rps, *duration)
 	res, err := ex.RunScenario(ctx, s, cfg)
@@ -143,10 +242,21 @@ func main() {
 		Phases:   s.Schedule(cfg),
 		Result:   res,
 	}
+	rep.ServerStatsStart = startStats
 	if st, err := topo.Primary.StatsV2(); err != nil {
 		log.Printf("p2drm-load: server stats snapshot unavailable: %v", err)
 	} else {
 		rep.ServerStats = st
+	}
+	rep.ServerDelta = statsDelta(rep.ServerStatsStart, rep.ServerStats)
+	if endMetrics := scrapeMetrics(topo.Primary, "end"); startMetrics != nil && endMetrics != nil {
+		if sum, ok := obs.HistogramDelta(startMetrics, endMetrics,
+			"p2drm_http_request_duration_seconds", nil); ok {
+			if rep.ServerDelta == nil {
+				rep.ServerDelta = &ServerDelta{}
+			}
+			rep.ServerDelta.HTTPLatency = &sum
+		}
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -164,6 +274,11 @@ func main() {
 		sum := res.Ops[kind]
 		log.Printf("p2drm-load: %-18s n=%-6d err=%-4d p50=%s p99=%s p999=%s",
 			kind, sum.Count, sum.Errors, sum.Latency.P50S, sum.Latency.P99S, sum.Latency.P999S)
+	}
+	if d := rep.ServerDelta; d != nil && d.HTTPLatency != nil {
+		h := d.HTTPLatency
+		log.Printf("p2drm-load: server-side http      n=%-6d p50=%s p99=%s p999=%s",
+			h.Count, time.Duration(h.P50*1e9), time.Duration(h.P99*1e9), time.Duration(h.P999*1e9))
 	}
 	if res.Errors > 0 {
 		os.Exit(1)

@@ -10,14 +10,17 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"p2drm/internal/obs"
 	"p2drm/internal/workload"
 )
 
@@ -65,6 +68,40 @@ func startDaemon(t *testing.T, bin string, args ...string) {
 	})
 }
 
+// scrape fetches and parses /v2/metrics from a live daemon.
+func scrape(t *testing.T, baseURL string) *obs.Metrics {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v2/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("scrape %s: status %d: %s", baseURL, resp.StatusCode, body)
+	}
+	m, err := obs.ParseMetrics(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", baseURL, err)
+	}
+	return m
+}
+
+// coreFamilies is the metric surface the observability docs promise; a
+// scrape of a freshly booted primary must already expose every one.
+var coreFamilies = []string{
+	"p2drm_http_requests_total",
+	"p2drm_http_request_duration_seconds",
+	"p2drm_http_slow_requests_total",
+	"p2drm_kvstore_segments",
+	"p2drm_kvstore_live_keys",
+	"p2drm_kvstore_compactions_total",
+	"p2drm_ops_operations",
+	"p2drm_ops_finished_total",
+	"p2drm_crypto_group_precomputed",
+	"p2drm_crypto_batch_verify_runs_total",
+}
+
 func TestLoadSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("boots daemons; skipped in -short")
@@ -93,6 +130,21 @@ func TestLoadSmoke(t *testing.T) {
 	startDaemon(t, p2drmd, "-lab", "-seed-demo=false", "-state", filepath.Join(bin, "replica-state"),
 		"-addr", fmt.Sprintf("127.0.0.1:%d", replicaPort), "-replica-of", primaryURL)
 	waitHTTP(t, replicaURL+"/v1/replica/status", 30*time.Second)
+
+	// Pre-run scrape: every core family must exist before any load —
+	// families register at construction, not first increment.
+	startMetrics := scrape(t, primaryURL)
+	for _, fam := range coreFamilies {
+		if _, ok := startMetrics.Types[fam]; !ok {
+			t.Errorf("core metric family %q missing from /v2/metrics", fam)
+		}
+	}
+	replicaMetrics := scrape(t, replicaURL)
+	for _, fam := range []string{"p2drm_replica_lag_bytes", "p2drm_replica_lag_segments", "p2drm_replica_records_applied_total"} {
+		if _, ok := replicaMetrics.Types[fam]; !ok {
+			t.Errorf("replica metric family %q missing from replica /v2/metrics", fam)
+		}
+	}
 
 	report := filepath.Join(bin, "report.json")
 	cmd := exec.Command(p2drmLoad,
@@ -138,5 +190,43 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if res.AchievedRPS <= 0 {
 		t.Error("report: achieved RPS missing")
+	}
+
+	// Post-run scrape: every counter family must be monotonic across the
+	// run, and the HTTP request counter must have absorbed the load.
+	endMetrics := scrape(t, primaryURL)
+	for _, fam := range endMetrics.CounterFamilies() {
+		endSum, _ := endMetrics.SumValues(fam, nil)
+		startSum, n := startMetrics.SumValues(fam, nil)
+		if n > 0 && endSum < startSum {
+			t.Errorf("counter family %q went backwards: %v -> %v", fam, startSum, endSum)
+		}
+	}
+	startReqs, _ := startMetrics.SumValues("p2drm_http_requests_total", nil)
+	endReqs, _ := endMetrics.SumValues("p2drm_http_requests_total", nil)
+	if endReqs-startReqs < float64(res.Sent)/2 {
+		t.Errorf("server counted %v requests during a run that sent %d", endReqs-startReqs, res.Sent)
+	}
+	if sum, ok := obs.HistogramDelta(startMetrics, endMetrics,
+		"p2drm_http_request_duration_seconds", nil); !ok || sum.Count == 0 {
+		t.Error("server-side HTTP latency histogram empty across the run")
+	}
+
+	// The report must carry the paired server view (satellite of the
+	// same run: stats delta + server-side percentiles).
+	var full struct {
+		ServerStatsStart json.RawMessage `json:"server_stats_start"`
+		ServerDelta      *struct {
+			HTTPLatency *obs.HistSummary `json:"http_latency_seconds"`
+		} `json:"server_delta"`
+	}
+	if err := json.Unmarshal(raw, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.ServerStatsStart) == 0 || strings.TrimSpace(string(full.ServerStatsStart)) == "null" {
+		t.Error("report missing server_stats_start snapshot")
+	}
+	if full.ServerDelta == nil || full.ServerDelta.HTTPLatency == nil || full.ServerDelta.HTTPLatency.Count == 0 {
+		t.Error("report missing server-side latency delta")
 	}
 }

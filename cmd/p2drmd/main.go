@@ -6,7 +6,7 @@
 //	p2drmd -addr :8474 -state /var/lib/p2drm -rsa-bits 2048 -seed-demo \
 //	       -bank-shards 16 -wal-group-commit \
 //	       -kv-index-shards 16 -kv-segment-bytes 67108864 \
-//	       -admin-socket /run/p2drmd.socket
+//	       -admin-socket /run/p2drmd.socket -log-level info
 //
 // With -seed-demo the catalog is populated with a few items and a funded
 // demo bank account ("demo", 100 credits), so the p2drm CLI works out of
@@ -30,6 +30,15 @@
 // unix socket (created mode 0600) whose callers are authenticated by
 // SO_PEERCRED (root and the daemon's own uid are admin), so local
 // administration needs no token — the snapd model.
+//
+// # Observability
+//
+// GET /v2/metrics renders every engine and HTTP metric family in
+// Prometheus text format (aggregate-only; see docs/observability.md),
+// GET /v2/debug/traces (admin) returns the retained slow-request
+// traces, and the admin socket additionally serves net/http/pprof
+// under /debug/pprof/. -log-level tunes the leveled structured log on
+// stderr.
 //
 // # Storage
 //
@@ -72,11 +81,14 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -99,10 +111,32 @@ const (
 	opsGCRetain = time.Hour
 )
 
+// fatal logs at error level and exits. Used only on startup paths,
+// before any protocol state needs a clean close.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
+// parseLogLevel maps the -log-level flag onto slog levels; unknown
+// values fall back to info.
+func parseLogLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8474", "listen address")
-		adminSocket  = flag.String("admin-socket", "", "also serve on this unix socket with SO_PEERCRED admin auth")
+		adminSocket  = flag.String("admin-socket", "", "also serve on this unix socket with SO_PEERCRED admin auth and /debug/pprof/")
 		stateDir     = flag.String("state", "", "state directory (empty = in-memory)")
 		rsaBits      = flag.Int("rsa-bits", 2048, "provider/bank RSA key size")
 		lab          = flag.Bool("lab", false, "use laboratory parameters (768-bit group, 1024-bit RSA)")
@@ -119,8 +153,12 @@ func main() {
 		cryptoPre    = flag.Bool("crypto-precompute", true, "build the fixed-base exponentiation table for the group generator")
 		noncePool    = flag.Int("crypto-nonce-pool", 256, "Schnorr/KEM nonce pool capacity (0 disables pooling)")
 		poolFillers  = flag.Int("crypto-pool-fillers", 1, "background filler goroutines per crypto pool")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: parseLogLevel(*logLevel)})))
 
 	walOpts := kvstore.Options{
 		Sync:         kvstore.SyncOnClose,
@@ -139,8 +177,10 @@ func main() {
 		runReplica(*addr, *adminSocket, *stateDir, *replicaOf, *primaryToken, *replicaPoll, walOpts, auth)
 		return
 	}
-	log.Printf("p2drmd: bank-shards=%d wal-group-commit=%v kv-index-shards=%d kv-segment-bytes=%d kv-compact-every=%s",
-		*bankShards, *groupWAL, *kvShards, *kvSegBytes, walOpts.CompactEvery)
+	slog.Info("starting",
+		"bank_shards", *bankShards, "wal_group_commit", *groupWAL,
+		"kv_index_shards", *kvShards, "kv_segment_bytes", *kvSegBytes,
+		"kv_compact_every", walOpts.CompactEvery)
 
 	group := schnorr.Group2048()
 	bits := *rsaBits
@@ -158,16 +198,17 @@ func main() {
 		}
 		group.EnableNoncePool(*noncePool, fillers)
 	}
-	log.Printf("p2drmd: crypto precompute=%v nonce-pool=%d fillers=%d", *cryptoPre, *noncePool, *poolFillers)
+	slog.Info("crypto acceleration",
+		"precompute", *cryptoPre, "nonce_pool", *noncePool, "fillers", *poolFillers)
 
-	log.Printf("p2drmd: generating %d-bit keys (group %s)...", bits, group.Name)
+	slog.Info("generating keys", "rsa_bits", bits, "group", group.Name)
 	bankKey, err := rsa.GenerateKey(rand.Reader, bits)
 	if err != nil {
-		log.Fatalf("bank key: %v", err)
+		fatal("bank key", "err", err)
 	}
 	provKey, err := rsa.GenerateKey(rand.Reader, bits)
 	if err != nil {
-		log.Fatalf("provider key: %v", err)
+		fatal("provider key", "err", err)
 	}
 
 	bankDir, provDir, opsDir := "", "", ""
@@ -178,18 +219,18 @@ func main() {
 	}
 	spent, err := kvstore.OpenWith(bankDir, walOpts)
 	if err != nil {
-		log.Fatalf("bank store: %v", err)
+		fatal("bank store", "err", err)
 	}
 	bank, err := payment.NewBankSharded(bankKey, spent, *bankShards)
 	if err != nil {
-		log.Fatalf("bank: %v", err)
+		fatal("bank", "err", err)
 	}
 	if err := bank.CreateAccount("provider", 0); err != nil {
-		log.Fatalf("provider account: %v", err)
+		fatal("provider account", "err", err)
 	}
 	store, err := kvstore.OpenWith(provDir, walOpts)
 	if err != nil {
-		log.Fatalf("provider store: %v", err)
+		fatal("provider store", "err", err)
 	}
 	prov, err := provider.New(provider.Config{
 		Group:        group,
@@ -201,7 +242,7 @@ func main() {
 		Clock:        time.Now,
 	})
 	if err != nil {
-		log.Fatalf("provider: %v", err)
+		fatal("provider", "err", err)
 	}
 	reg, opsStore := openOps(opsDir, walOpts)
 
@@ -224,14 +265,14 @@ valid until "2030-01-01T00:00:00Z";
 		for _, d := range demo {
 			if _, err := prov.AddContent(d.id, d.title, d.price, template,
 				[]byte("demo content payload for "+string(d.id))); err != nil {
-				log.Fatalf("seed %s: %v", d.id, err)
+				fatal("seed content", "content", d.id, "err", err)
 			}
-			log.Printf("p2drmd: listed %s (%d credits)", d.id, d.price)
+			slog.Info("listed demo content", "content", d.id, "price_credits", d.price)
 		}
 		if err := bank.CreateAccount("demo", 100); err != nil {
-			log.Fatalf("demo account: %v", err)
+			fatal("demo account", "err", err)
 		}
-		log.Printf("p2drmd: demo bank account %q funded with 100 credits", "demo")
+		slog.Info("funded demo bank account", "funds", 100)
 	}
 
 	// SIGINT/SIGTERM trigger a graceful drain: Shutdown stops the
@@ -249,61 +290,69 @@ valid until "2030-01-01T00:00:00Z";
 		WithReplicaSource("bank", replica.NewSource(spent)).
 		WithOps(reg).
 		WithAuth(auth)
+	// Feed the storage engines' timing hooks into the same registry
+	// /v2/metrics renders: fsync/commit-wait/compaction per store.
+	plane := handler.Obs()
+	store.SetObserver(httpapi.StoreObserver(plane, "provider"))
+	spent.SetObserver(httpapi.StoreObserver(plane, "bank"))
+	if opsStore != nil {
+		opsStore.SetObserver(httpapi.StoreObserver(plane, "ops"))
+	}
 	// Adopt operations a previous process left running (the registry is
 	// durable under <state>/ops): idempotent kinds re-run, the rest are
 	// marked aborted but stay pollable.
 	if resumed, aborted := handler.ResumeOps(); resumed+aborted > 0 {
-		log.Printf("p2drmd: adopted operations from previous run: %d resumed, %d aborted", resumed, aborted)
+		slog.Info("adopted operations from previous run", "resumed", resumed, "aborted", aborted)
 	}
 	go opsGCLoop(ctx, reg)
 
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	adminSrv, err := serveAdminSocket(*adminSocket, handler)
 	if err != nil {
-		log.Fatalf("admin socket: %v", err)
+		fatal("admin socket", "err", err)
 	}
 	// closeStores syncs the WALs; every serving-phase exit path must run
 	// it — under -wal-group-commit=false the stores only fsync on Close,
 	// and losing redeemed-serial or spent-coin records reopens
-	// double-spend windows. (The log.Fatalf calls above run before any
+	// double-spend windows. (The fatal calls above run before any
 	// protocol state exists, so they may exit without it.)
 	closeStores := func() {
 		reg.Close() // settle in-flight operation persists first
 		if err := store.Close(); err != nil {
-			log.Printf("p2drmd: provider store: %v", err)
+			slog.Error("close provider store", "err", err)
 		}
 		if err := spent.Close(); err != nil {
-			log.Printf("p2drmd: bank store: %v", err)
+			slog.Error("close bank store", "err", err)
 		}
 		if opsStore != nil {
 			if err := opsStore.Close(); err != nil {
-				log.Printf("p2drmd: ops store: %v", err)
+				slog.Error("close ops store", "err", err)
 			}
 		}
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("p2drmd: listening on %s", *addr)
+		slog.Info("listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
-		log.Printf("p2drmd: serve: %v", err)
+		slog.Error("serve", "err", err)
 		closeStores()
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("p2drmd: shutting down")
+	slog.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		// DeadlineExceeded means in-flight requests were cut off; they
 		// will fail their store writes with ErrClosed below. Say so.
-		log.Printf("p2drmd: shutdown: %v", err)
+		slog.Error("shutdown", "err", err)
 	}
 	if adminSrv != nil {
 		if err := adminSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("p2drmd: admin shutdown: %v", err)
+			slog.Error("admin shutdown", "err", err)
 		}
 	}
 	closeStores()
@@ -322,7 +371,7 @@ func openOps(dir string, walOpts kvstore.Options) (*ops.Registry, *kvstore.Store
 	opsOpts.Sync = kvstore.SyncGroupCommit
 	st, err := kvstore.OpenWith(dir, opsOpts)
 	if err != nil {
-		log.Fatalf("ops store: %v", err)
+		fatal("ops store", "err", err)
 	}
 	return ops.New(st), st
 }
@@ -339,10 +388,10 @@ func opsGCLoop(ctx context.Context, reg *ops.Registry) {
 		case <-t.C:
 			res := reg.GC(opsGCRetain)
 			if res.Reaped > 0 {
-				log.Printf("p2drmd: reaped %d finished operations (by kind: %v)", res.Reaped, res.ByKind)
+				slog.Info("reaped finished operations", "reaped", res.Reaped, "by_kind", res.ByKind)
 			}
 			if len(res.Errors) > 0 {
-				log.Printf("p2drmd: ops GC could not delete operations: %v", res.Errors)
+				slog.Warn("ops GC could not delete operations", "errors", res.Errors)
 			}
 		}
 	}
@@ -350,8 +399,10 @@ func opsGCLoop(ctx context.Context, reg *ops.Registry) {
 
 // serveAdminSocket serves handler on a unix socket whose callers are
 // authenticated by SO_PEERCRED (httpapi.PeerCredConnContext): root and
-// the daemon's own uid reach the admin tier with no token. Returns nil
-// when path is empty.
+// the daemon's own uid reach the admin tier with no token. The socket
+// additionally mounts net/http/pprof under /debug/pprof/ — profiling
+// stays off the TCP listener entirely, gated by filesystem access to
+// the mode-0600 socket. Returns nil when path is empty.
 func serveAdminSocket(path string, handler http.Handler) (*http.Server, error) {
 	if path == "" {
 		return nil, nil
@@ -373,11 +424,18 @@ func serveAdminSocket(path string, handler http.Handler) (*http.Server, error) {
 		l.Close()
 		return nil, err
 	}
-	srv := &http.Server{Handler: handler, ConnContext: httpapi.PeerCredConnContext}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", handler)
+	srv := &http.Server{Handler: mux, ConnContext: httpapi.PeerCredConnContext}
 	go func() {
-		log.Printf("p2drmd: admin socket on %s", path)
+		slog.Info("admin socket listening", "path", path)
 		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
-			log.Printf("p2drmd: admin socket: %v", err)
+			slog.Error("admin socket", "err", err)
 		}
 	}()
 	return srv, nil
@@ -389,7 +447,7 @@ func serveAdminSocket(path string, handler http.Handler) (*http.Server, error) {
 // keys are generated — a replica holds replicated state, not signing
 // capability; POST /v2/replica/promote opens the stores for writes.
 func runReplica(addr, adminSocket, stateDir, primaryURL, primaryToken string, poll time.Duration, walOpts kvstore.Options, auth httpapi.Auth) {
-	log.Printf("p2drmd: replica mode, tailing %s (poll %s)", primaryURL, poll)
+	slog.Info("replica mode", "primary", primaryURL, "poll", poll)
 	client := httpapi.NewClient(primaryURL, nil)
 	// The replication reads are guest-tier, but releasing a pin lease is
 	// user-tier on an auth-configured primary.
@@ -400,17 +458,21 @@ func runReplica(addr, adminSocket, stateDir, primaryURL, primaryToken string, po
 		if stateDir != "" {
 			dir = stateDir + "/replica-" + name
 		}
+		name := name
 		f, err := replica.Open(replica.Options{
 			Dir:          dir,
 			Fetch:        httpapi.NewReplicaFetcher(client, name),
 			KV:           walOpts,
 			PollInterval: poll,
+			// The replica package reports reconnects, backoff and
+			// snapshot fallbacks through this hook; route them into the
+			// leveled log with the store name attached.
 			Logf: func(format string, args ...any) {
-				log.Printf("p2drmd[%s]: "+format, append([]any{name}, args...)...)
+				slog.Info(fmt.Sprintf(format, args...), "store", name)
 			},
 		})
 		if err != nil {
-			log.Fatalf("replica %s: %v", name, err)
+			fatal("open replica", "store", name, "err", err)
 		}
 		f.Start()
 		followers[name] = f
@@ -425,50 +487,55 @@ func runReplica(addr, adminSocket, stateDir, primaryURL, primaryToken string, po
 	defer stop()
 
 	handler := httpapi.NewReplicaServer(followers).WithOps(reg).WithAuth(auth)
+	// Feed fetch/apply timings into the follower server's registry.
+	plane := handler.Obs()
+	for name, f := range followers {
+		f.SetObserver(httpapi.FollowerObserver(plane, name))
+	}
 	if resumed, aborted := handler.ResumeOps(); resumed+aborted > 0 {
-		log.Printf("p2drmd: adopted operations from previous run: %d resumed, %d aborted", resumed, aborted)
+		slog.Info("adopted operations from previous run", "resumed", resumed, "aborted", aborted)
 	}
 	go opsGCLoop(ctx, reg)
 
 	srv := &http.Server{Addr: addr, Handler: handler}
 	adminSrv, err := serveAdminSocket(adminSocket, handler)
 	if err != nil {
-		log.Fatalf("admin socket: %v", err)
+		fatal("admin socket", "err", err)
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("p2drmd: replica listening on %s", addr)
+		slog.Info("replica listening", "addr", addr)
 		errc <- srv.ListenAndServe()
 	}()
 	closeFollowers := func() {
 		reg.Close()
 		for name, f := range followers {
 			if err := f.Close(); err != nil {
-				log.Printf("p2drmd: close replica %s: %v", name, err)
+				slog.Error("close replica", "store", name, "err", err)
 			}
 		}
 		if opsStore != nil {
 			if err := opsStore.Close(); err != nil {
-				log.Printf("p2drmd: ops store: %v", err)
+				slog.Error("close ops store", "err", err)
 			}
 		}
 	}
 	select {
 	case err := <-errc:
-		log.Printf("p2drmd: serve: %v", err)
+		slog.Error("serve", "err", err)
 		closeFollowers()
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("p2drmd: replica shutting down")
+	slog.Info("replica shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("p2drmd: shutdown: %v", err)
+		slog.Error("shutdown", "err", err)
 	}
 	if adminSrv != nil {
 		if err := adminSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("p2drmd: admin shutdown: %v", err)
+			slog.Error("admin shutdown", "err", err)
 		}
 	}
 	closeFollowers()

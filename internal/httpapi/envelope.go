@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"p2drm/internal/obs"
 	"p2drm/internal/ops"
 )
 
@@ -183,17 +184,31 @@ func writeEnvErr(w http.ResponseWriter, e *apiError) {
 type endpoint func(r *http.Request) (any, *apiError)
 
 // api is the shared REST-plane chassis embedded by Server and
-// ReplicaServer: the mux, the /v2/ route table, the auth policy, and
-// the operations registry.
+// ReplicaServer: the mux, the /v2/ route table, the auth policy, the
+// operations registry, and the observability plane every route reports
+// into (obs.go).
 type api struct {
 	mux    *http.ServeMux
 	auth   Auth
 	ops    *ops.Registry
+	obs    *obs.Plane
 	routes []Route
+
+	httpReqs *obs.CounterVec
+	httpLat  *obs.HistogramVec
 }
 
 func newAPI() api {
-	return api{mux: http.NewServeMux(), ops: ops.New(nil)}
+	p := obs.NewPlane()
+	return api{
+		mux: http.NewServeMux(), ops: ops.New(nil), obs: p,
+		httpReqs: p.Reg.CounterVec("p2drm_http_requests_total",
+			"HTTP requests served, by method, route pattern and status.",
+			"method", "route", "status"),
+		httpLat: p.Reg.HistogramVec("p2drm_http_request_duration_seconds",
+			"HTTP request latency, by method, route pattern and status.",
+			"method", "route", "status"),
+	}
 }
 
 // legacy registers a /v1 compatibility shim for ep (bare JSON wire
@@ -215,13 +230,7 @@ func (a *api) legacy(method, path string, tier Tier, ep endpoint) {
 // legacyRaw registers a /v1 route with tier enforcement and a custom
 // writer (raw byte streams). Auth failures use the legacy error body.
 func (a *api) legacyRaw(method, path string, tier Tier, h http.HandlerFunc) {
-	a.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
-		if e := a.auth.check(r, tier); e != nil {
-			writeErr(w, e.status, e)
-			return
-		}
-		h(w, r)
-	})
+	a.mux.HandleFunc(method+" "+path, a.instrument(method, path, tier, false, h))
 }
 
 // v2 registers an enveloped synchronous route with tier enforcement.
@@ -240,13 +249,7 @@ func (a *api) v2(method, path string, tier Tier, ep endpoint) {
 // (async 202 responses and raw byte streams).
 func (a *api) v2raw(method, path string, tier Tier, kind RouteKind, h http.HandlerFunc) {
 	a.routes = append(a.routes, Route{Method: method, Path: path, Tier: tier, Kind: kind})
-	a.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
-		if e := a.auth.check(r, tier); e != nil {
-			writeEnvErr(w, e)
-			return
-		}
-		h(w, r)
-	})
+	a.mux.HandleFunc(method+" "+path, a.instrument(method, path, tier, true, h))
 }
 
 // Routes returns the registered /v2/ route table sorted by path then

@@ -103,6 +103,9 @@ func NewServer(p *provider.Provider) *Server {
 	s.legacy("POST", "/v1/bank/account", TierAdmin, s.epBankAccount)
 	s.legacy("POST", "/v1/bank/withdraw", TierUser, s.epWithdraw)
 	s.registerV2()
+	if p != nil {
+		s.registerCryptoMetrics()
+	}
 	return s
 }
 
@@ -120,6 +123,7 @@ func (s *Server) WithStoreStats(name string, st *kvstore.Store) *Server {
 		s.stores = make(map[string]*kvstore.Store)
 	}
 	s.stores[name] = st
+	registerStoreMetrics(s.obs.Reg, name, st)
 	return s
 }
 

@@ -1,0 +1,294 @@
+package httpapi
+
+// The REST plane's observability surface. Every route registered
+// through legacyRaw/v2raw is wrapped by instrument: a per-request
+// trace (threaded via context down to the kvstore span points), a
+// status-capturing writer, and per-route/per-status counters and
+// latency histograms. The /v2/metrics endpoint renders the server's
+// whole registry in Prometheus text format at guest tier — it carries
+// only aggregates, so exposing it is no more sensitive than /v2/stats —
+// while the retained slow-trace ring is admin-only.
+//
+// Route labels are always the registered pattern ("/v2/kv/get",
+// "/v2/operations/{id}"), never the raw request path, so label
+// cardinality is bounded by the route table.
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"p2drm/internal/kvstore"
+	"p2drm/internal/obs"
+	"p2drm/internal/ops"
+	"p2drm/internal/provider"
+	"p2drm/internal/replica"
+)
+
+// Obs exposes the server's observability plane so the daemon can hang
+// engine observers (StoreObserver, FollowerObserver) and extra gauges
+// off the same registry /v2/metrics renders.
+func (a *api) Obs() *obs.Plane { return a.obs }
+
+// WithTraceRetention replaces the server's tracer: retain up to size
+// finished traces at or above slow (0 retains every request), logging
+// slow requests through logger (nil = slog.Default at emit time). For
+// tests and operators tuning the slow threshold.
+func (s *Server) WithTraceRetention(size int, slow time.Duration, logger *slog.Logger) *Server {
+	s.obs.Tracer = obs.NewTracer(size, slow, logger)
+	return s
+}
+
+// statusWriter captures the response status code for metrics and
+// tracing; an implicit WriteHeader (first Write) counts as 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards streaming flushes (segment and content downloads).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// instrument wraps one route's handler with tracing, auth enforcement
+// and metrics. Auth runs INSIDE the wrapper so denied requests are
+// counted and traced under their route like any other outcome.
+func (a *api) instrument(method, path string, tier Tier, env bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(method + " " + path)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		sw := &statusWriter{ResponseWriter: w}
+		if e := a.auth.check(r, tier); e != nil {
+			if env {
+				writeEnvErr(sw, e)
+			} else {
+				writeErr(sw, e.status, e)
+			}
+		} else {
+			h(sw, r)
+		}
+		dur := time.Since(tr.Start)
+		code := sw.code()
+		status := strconv.Itoa(code)
+		a.httpReqs.With(method, path, status).Inc()
+		a.httpLat.With(method, path, status).ObserveDuration(dur)
+		a.obs.Tracer.Finish(tr, code, dur)
+	}
+}
+
+// TracesResponse answers GET /v2/debug/traces: the retained
+// slow-request traces, newest first.
+type TracesResponse struct {
+	Threshold string            `json:"threshold"`
+	Total     int64             `json:"total"` // slow requests since start, incl. evicted
+	Traces    []obs.TraceRecord `json:"traces"`
+}
+
+func (a *api) epTraces(r *http.Request) (any, *apiError) {
+	return TracesResponse{
+		Threshold: a.obs.Tracer.Threshold().String(),
+		Total:     a.obs.Tracer.SlowTotal(),
+		Traces:    a.obs.Tracer.Slow(),
+	}, nil
+}
+
+// registerObsRoutes mounts /v2/metrics (guest — aggregate-only by
+// construction) and the admin slow-trace ring, and registers the ops
+// registry's census metrics. The ops registry is read through the api
+// pointer at scrape time, so WithOps replacing it later is safe.
+func (a *api) registerObsRoutes() {
+	a.v2raw("GET", "/v2/metrics", TierGuest, KindStream, a.obs.Reg.Handler().ServeHTTP)
+	a.v2("GET", "/v2/debug/traces", TierAdmin, a.epTraces)
+
+	reg := a.obs.Reg
+	depth := reg.GaugeVec("p2drm_ops_operations",
+		"Background operations currently held in the registry, by lifecycle status.", "status")
+	for _, st := range []ops.Status{ops.StatusCreated, ops.StatusRunning, ops.StatusDone, ops.StatusError, ops.StatusAborted} {
+		st := st
+		depth.Func(func() float64 { return float64(a.ops.Counts().ByStatus[st]) }, string(st))
+	}
+	fin := reg.CounterVec("p2drm_ops_finished_total",
+		"Background operations that reached a terminal status in this process (monotonic across GC reaps).", "status")
+	for _, st := range []ops.Status{ops.StatusDone, ops.StatusError, ops.StatusAborted} {
+		st := st
+		fin.Func(func() int64 { return int64(a.ops.Counts().Finished[st]) }, string(st))
+	}
+	// Read the tracer through a.obs at scrape time, so replacing it
+	// (WithTraceRetention) after route registration keeps the counter
+	// honest.
+	reg.CounterFunc("p2drm_http_slow_requests_total",
+		"Requests at or above the slow-trace threshold.",
+		func() int64 { return a.obs.Tracer.SlowTotal() })
+}
+
+// registerStoreMetrics exports one kvstore's engine statistics as
+// gauges (and its monotonic compaction tallies as counters), labeled
+// by the registered store name.
+func registerStoreMetrics(reg *obs.Registry, name string, st *kvstore.Store) {
+	segs := reg.GaugeVec("p2drm_kvstore_segments", "Log segment files, including the active one.", "store")
+	keys := reg.GaugeVec("p2drm_kvstore_live_keys", "Live keys in the index.", "store")
+	liveB := reg.GaugeVec("p2drm_kvstore_live_bytes", "Estimated log bytes of a fully compacted live set.", "store")
+	logB := reg.GaugeVec("p2drm_kvstore_logged_bytes", "On-disk bytes across all segments.", "store")
+	deadB := reg.GaugeVec("p2drm_kvstore_dead_bytes", "Logged bytes minus live bytes (compactor food supply).", "store")
+	comps := reg.CounterVec("p2drm_kvstore_compactions_total", "Completed incremental compaction steps.", "store")
+	skips := reg.CounterVec("p2drm_kvstore_compaction_skips_total", "Compaction steps skipped because the segment was provably all-live.", "store")
+	segs.Func(func() float64 { return float64(st.Stats().Segments) }, name)
+	keys.Func(func() float64 { return float64(st.Stats().LiveKeys) }, name)
+	liveB.Func(func() float64 { return float64(st.Stats().LiveBytes) }, name)
+	logB.Func(func() float64 { return float64(st.Stats().LoggedBytes) }, name)
+	deadB.Func(func() float64 { return float64(st.Stats().DeadBytes) }, name)
+	comps.Func(func() int64 { return st.Stats().Compactions }, name)
+	skips.Func(func() int64 { return st.Stats().CompactionSkips }, name)
+}
+
+// registerCryptoMetrics re-exports the provider's crypto-acceleration
+// counters (precompute state, nonce/blinding pool economics, batch
+// Schnorr verification) on the scrape path. Blinding pools are
+// aggregated across denominations to keep the label space fixed.
+func (s *Server) registerCryptoMetrics() {
+	reg := s.obs.Reg
+	cs := func() *provider.CryptoStats { return s.Provider.CryptoStats() }
+	reg.GaugeFunc("p2drm_crypto_group_precomputed",
+		"1 when fixed-base Schnorr group tables are precomputed.", func() float64 {
+			if cs().GroupPrecomputed {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("p2drm_crypto_nonce_pool_depth", "Precomputed Schnorr nonces currently pooled.", func() float64 {
+		if p := cs().NoncePool; p != nil {
+			return float64(p.Depth)
+		}
+		return 0
+	})
+	reg.GaugeFunc("p2drm_crypto_nonce_pool_capacity", "Nonce pool capacity.", func() float64 {
+		if p := cs().NoncePool; p != nil {
+			return float64(p.Capacity)
+		}
+		return 0
+	})
+	reg.CounterFunc("p2drm_crypto_nonce_pool_hits_total", "Nonce requests served from the pool.", func() int64 {
+		if p := cs().NoncePool; p != nil {
+			return int64(p.Hits)
+		}
+		return 0
+	})
+	reg.CounterFunc("p2drm_crypto_nonce_pool_misses_total", "Nonce requests computed inline (pool empty).", func() int64 {
+		if p := cs().NoncePool; p != nil {
+			return int64(p.Misses)
+		}
+		return 0
+	})
+	reg.CounterFunc("p2drm_crypto_nonce_pool_filled_total", "Nonces produced by the background refiller.", func() int64 {
+		if p := cs().NoncePool; p != nil {
+			return int64(p.Filled)
+		}
+		return 0
+	})
+	reg.GaugeFunc("p2drm_crypto_blinding_pool_depth", "Pooled blinding factors, summed over denominations.", func() float64 {
+		var n int
+		for _, p := range cs().BlindingPools {
+			n += p.Depth
+		}
+		return float64(n)
+	})
+	reg.CounterFunc("p2drm_crypto_blinding_pool_hits_total", "Blinding requests served from pools, summed over denominations.", func() int64 {
+		var n uint64
+		for _, p := range cs().BlindingPools {
+			n += p.Hits
+		}
+		return int64(n)
+	})
+	reg.CounterFunc("p2drm_crypto_blinding_pool_misses_total", "Blinding requests computed inline, summed over denominations.", func() int64 {
+		var n uint64
+		for _, p := range cs().BlindingPools {
+			n += p.Misses
+		}
+		return int64(n)
+	})
+	reg.CounterFunc("p2drm_crypto_batch_verify_runs_total", "Batch Schnorr verification runs.", func() int64 {
+		return int64(cs().BatchVerifyRuns)
+	})
+	reg.CounterFunc("p2drm_crypto_batch_verify_items_total", "Proofs verified inside batch runs.", func() int64 {
+		return int64(cs().BatchVerifyItems)
+	})
+	reg.CounterFunc("p2drm_crypto_batch_verify_rejected_total", "Proofs rejected by batch runs (incl. fallback rescans).", func() int64 {
+		return int64(cs().BatchVerifyRejected)
+	})
+}
+
+// registerFollowerMetrics exports one follower's replication status as
+// gauges (lag) and counters (applied records/bytes, resyncs), labeled
+// by store name.
+func registerFollowerMetrics(reg *obs.Registry, name string, f *replica.Follower) {
+	lagB := reg.GaugeVec("p2drm_replica_lag_bytes", "Bytes between the follower cursor and the primary durable horizon.", "store")
+	lagS := reg.GaugeVec("p2drm_replica_lag_segments", "Whole primary segments behind the active one (-1 = unknown).", "store")
+	caught := reg.GaugeVec("p2drm_replica_caught_up", "1 when the follower is tailing the durable horizon.", "store")
+	recs := reg.CounterVec("p2drm_replica_records_applied_total", "Log records applied to the local store.", "store")
+	bytes := reg.CounterVec("p2drm_replica_bytes_applied_total", "Log bytes applied to the local store.", "store")
+	resyncs := reg.CounterVec("p2drm_replica_resyncs_total", "Snapshot re-bootstraps (startup and fallback).", "store")
+	lagB.Func(func() float64 { return float64(f.Status().LagBytes) }, name)
+	lagS.Func(func() float64 { return float64(f.Status().LagSegments) }, name)
+	caught.Func(func() float64 {
+		if f.Status().CaughtUp {
+			return 1
+		}
+		return 0
+	}, name)
+	recs.Func(func() int64 { return f.Status().Records }, name)
+	bytes.Func(func() int64 { return f.Status().Bytes }, name)
+	resyncs.Func(func() int64 { return f.Status().Resyncs }, name)
+}
+
+// MetricsV2 fetches the raw Prometheus text exposition from
+// /v2/metrics (parse with obs.ParseMetrics).
+func (c *Client) MetricsV2() ([]byte, error) {
+	req, err := c.newReq("GET", "/v2/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{StatusCode: resp.StatusCode, Kind: "metrics", Message: "metrics scrape failed"}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// TracesV2 fetches the retained slow-request traces (admin tier).
+func (c *Client) TracesV2() (*TracesResponse, error) {
+	var resp TracesResponse
+	if err := c.getV2("/v2/debug/traces", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

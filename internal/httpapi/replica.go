@@ -71,6 +71,7 @@ const (
 	hdrCRC     = "X-Replica-Crc"
 	hdrNext    = "X-Replica-Next"
 	hdrNextGen = "X-Replica-Next-Gen"
+	hdrActive  = "X-Replica-Active"
 )
 
 // serveReplicaSegment streams one segment chunk; shared raw handler for
@@ -112,6 +113,7 @@ func (s *Server) serveReplicaSegment(w http.ResponseWriter, r *http.Request, err
 	h.Set(hdrCRC, strconv.FormatUint(uint64(ch.CRC32), 10))
 	h.Set(hdrNext, strconv.FormatUint(ch.NextID, 10))
 	h.Set(hdrNextGen, strconv.FormatUint(ch.NextGen, 10))
+	h.Set(hdrActive, strconv.FormatUint(ch.ActiveID, 10))
 	w.WriteHeader(http.StatusOK)
 	w.Write(ch.Data)
 }
@@ -247,6 +249,10 @@ func NewReplicaServer(followers map[string]*replica.Follower) *ReplicaServer {
 	rs.v2raw("POST", "/v2/replica/promote", TierAdmin, KindAsync, rs.handlePromoteV2)
 	rs.v2raw("POST", "/v2/replica/resync", TierAdmin, KindAsync, rs.handleResyncV2)
 	rs.registerOpsRoutes()
+	rs.registerObsRoutes()
+	for name, f := range followers {
+		registerFollowerMetrics(rs.obs.Reg, name, f)
+	}
 	return rs
 }
 
@@ -514,18 +520,27 @@ func (c *Client) ReplicaSegment(store string, id uint64, from, max int64, wantGe
 	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
 		return nil, errors.New("httpapi: malformed replica headers")
 	}
+	// Absent on pre-lag-reporting primaries; zero means "unknown" and the
+	// follower reports LagSegments -1.
+	var active uint64
+	if v := h.Get(hdrActive); v != "" {
+		if active, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return nil, errors.New("httpapi: malformed replica headers")
+		}
+	}
 	return &replica.Chunk{
 		Epoch: h.Get(hdrEpoch),
 		SegmentChunk: kvstore.SegmentChunk{
-			ID:      id,
-			From:    from,
-			Data:    data,
-			Sealed:  sealed,
-			Total:   total,
-			Gen:     gen,
-			CRC32:   uint32(crc),
-			NextID:  next,
-			NextGen: nextGen,
+			ID:       id,
+			From:     from,
+			Data:     data,
+			Sealed:   sealed,
+			Total:    total,
+			Gen:      gen,
+			CRC32:    uint32(crc),
+			NextID:   next,
+			NextGen:  nextGen,
+			ActiveID: active,
 		},
 	}, nil
 }

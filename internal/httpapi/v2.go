@@ -53,6 +53,7 @@ func (s *Server) registerV2() {
 	s.v2raw("POST", "/v2/compact", TierAdmin, KindAsync, s.handleCompactV2)
 	s.v2raw("POST", "/v2/revocation/rebuild", TierAdmin, KindAsync, s.handleRevocationRebuildV2)
 	s.registerOpsRoutes()
+	s.registerObsRoutes()
 }
 
 // Operation kinds started by the primary server. Compaction and filter

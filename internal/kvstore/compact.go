@@ -127,9 +127,19 @@ func (s *Store) compactNext() (bool, error) {
 	}
 	s.logMu.Unlock()
 
+	var stepStart time.Time
+	o := s.observer()
+	if o != nil && o.CompactSeconds != nil {
+		stepStart = time.Now()
+	}
 	res, err := s.rewriteSegment(seg, oldest)
 	if err != nil {
 		return false, err
+	}
+	if o != nil && o.CompactSeconds != nil {
+		// Rescans that produced identical bytes still count: the step did
+		// the full segment read either way.
+		o.CompactSeconds(time.Since(stepStart))
 	}
 	if res.unchanged {
 		// The rewrite dropped nothing (same bytes, same CRC): swapping

@@ -101,6 +101,7 @@ package kvstore
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -111,6 +112,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"p2drm/internal/obs"
 )
 
 var (
@@ -175,6 +178,35 @@ type Options struct {
 	// (default 0.5).
 	CompactMinGarbage float64
 }
+
+// Observer receives engine timing events for the observability plane.
+// Every field is optional; a nil Observer (the default) costs one
+// atomic pointer load per instrumented site. Callbacks must be fast
+// and safe for concurrent use — they run inline on write paths (the
+// group-commit leader's fsync callback runs lock-free, the SyncAlways
+// one under logMu).
+type Observer struct {
+	// FsyncSeconds observes every fsync on the append path: per-write
+	// (SyncAlways), the group-commit leader's shared sync, and explicit
+	// Sync calls.
+	FsyncSeconds func(time.Duration)
+	// CommitWaitSeconds observes how long one mutation blocked on the
+	// group-commit window (includes the fsync for the leader).
+	CommitWaitSeconds func(time.Duration)
+	// BatchOps observes the operation count of each applied Batch.
+	BatchOps func(n int)
+	// SegmentRolls fires once per active-segment roll.
+	SegmentRolls func()
+	// CompactSeconds observes each CompactStep that processed (rewrote
+	// or deleted) a segment; skipped segments do not fire.
+	CompactSeconds func(time.Duration)
+}
+
+// SetObserver installs (or clears, with nil) the engine observer.
+// Intended to be called once, before the store starts serving traffic.
+func (s *Store) SetObserver(o *Observer) { s.obsHook.Store(o) }
+
+func (s *Store) observer() *Observer { return s.obsHook.Load() }
 
 // entry is one live index slot: the current value plus the id of the log
 // segment holding the key's newest record. The segment id is what makes
@@ -329,6 +361,10 @@ type Store struct {
 	// other way around.
 	metaMu   sync.RWMutex
 	segMetas map[uint64]*segMeta
+
+	// obsHook is the optional engine observer (SetObserver). Atomic so
+	// hot paths read it lock-free.
+	obsHook atomic.Pointer[Observer]
 
 	// durMu guards the durable byte horizon (durSeg, durOff): every byte
 	// of segment durSeg before durOff — and every byte of every segment
@@ -516,12 +552,20 @@ func (s *Store) append(kind byte, body []byte) error {
 		return fmt.Errorf("kvstore: flush: %w", err)
 	}
 	if s.opts.Sync == SyncAlways {
+		o := s.observer()
+		var t0 time.Time
+		if o != nil && o.FsyncSeconds != nil {
+			t0 = time.Now()
+		}
 		if err := s.file.Sync(); err != nil {
 			// Sticky: the kernel may have dropped this record's pages,
 			// and replay cannot cross the hole to reach anything
 			// appended after it.
 			s.walErr = err
 			return fmt.Errorf("kvstore: fsync: %w", err)
+		}
+		if o != nil && o.FsyncSeconds != nil {
+			o.FsyncSeconds(time.Since(t0))
 		}
 	}
 	s.bytesLogged += int64(len(rec))
@@ -546,8 +590,37 @@ func (s *Store) append(kind byte, body []byte) error {
 			s.walErr = err
 			return fmt.Errorf("kvstore: segment roll: %w", err)
 		}
+		if o := s.observer(); o != nil && o.SegmentRolls != nil {
+			o.SegmentRolls()
+		}
 	}
 	return nil
+}
+
+// waitDurableCtx is waitDurable plus observability: a "kv.commit_wait"
+// span on the context's trace (if any) and the observer's commit-wait
+// histogram. With no observer and no trace it collapses to waitDurable
+// — one atomic load and one context lookup.
+func (s *Store) waitDurableCtx(ctx context.Context, seq int64) error {
+	if !s.durable || s.opts.Sync != SyncGroupCommit {
+		return nil
+	}
+	o := s.observer()
+	if o == nil || o.CommitWaitSeconds == nil {
+		if obs.FromContext(ctx) == nil {
+			return s.waitDurable(seq)
+		}
+		end := obs.StartSpan(ctx, "kv.commit_wait")
+		err := s.waitDurable(seq)
+		end()
+		return err
+	}
+	end := obs.StartSpan(ctx, "kv.commit_wait")
+	t0 := time.Now()
+	err := s.waitDurable(seq)
+	end()
+	o.CommitWaitSeconds(time.Since(t0))
+	return err
 }
 
 // waitDurable blocks until record seq is on stable storage (group-commit
@@ -588,7 +661,14 @@ func (s *Store) waitDurable(seq int64) error {
 		bytesSeg, bytesOff := s.gcBytesSeg, s.gcBytesOff
 		f := s.file
 		s.gcMu.Unlock()
-		err := f.Sync()
+		var err error
+		if o := s.observer(); o != nil && o.FsyncSeconds != nil {
+			t0 := time.Now()
+			err = f.Sync()
+			o.FsyncSeconds(time.Since(t0))
+		} else {
+			err = f.Sync()
+		}
 		s.gcMu.Lock()
 		s.gcSyncing = false
 		if err != nil {
@@ -745,11 +825,18 @@ func (s *Store) logAndApply(sh *shard, o op) (int64, error) {
 // Put stores val under key. Under SyncAlways/SyncGroupCommit the value
 // is on stable storage when Put returns nil.
 func (s *Store) Put(key, val []byte) error {
+	return s.PutCtx(context.Background(), key, val)
+}
+
+// PutCtx is Put threaded through a request context: when the context
+// carries a trace (obs.WithTrace) the group-commit wait is recorded as
+// a span on it.
+func (s *Store) PutCtx(ctx context.Context, key, val []byte) error {
 	seq, err := s.put(key, val)
 	if err != nil {
 		return err
 	}
-	return s.waitDurable(seq)
+	return s.waitDurableCtx(ctx, seq)
 }
 
 // PutIfAbsent stores val under key only if the key is currently absent
@@ -763,6 +850,12 @@ func (s *Store) Put(key, val []byte) error {
 // observed "already present" must not be rolled back by a crash after
 // the caller has acted on it (e.g. reported a coin double-spent).
 func (s *Store) PutIfAbsent(key, val []byte) (bool, error) {
+	return s.PutIfAbsentCtx(context.Background(), key, val)
+}
+
+// PutIfAbsentCtx is PutIfAbsent threaded through a request context for
+// commit-wait span recording (see PutCtx).
+func (s *Store) PutIfAbsentCtx(ctx context.Context, key, val []byte) (bool, error) {
 	if err := validateKV(key, val); err != nil {
 		return false, err
 	}
@@ -777,14 +870,14 @@ func (s *Store) PutIfAbsent(key, val []byte) (bool, error) {
 		// lock, so the current seq covers it.
 		seq := s.seqNow.Load()
 		sh.mu.Unlock()
-		return false, s.waitDurable(seq)
+		return false, s.waitDurableCtx(ctx, seq)
 	}
 	seq, err := s.logAndApply(sh, op{key: key, val: append([]byte(nil), val...)})
 	sh.mu.Unlock()
 	if err != nil {
 		return false, err
 	}
-	return true, s.waitDurable(seq)
+	return true, s.waitDurableCtx(ctx, seq)
 }
 
 // Get returns a copy of the value for key.
@@ -811,6 +904,12 @@ func (s *Store) Has(key []byte) bool {
 // Delete removes key; deleting an absent key is a no-op (but still logged
 // for idempotent replay).
 func (s *Store) Delete(key []byte) error {
+	return s.DeleteCtx(context.Background(), key)
+}
+
+// DeleteCtx is Delete threaded through a request context for
+// commit-wait span recording (see PutCtx).
+func (s *Store) DeleteCtx(ctx context.Context, key []byte) error {
 	// Full validation, not just the empty-key check: an oversized key
 	// would be acknowledged here and then rejected by readRecord at
 	// replay — fatal once the segment seals.
@@ -824,7 +923,7 @@ func (s *Store) Delete(key []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.waitDurable(seq)
+	return s.waitDurableCtx(ctx, seq)
 }
 
 // Batch collects operations applied atomically by Apply.
@@ -853,9 +952,27 @@ func (b *Batch) Len() int { return len(b.ops) }
 // index update, so concurrent per-key CAS operations serialize against
 // the whole batch.
 func (s *Store) Apply(b *Batch) error {
+	return s.ApplyCtx(context.Background(), b)
+}
+
+// ApplyCtx is Apply threaded through a request context: the whole
+// batch is recorded as a "kv.apply_batch" span (with the commit wait
+// nested inside it) on the context's trace, and the observer's
+// batch-size histogram sees len(b).
+func (s *Store) ApplyCtx(ctx context.Context, b *Batch) error {
 	if b == nil || len(b.ops) == 0 {
 		return nil
 	}
+	if o := s.observer(); o != nil && o.BatchOps != nil {
+		o.BatchOps(len(b.ops))
+	}
+	end := obs.StartSpan(ctx, "kv.apply_batch")
+	err := s.applyBatch(ctx, b)
+	end()
+	return err
+}
+
+func (s *Store) applyBatch(ctx context.Context, b *Batch) error {
 	for _, o := range b.ops {
 		if err := validateKV(o.key, o.val); err != nil {
 			return err
@@ -929,7 +1046,7 @@ func (s *Store) Apply(b *Batch) error {
 	}
 	unlock()
 	s.liveBytes.Add(delta)
-	return s.waitDurable(seq)
+	return s.waitDurableCtx(ctx, seq)
 }
 
 // Len returns the number of live keys.
@@ -1038,8 +1155,16 @@ func (s *Store) Sync() error {
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
+	o := s.observer()
+	var t0 time.Time
+	if o != nil && o.FsyncSeconds != nil {
+		t0 = time.Now()
+	}
 	if err := s.file.Sync(); err != nil {
 		return err
+	}
+	if o != nil && o.FsyncSeconds != nil {
+		o.FsyncSeconds(time.Since(t0))
 	}
 	s.markAllDurable()
 	s.advanceDurable(s.activeID, s.activeBytes)

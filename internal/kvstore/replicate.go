@@ -173,6 +173,10 @@ type SegmentChunk struct {
 	// carry an identity expectation across the segment boundary.
 	NextID  uint64
 	NextGen uint64
+	// ActiveID is the primary's active (highest-numbered) segment id at
+	// read time, letting a tailing reader report its lag in whole
+	// segments, not just bytes within the current one.
+	ActiveID uint64
 }
 
 // ReadSegment reads up to max bytes of segment id starting at byte
@@ -259,6 +263,7 @@ func (s *Store) readSegmentOnce(id uint64, from, max int64, wantGen uint64) (*Se
 	}
 	ch.CRC32 = crc
 	ch.NextID, ch.NextGen = s.nextSegmentLocked(id)
+	ch.ActiveID = s.activeID
 	s.logMu.Unlock()
 
 	if from > ch.Total {

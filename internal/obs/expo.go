@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label
+// signature, histograms as cumulative native-resolution buckets.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	for _, f := range r.snapshot() {
+		f.write(cw)
+	}
+	if cw.err == nil {
+		cw.err = bw.Flush()
+	}
+	return cw.n, cw.err
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}
+
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) str(s string) {
+	if c.err != nil {
+		return
+	}
+	n, err := io.WriteString(c.w, s)
+	c.n += int64(n)
+	c.err = err
+}
+
+func (f *family) write(w *countWriter) {
+	if f.help != "" {
+		w.str("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+	}
+	w.str("# TYPE " + f.name + " " + string(f.kind) + "\n")
+	for _, s := range f.sortedSeries() {
+		switch f.kind {
+		case kindCounter:
+			v := s.counterFn
+			var n int64
+			if v != nil {
+				n = v()
+			} else {
+				n = s.counter.Value()
+			}
+			w.str(f.name + labelString(f.labelNames, s.labelValues, "", "") + " " + strconv.FormatInt(n, 10) + "\n")
+		case kindGauge:
+			var g float64
+			if s.gaugeFn != nil {
+				g = s.gaugeFn()
+			} else {
+				g = s.gauge.Value()
+			}
+			w.str(f.name + labelString(f.labelNames, s.labelValues, "", "") + " " + formatFloat(g) + "\n")
+		case kindHistogram:
+			f.writeHist(w, s)
+		}
+	}
+}
+
+func (f *family) writeHist(w *countWriter, s *series) {
+	h := s.hist.Hist()
+	buckets := h.Buckets()
+	// Snapshot totals once; under concurrent Records the +Inf bucket
+	// must still equal _count, so use the last cumulative value.
+	var count int64
+	if len(buckets) > 0 {
+		count = buckets[len(buckets)-1].Count
+	}
+	for _, b := range buckets {
+		le := formatFloat(float64(b.Upper) * f.scale)
+		w.str(f.name + "_bucket" + labelString(f.labelNames, s.labelValues, "le", le) + " " + strconv.FormatInt(b.Count, 10) + "\n")
+	}
+	w.str(f.name + "_bucket" + labelString(f.labelNames, s.labelValues, "le", "+Inf") + " " + strconv.FormatInt(count, 10) + "\n")
+	w.str(f.name + "_sum" + labelString(f.labelNames, s.labelValues, "", "") + " " + formatFloat(float64(h.Sum())*f.scale) + "\n")
+	w.str(f.name + "_count" + labelString(f.labelNames, s.labelValues, "", "") + " " + strconv.FormatInt(count, 10) + "\n")
+}
+
+// labelString renders {k="v",...}, optionally appending one extra pair
+// (the histogram le label). Empty when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"p2drm/internal/workload/hist"
+)
+
+// TestRegistryBasics: counters and gauges register, mutate, and render
+// with sorted families and label sets; re-registration of an identical
+// triple is idempotent.
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_requests_total", "Requests.")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("t_depth", "Depth.")
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	v := r.CounterVec("t_by_route_total", "By route.", "route", "status")
+	v.With("/a", "200").Add(7)
+	v.With("/a", "500").Inc()
+	r.GaugeFunc("t_callback", "Scrape-time.", func() float64 { return 42 })
+
+	// Idempotent re-registration returns the same underlying series.
+	if r.Counter("t_requests_total", "Requests.").Value() != 3 {
+		t.Error("re-registration lost the counter value")
+	}
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE t_requests_total counter",
+		"t_requests_total 3",
+		"# TYPE t_depth gauge",
+		"t_depth 2.5",
+		`t_by_route_total{route="/a",status="200"} 7`,
+		`t_by_route_total{route="/a",status="500"} 1`,
+		"t_callback 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryPanics: denylisted names, invalid names, and conflicting
+// re-registrations must all refuse at registration time.
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	expectPanic("denylisted metric name", func() { r.Counter("t_serials_total", "x") })
+	expectPanic("denylisted metric name (case)", func() { r.Counter("t_Account_bytes", "x") })
+	expectPanic("denylisted label name", func() { r.CounterVec("t_ok_total", "x", "card_id") })
+	expectPanic("invalid metric name", func() { r.Counter("9bad", "x") })
+	r.Counter("t_conflict_total", "x")
+	expectPanic("kind conflict", func() { r.Gauge("t_conflict_total", "x") })
+	expectPanic("label conflict", func() { r.CounterVec("t_conflict_total", "x", "route") })
+}
+
+// exactQuantile is the sorted-slice reference from the hist package's
+// own tests: the ceil(q*n)-th smallest observation.
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramExpositionRoundTrip: values recorded into a registry
+// histogram, rendered as Prometheus cumulative buckets, parsed back,
+// and reconstructed as quantiles must agree with the exact sorted-slice
+// reference within the histogram's native bucket resolution — i.e. the
+// text format neither loses counts nor distorts quantiles beyond what
+// workload/hist itself guarantees.
+func TestHistogramExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_batch_ops", "Batch sizes.")
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	vs := make([]int64, n)
+	var sum float64
+	for i := range vs {
+		// Log-uniform spread across six orders of magnitude, the regime
+		// the bucket layout is designed for.
+		v := int64(math.Exp(rng.Float64() * 14))
+		vs[i] = v
+		sum += float64(v)
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMetrics(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Types["t_batch_ops"] != "histogram" {
+		t.Fatalf("family type = %q, want histogram", m.Types["t_batch_ops"])
+	}
+	got, ok := m.Histogram("t_batch_ops", nil)
+	if !ok {
+		t.Fatal("histogram family missing after round trip")
+	}
+	if got.Count != n {
+		t.Errorf("count = %d, want %d", got.Count, n)
+	}
+	if math.Abs(got.Sum-sum) > 1e-6*sum {
+		t.Errorf("sum = %v, want %v", got.Sum, sum)
+	}
+	for _, c := range []struct {
+		q   float64
+		got float64
+	}{{0.5, got.P50}, {0.9, got.P90}, {0.99, got.P99}, {0.999, got.P999}} {
+		ref := exactQuantile(sorted, c.q)
+		// The parsed quantile is a bucket upper bound, so it may sit one
+		// native bucket width above the exact reference, never below
+		// more than the reference's own bucket width.
+		bound := float64(hist.RelativeError(ref) + 1)
+		if diff := c.got - float64(ref); diff < -bound || diff > bound {
+			t.Errorf("q=%v: got %v, want %d±%v", c.q, c.got, ref, bound)
+		}
+	}
+
+	// The direct hist view and the parsed view must agree bucket-wise.
+	direct := h.Hist()
+	for _, q := range []float64{0.5, 0.99} {
+		want := float64(direct.Quantile(q))
+		var parsed float64
+		switch q {
+		case 0.5:
+			parsed = got.P50
+		case 0.99:
+			parsed = got.P99
+		}
+		if bound := float64(hist.RelativeError(int64(want)) + 1); math.Abs(parsed-want) > bound {
+			t.Errorf("q=%v: parsed %v vs direct %v exceeds bucket width %v", q, parsed, want, bound)
+		}
+	}
+}
+
+// TestHistogramSecondsScaling: *_seconds families record nanoseconds
+// and must export seconds — buckets, sum and count coherent.
+func TestHistogramSecondsScaling(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_wait_seconds", "Wait.")
+	h.ObserveDuration(250 * time.Millisecond)
+	h.ObserveDuration(750 * time.Millisecond)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMetrics(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := m.Value("t_wait_seconds_sum", nil)
+	if !ok {
+		t.Fatal("sum sample missing")
+	}
+	if math.Abs(sum-1.0) > 0.001 {
+		t.Errorf("sum = %v s, want ~1.0", sum)
+	}
+	got, ok := m.Histogram("t_wait_seconds", nil)
+	if !ok || got.Count != 2 {
+		t.Fatalf("histogram = %+v ok=%v, want count 2", got, ok)
+	}
+	if got.P50 < 0.2 || got.P50 > 0.3 {
+		t.Errorf("p50 = %v s, want ~0.25", got.P50)
+	}
+}
+
+// TestHandlerAndInfBucket: the HTTP handler serves the exposition with
+// the right content type, and every histogram's +Inf bucket equals its
+// _count.
+func TestHandlerAndInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("t_lat_seconds", "Latency.", "route")
+	h.With("/a").ObserveDuration(time.Millisecond)
+	h.With("/a").ObserveDuration(time.Second)
+	h.With("/b").ObserveDuration(time.Microsecond)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	m, err := ParseMetrics(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, route := range []string{"/a", "/b"} {
+		match := map[string]string{"route": route}
+		count, _ := m.Value("t_lat_seconds_count", match)
+		inf, ok := m.Value("t_lat_seconds_bucket", map[string]string{"route": route, "le": "+Inf"})
+		if !ok || inf != count {
+			t.Errorf("route %s: +Inf bucket %v != count %v (ok=%v)", route, inf, count, ok)
+		}
+	}
+}
+
+// TestTracer: fast traces are dropped, slow traces ring newest-first
+// with eviction, and SlowTotal stays monotonic across evictions.
+func TestTracer(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	tr := NewTracer(2, 10*time.Millisecond, quiet)
+	if tr.Threshold() != 10*time.Millisecond {
+		t.Fatalf("threshold = %v", tr.Threshold())
+	}
+	tr.Finish(NewTrace("GET /fast"), 200, time.Millisecond)
+	if got := tr.Slow(); len(got) != 0 {
+		t.Fatalf("fast trace retained: %+v", got)
+	}
+	for i, name := range []string{"GET /a", "GET /b", "GET /c"} {
+		tr.Finish(NewTrace(name), 200, time.Duration(11+i)*time.Millisecond)
+	}
+	got := tr.Slow()
+	if len(got) != 2 || got[0].Name != "GET /c" || got[1].Name != "GET /b" {
+		t.Fatalf("ring = %+v, want [GET /c, GET /b]", got)
+	}
+	if tr.SlowTotal() != 3 {
+		t.Errorf("SlowTotal = %d, want 3 (evictions included)", tr.SlowTotal())
+	}
+	// nil trace and nil tracer are both no-ops.
+	tr.Finish(nil, 200, time.Second)
+	(*Tracer)(nil).Finish(NewTrace("x"), 200, time.Second)
+}
+
+// TestSpans: spans recorded through a context land on the trace;
+// without a trace StartSpan is the shared no-op.
+func TestSpans(t *testing.T) {
+	trc := NewTrace("GET /x")
+	ctx := WithTrace(context.Background(), trc)
+	if FromContext(ctx) != trc {
+		t.Fatal("FromContext lost the trace")
+	}
+	end := StartSpan(ctx, "kv.fsync")
+	time.Sleep(time.Millisecond)
+	end()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	tr := NewTracer(4, 0, quiet)
+	tr.Finish(trc, 200, 2*time.Millisecond)
+	got := tr.Slow()
+	if len(got) != 1 || len(got[0].Spans) != 1 || got[0].Spans[0].Name != "kv.fsync" {
+		t.Fatalf("spans = %+v", got)
+	}
+	if got[0].Spans[0].Dur <= 0 {
+		t.Error("span duration not positive")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context returned a trace")
+	}
+	// Off-switch: no trace in context → shared no-op closer.
+	StartSpan(context.Background(), "noop")()
+}
+
+// TestParseEscapes: label values with quotes, backslashes and newlines
+// survive the write→parse round trip.
+func TestParseEscapes(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("t_esc_total", "Escapes.", "route").With(`a"b\c` + "\nd").Inc()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMetrics(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.Value("t_esc_total", map[string]string{"route": `a"b\c` + "\nd"})
+	if !ok || v != 1 {
+		t.Fatalf("escaped label lost: ok=%v v=%v samples=%+v", ok, v, m.Samples)
+	}
+}
+
+// TestHistogramDelta: the between-scrapes reconstruction must attribute
+// only the second batch of observations.
+func TestHistogramDelta(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_delta_ops", "x")
+	scrape := func() *Metrics {
+		var b strings.Builder
+		if _, err := r.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseMetrics(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	start := scrape()
+	for i := 0; i < 50; i++ {
+		h.Observe(1000)
+	}
+	end := scrape()
+	sum, ok := HistogramDelta(start, end, "t_delta_ops", nil)
+	if !ok {
+		t.Fatal("delta missing")
+	}
+	if sum.Count != 50 {
+		t.Errorf("delta count = %d, want 50", sum.Count)
+	}
+	if math.Abs(sum.Sum-50*1000) > 1 {
+		t.Errorf("delta sum = %v, want 50000", sum.Sum)
+	}
+	// Every delta observation was 1000; p50 must land in its bucket,
+	// nowhere near the first batch's 10s.
+	if bound := float64(hist.RelativeError(1000) + 1); math.Abs(sum.P50-1000) > bound {
+		t.Errorf("delta p50 = %v, want 1000±%v", sum.P50, bound)
+	}
+}

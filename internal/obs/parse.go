@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string            `json:"name"` // includes _bucket/_sum/_count suffixes
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Metrics is a parsed Prometheus text scrape — just enough structure
+// for the load harness and smoke tests to diff two scrapes and rebuild
+// histogram quantiles; not a general-purpose parser.
+type Metrics struct {
+	// Types maps family name → counter|gauge|histogram.
+	Types   map[string]string
+	Samples []Sample
+}
+
+// ParseMetrics parses Prometheus text exposition format.
+func ParseMetrics(r io.Reader) (*Metrics, error) {
+	m := &Metrics{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				m.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %w", ln, err)
+		}
+		m.Samples = append(m.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, esc := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case inQuote && c == '\\':
+				esc = true
+			case c == '"':
+				inQuote = !inQuote
+			case !inQuote && c == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "+Inf" {
+		s.Value = math.Inf(1)
+		return s, nil
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	out := make(map[string]string)
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed labels %q", body)
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("malformed labels %q", body)
+		}
+		i++
+		var b strings.Builder
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if i >= len(body) {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		i++ // closing quote
+		out[name] = b.String()
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return out, nil
+}
+
+// matches reports whether the sample carries every pair in want
+// (ignoring extra labels such as le).
+func (s Sample) matches(want map[string]string) bool {
+	for k, v := range want {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the first sample named name whose labels include all
+// pairs in match (nil matches anything).
+func (m *Metrics) Value(name string, match map[string]string) (float64, bool) {
+	for _, s := range m.Samples {
+		if s.Name == name && s.matches(match) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumValues sums every sample of the exact name whose labels include
+// match — collapsing a labeled family to one number.
+func (m *Metrics) SumValues(name string, match map[string]string) (total float64, n int) {
+	for _, s := range m.Samples {
+		if s.Name == name && s.matches(match) {
+			total += s.Value
+			n++
+		}
+	}
+	return total, n
+}
+
+// CounterFamilies returns the names of all counter-typed families.
+func (m *Metrics) CounterFamilies() []string {
+	var out []string
+	for name, typ := range m.Types {
+		if typ == "counter" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistSummary is a histogram reconstructed from cumulative buckets.
+// Quantiles are upper-bound estimates (the le of the bucket holding
+// the target rank), so they inherit the native bucket resolution.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// bucketDeltas converts the family's cumulative buckets into per-bucket
+// deltas keyed by le, summed across all series matching match.
+func (m *Metrics) bucketDeltas(name string, match map[string]string) map[float64]float64 {
+	// Group by series (labels minus le) so cumulative→delta conversion
+	// happens within one series before cross-series aggregation.
+	type bkt struct{ le, cum float64 }
+	bySeries := make(map[string][]bkt)
+	for _, s := range m.Samples {
+		if s.Name != name+"_bucket" || !s.matches(match) {
+			continue
+		}
+		leStr, ok := s.Labels["le"]
+		if !ok {
+			continue
+		}
+		var le float64
+		if leStr == "+Inf" {
+			le = math.Inf(1)
+		} else {
+			v, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		keys := make([]string, 0, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				keys = append(keys, k+"="+v)
+			}
+		}
+		sort.Strings(keys)
+		sig := strings.Join(keys, ",")
+		bySeries[sig] = append(bySeries[sig], bkt{le, s.Value})
+	}
+	deltas := make(map[float64]float64)
+	for _, bkts := range bySeries {
+		sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+		prev := 0.0
+		for _, b := range bkts {
+			deltas[b.le] += b.cum - prev
+			prev = b.cum
+		}
+	}
+	return deltas
+}
+
+func summaryFromDeltas(deltas map[float64]float64, count int64, sum float64) HistSummary {
+	les := make([]float64, 0, len(deltas))
+	for le := range deltas {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	quantile := func(q float64) float64 {
+		if count == 0 {
+			return 0
+		}
+		target := math.Ceil(q * float64(count))
+		if target < 1 {
+			target = 1
+		}
+		var cum float64
+		for _, le := range les {
+			cum += deltas[le]
+			if cum >= target && !math.IsInf(le, 1) {
+				return le
+			}
+		}
+		// All mass in +Inf (shouldn't happen with native buckets); fall
+		// back to the largest finite bound.
+		for i := len(les) - 1; i >= 0; i-- {
+			if !math.IsInf(les[i], 1) {
+				return les[i]
+			}
+		}
+		return 0
+	}
+	return HistSummary{
+		Count: count, Sum: sum,
+		P50: quantile(0.50), P90: quantile(0.90),
+		P99: quantile(0.99), P999: quantile(0.999),
+	}
+}
+
+// Histogram reconstructs a histogram family (summing all series that
+// match) from one scrape.
+func (m *Metrics) Histogram(name string, match map[string]string) (HistSummary, bool) {
+	count, n := m.SumValues(name+"_count", match)
+	if n == 0 {
+		return HistSummary{}, false
+	}
+	sum, _ := m.SumValues(name+"_sum", match)
+	return summaryFromDeltas(m.bucketDeltas(name, match), int64(count), sum), true
+}
+
+// HistogramDelta reconstructs the histogram of observations made
+// BETWEEN two scrapes of the same process — the server-side view of
+// one load run. Returns false when the family is absent or shrank
+// (restart between scrapes).
+func HistogramDelta(start, end *Metrics, name string, match map[string]string) (HistSummary, bool) {
+	endCount, n := end.SumValues(name+"_count", match)
+	if n == 0 {
+		return HistSummary{}, false
+	}
+	startCount, _ := start.SumValues(name+"_count", match)
+	count := endCount - startCount
+	if count < 0 {
+		return HistSummary{}, false
+	}
+	endSum, _ := end.SumValues(name+"_sum", match)
+	startSum, _ := start.SumValues(name+"_sum", match)
+	startDeltas := start.bucketDeltas(name, match)
+	deltas := end.bucketDeltas(name, match)
+	for le, v := range startDeltas {
+		deltas[le] -= v
+	}
+	return summaryFromDeltas(deltas, int64(count), endSum-startSum), true
+}

@@ -1,0 +1,343 @@
+// Package obs is the daemon's observability plane: a dependency-free
+// metrics registry (counters, gauges, and latency histograms backed by
+// the mergeable workload/hist) rendered in Prometheus text exposition
+// format, plus a lightweight request-tracing layer (trace.go) whose
+// slow-request ring is queryable over the admin API.
+//
+// The paper's privacy model constrains what this package may carry:
+// telemetry is aggregate-only. Metric and label NAMES are checked
+// against a denylist (serial, account, card) at registration time and
+// registration panics on a match — per-user identifiers must never
+// become a metric dimension. Label values are expected to be
+// low-cardinality infrastructure terms (route patterns, store names,
+// status codes); the workload unlinkability test additionally asserts
+// the rendered output contains no per-user values.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2drm/internal/workload/hist"
+)
+
+// Denylist holds lowercase substrings that must not appear in metric or
+// label names: the observability plane is aggregate-only, and these are
+// the vocabulary of per-user identity in this codebase.
+var Denylist = []string{"serial", "account", "card"}
+
+// deniedWord returns the denylist entry s contains, or "".
+func deniedWord(s string) string {
+	ls := strings.ToLower(s)
+	for _, w := range Denylist {
+		if strings.Contains(ls, w) {
+			return w
+		}
+	}
+	return ""
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func checkName(kind, s string) {
+	if !nameRe.MatchString(s) {
+		panic(fmt.Sprintf("obs: invalid %s name %q", kind, s))
+	}
+	if w := deniedWord(s); w != "" {
+		panic(fmt.Sprintf("obs: %s name %q contains denylisted word %q (telemetry is aggregate-only)", kind, s, w))
+	}
+}
+
+func checkLabel(s string) {
+	if !labelRe.MatchString(s) {
+		panic(fmt.Sprintf("obs: invalid label name %q", s))
+	}
+	if w := deniedWord(s); w != "" {
+		panic(fmt.Sprintf("obs: label name %q contains denylisted word %q (telemetry is aggregate-only)", s, w))
+	}
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use. Registration helpers are
+// idempotent for an identical (name, type, labels) triple and panic on
+// a conflicting re-registration or a denylisted name.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	scale      float64 // histogram export multiplier (1e-9 for *_seconds)
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+type series struct {
+	labelValues []string
+	counter     *Counter
+	counterFn   func() int64
+	gauge       *Gauge
+	gaugeFn     func() float64
+	hist        *Histogram
+}
+
+const sigSep = "\x1f"
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	sig := strings.Join(values, sigSep)
+	f.mu.RLock()
+	s := f.series[sig]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[sig]; s != nil {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = &Histogram{h: hist.New(), scale: f.scale}
+	}
+	f.series[sig] = s
+	return s
+}
+
+// setFunc installs a scrape-time callback series, replacing any
+// existing series with the same label values.
+func (f *family) setFunc(values []string, cfn func() int64, gfn func() float64) {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	s := &series{labelValues: append([]string(nil), values...), counterFn: cfn, gaugeFn: gfn}
+	f.mu.Lock()
+	f.series[strings.Join(values, sigSep)] = s
+	f.mu.Unlock()
+}
+
+func (r *Registry) family(name, help string, kind metricKind, labels []string) *family {
+	checkName("metric", name)
+	for _, l := range labels {
+		checkLabel(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labelNames, labels) {
+			panic(fmt.Sprintf("obs: conflicting re-registration of %s", name))
+		}
+		return f
+	}
+	scale := 1.0
+	if kind == kindHistogram && strings.HasSuffix(name, "_seconds") {
+		scale = 1e-9 // recorded in nanoseconds, exported in seconds
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labels...),
+		scale:      scale,
+		series:     make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Families reports every registered family name with its label names —
+// the surface the metrics-name lint test audits on a fully wired
+// server.
+func (r *Registry) Families() map[string][]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string][]string, len(r.families))
+	for name, f := range r.families {
+		out[name] = append([]string(nil), f.labelNames...)
+	}
+	return out
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a latency/size distribution backed by workload/hist.
+// Values are recorded as raw int64 (nanoseconds for *_seconds
+// families, which export scaled to seconds).
+type Histogram struct {
+	h     *hist.Hist
+	scale float64
+}
+
+// Observe records one raw value.
+func (m *Histogram) Observe(v int64) { m.h.RecordValue(v) }
+
+// ObserveDuration records one duration in nanoseconds.
+func (m *Histogram) ObserveDuration(d time.Duration) { m.h.RecordValue(int64(d)) }
+
+// Hist exposes the underlying histogram (for tests and merging).
+func (m *Histogram) Hist() *hist.Hist { return m.h }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns (creating if needed) the counter for the label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).counter }
+
+// Func installs a scrape-time callback for the label values; fn must
+// be monotonic.
+func (v *CounterVec) Func(fn func() int64, values ...string) { v.f.setFunc(values, fn, nil) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns (creating if needed) the gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).gauge }
+
+// Func installs a scrape-time callback for the label values.
+func (v *GaugeVec) Func(fn func() float64, values ...string) { v.f.setFunc(values, nil, fn) }
+
+// HistogramVec is a histogram family with labels. A family name ending
+// in _seconds records nanoseconds and exports seconds; any other name
+// exports raw recorded values.
+type HistogramVec struct{ f *family }
+
+// With returns (creating if needed) the histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).hist }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labels)}
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labels)}
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, labels)}
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter { return r.CounterVec(name, help).With() }
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return r.GaugeVec(name, help).With() }
+
+// Histogram registers (or returns) an unlabeled histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.HistogramVec(name, help).With()
+}
+
+// CounterFunc registers an unlabeled scrape-time counter callback.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.CounterVec(name, help).Func(fn)
+}
+
+// GaugeFunc registers an unlabeled scrape-time gauge callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.GaugeVec(name, help).Func(fn)
+}
+
+// snapshot returns families sorted by name with series sorted by label
+// signature — the stable iteration order the exposition writer uses.
+func (r *Registry) snapshot() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	f.mu.RLock()
+	sigs := make([]string, 0, len(f.series))
+	for sig := range f.series {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]*series, len(sigs))
+	for i, sig := range sigs {
+		out[i] = f.series[sig]
+	}
+	f.mu.RUnlock()
+	return out
+}

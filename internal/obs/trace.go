@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request's timing record: an opaque ID, the route it
+// hit, and the spans layers below recorded via StartSpan. A Trace
+// carries no user identity — span names are code locations, never
+// serials, accounts, or card IDs.
+type Trace struct {
+	ID    string
+	Name  string
+	Start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one timed region inside a trace; offsets are relative to the
+// trace start.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+var (
+	traceSeq  atomic.Uint64
+	traceBase = func() string {
+		var b [4]byte
+		rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// NewTrace starts a trace for the named operation. IDs are unique per
+// process incarnation and carry no request content.
+func NewTrace(name string) *Trace {
+	return &Trace{
+		ID:    fmt.Sprintf("%s-%08x", traceBase, traceSeq.Add(1)),
+		Name:  name,
+		Start: time.Now(),
+	}
+}
+
+type traceKey struct{}
+
+// WithTrace attaches t to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil. The nil lookup is
+// the instrumentation off-switch: code paths outside a traced request
+// pay one context lookup and nothing else.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+var noopEnd = func() {}
+
+// StartSpan opens a named span on the context's trace and returns the
+// closer. Without a trace it returns a shared no-op, so instrumented
+// call sites cost a single context lookup when tracing is off.
+func StartSpan(ctx context.Context, name string) func() {
+	t := FromContext(ctx)
+	if t == nil {
+		return noopEnd
+	}
+	start := time.Since(t.Start)
+	return func() {
+		end := time.Since(t.Start)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, Dur: end - start})
+		t.mu.Unlock()
+	}
+}
+
+// TraceRecord is a finished trace as retained in the slow-request ring
+// and rendered by the admin traces endpoint.
+type TraceRecord struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Status    int       `json:"status"`
+	Start     time.Time `json:"start"`
+	Duration  int64     `json:"duration_ns"`
+	DurationS string    `json:"duration"`
+	Spans     []Span    `json:"spans,omitempty"`
+}
+
+// Tracer finishes traces: requests at or above the slow threshold are
+// kept in a fixed-size ring (newest wins) and logged through slog.
+type Tracer struct {
+	slow time.Duration
+	log  *slog.Logger
+
+	slowTotal atomic.Int64
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	n    int
+}
+
+// NewTracer returns a tracer retaining up to size slow traces at or
+// above the slow threshold. logger may be nil (slog.Default is used at
+// emit time).
+func NewTracer(size int, slow time.Duration, logger *slog.Logger) *Tracer {
+	if size < 1 {
+		size = 1
+	}
+	return &Tracer{slow: slow, log: logger, ring: make([]TraceRecord, size)}
+}
+
+// Threshold reports the slow-trace retention threshold.
+func (t *Tracer) Threshold() time.Duration { return t.slow }
+
+// SlowTotal counts traces that crossed the threshold since start.
+func (t *Tracer) SlowTotal() int64 { return t.slowTotal.Load() }
+
+// Finish records the end of a trace. Fast requests are dropped; slow
+// ones enter the ring and are logged.
+func (t *Tracer) Finish(tr *Trace, status int, dur time.Duration) {
+	if t == nil || tr == nil || dur < t.slow {
+		return
+	}
+	t.slowTotal.Add(1)
+	tr.mu.Lock()
+	spans := append([]Span(nil), tr.spans...)
+	tr.mu.Unlock()
+	rec := TraceRecord{
+		ID:        tr.ID,
+		Name:      tr.Name,
+		Status:    status,
+		Start:     tr.Start,
+		Duration:  int64(dur),
+		DurationS: dur.String(),
+		Spans:     spans,
+	}
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+	lg := t.log
+	if lg == nil {
+		lg = slog.Default()
+	}
+	lg.Warn("slow request",
+		"trace", tr.ID, "route", tr.Name, "status", status,
+		"dur", dur, "spans", len(spans))
+}
+
+// Slow returns the retained slow traces, newest first.
+func (t *Tracer) Slow() []TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		// newest first: walk backwards from the last written slot
+		idx := (t.next - 1 - i + len(t.ring)*2) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Plane bundles the registry and tracer one server exposes; httpapi
+// builds one per server and p2drmd hangs engine observers off it.
+type Plane struct {
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// NewPlane returns a plane with an empty registry and a 64-slot slow
+// ring at a 250ms threshold.
+func NewPlane() *Plane {
+	return &Plane{Reg: NewRegistry(), Tracer: NewTracer(64, 250*time.Millisecond, nil)}
+}

@@ -118,6 +118,7 @@ type Registry struct {
 	ops      map[string]*Operation
 	done     map[string]chan struct{} // closed when the op is terminal
 	resumers map[string]Resumer
+	finished map[Status]uint64 // cumulative terminal outcomes this process
 	closed   bool
 
 	ctx    context.Context
@@ -136,6 +137,7 @@ func New(store *kvstore.Store) *Registry {
 		ops:      make(map[string]*Operation),
 		done:     make(map[string]chan struct{}),
 		resumers: make(map[string]Resumer),
+		finished: make(map[Status]uint64),
 		ctx:      ctx,
 		cancel:   cancel,
 	}
@@ -209,6 +211,7 @@ func (r *Registry) abort(op *Operation, msg string) {
 	op.Status = StatusAborted
 	op.Error = msg
 	op.UpdatedAt = time.Now().UTC()
+	r.finished[StatusAborted]++
 	r.persistLocked(op)
 	r.closeDoneLocked(op.ID)
 	r.mu.Unlock()
@@ -269,6 +272,7 @@ func (r *Registry) run(op *Operation, task Task) {
 		op.Status = StatusAborted
 		op.Error = "ops: registry closed before the operation could start"
 		op.UpdatedAt = time.Now().UTC()
+		r.finished[StatusAborted]++
 		r.persistLocked(op) //nolint:errcheck — aborted state stays in memory regardless
 		r.closeDoneLocked(op.ID)
 		r.mu.Unlock()
@@ -305,6 +309,7 @@ func (r *Registry) finish(op *Operation, res any, err error) {
 		op.Status = StatusDone
 		op.Result = raw
 	}
+	r.finished[op.Status]++
 	op.UpdatedAt = time.Now().UTC()
 	r.persistLocked(op) //nolint:errcheck — terminal state stays in memory regardless
 	r.closeDoneLocked(op.ID)
@@ -361,6 +366,38 @@ func (r *Registry) List() []Operation {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// Counts is a census of the registry for telemetry: the current
+// population broken down by lifecycle state, plus cumulative terminal
+// outcomes since this process started. The cumulative tallies are
+// monotonic — GC reaping a done operation removes it from ByStatus but
+// never decrements Finished — so they are safe to export as counters.
+type Counts struct {
+	// ByStatus is the number of operations currently held in the
+	// registry per state (terminal ones linger until GC).
+	ByStatus map[Status]int `json:"by_status"`
+	// Finished tallies operations that reached each terminal state in
+	// this process (restart-adopted records that were already terminal
+	// when reloaded are not counted).
+	Finished map[Status]uint64 `json:"finished"`
+}
+
+// Counts returns the registry census.
+func (r *Registry) Counts() Counts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := Counts{
+		ByStatus: make(map[Status]int),
+		Finished: make(map[Status]uint64, len(r.finished)),
+	}
+	for _, op := range r.ops {
+		c.ByStatus[op.Status]++
+	}
+	for st, n := range r.finished {
+		c.Finished[st] = n
+	}
+	return c
 }
 
 // cloneOp deep-copies the mutable fields so snapshots cannot race the

@@ -36,6 +36,7 @@
 package payment
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"errors"
@@ -287,6 +288,12 @@ func (b *Bank) WithdrawCoins(accountID string, n int) ([]*Coin, error) {
 // concurrent deposits of one coin, exactly one succeeds — there is no
 // check-then-act window.
 func (b *Bank) Deposit(payeeAccount string, c *Coin) error {
+	return b.DepositCtx(context.Background(), payeeAccount, c)
+}
+
+// DepositCtx is Deposit with a caller context, so a traced request
+// records the ledger's group-commit wait as a span.
+func (b *Bank) DepositCtx(ctx context.Context, payeeAccount string, c *Coin) error {
 	if err := VerifyCoin(b.CoinPub(), c); err != nil {
 		return err
 	}
@@ -300,7 +307,7 @@ func (b *Bank) Deposit(payeeAccount string, c *Coin) error {
 		return fmt.Errorf("payment: unknown account %q", payeeAccount)
 	}
 	key := append([]byte("spent:"), c.Serial[:]...)
-	inserted, err := b.spent.PutIfAbsent(key, []byte{1})
+	inserted, err := b.spent.PutIfAbsentCtx(ctx, key, []byte{1})
 	if err != nil {
 		return fmt.Errorf("payment: ledger: %w", err)
 	}

@@ -421,7 +421,7 @@ func (p *Provider) Register(ctx context.Context, signPub, encPub []byte, proof *
 		return fmt.Errorf("%w: %v", ErrBadProof, err)
 	}
 	fp := p.fingerprint(signPub)
-	if err := p.cfg.Store.Put(regKey(fp), append(append([]byte(nil), signPub...), encPub...)); err != nil {
+	if err := p.cfg.Store.PutCtx(ctx, regKey(fp), append(append([]byte(nil), signPub...), encPub...)); err != nil {
 		return err
 	}
 	p.log(Event{Type: EvRegister, PseudonymFP: fp})
@@ -472,11 +472,11 @@ func (p *Provider) Purchase(ctx context.Context, req PurchaseRequest) (*license.
 	// No cancellation checks past this point: once money moves, the
 	// purchase must complete so the client is never charged licenseless.
 	for i, c := range req.Coins {
-		if err := p.cfg.Bank.Deposit(p.cfg.BankAccount, c); err != nil {
+		if err := p.cfg.Bank.DepositCtx(ctx, p.cfg.BankAccount, c); err != nil {
 			return nil, fmt.Errorf("provider: coin %d: %w", i, err)
 		}
 	}
-	lic, err := p.issue(item, req.SignPub, req.EncPub)
+	lic, err := p.issue(ctx, item, req.SignPub, req.EncPub)
 	if err != nil {
 		return nil, err
 	}
@@ -624,7 +624,7 @@ func (p *Provider) RedeemBatch(ctx context.Context, items []RedeemItem) []Redeem
 // issue builds and signs a personalized license for item to a pseudonym.
 // Both the KEM encapsulation in WrapKey and the RSA-FDH signature run
 // without any provider lock.
-func (p *Provider) issue(item *CatalogItem, signPub, encPub []byte) (*license.Personalized, error) {
+func (p *Provider) issue(ctx context.Context, item *CatalogItem, signPub, encPub []byte) (*license.Personalized, error) {
 	serial, err := license.NewSerial()
 	if err != nil {
 		return nil, err
@@ -651,7 +651,7 @@ func (p *Provider) issue(item *CatalogItem, signPub, encPub []byte) (*license.Pe
 	lic.ProviderSig = sig
 	// Persist the issuance so Exchange can later check the license is
 	// live and was really issued here.
-	if err := p.cfg.Store.Put([]byte("issued:"+serial.String()), lic.Marshal()); err != nil {
+	if err := p.cfg.Store.PutCtx(ctx, []byte("issued:"+serial.String()), lic.Marshal()); err != nil {
 		return nil, err
 	}
 	return lic, nil
@@ -776,14 +776,14 @@ func (p *Provider) Redeem(ctx context.Context, anon *license.Anonymous, signPub,
 	// The double-spend gate. If issue() fails after this point the
 	// serial stays burned — same recoverable-at-the-help-desk posture as
 	// the revoke-before-sign ordering in Exchange.
-	inserted, err := p.cfg.Store.PutIfAbsent(redeemedKey(anon.Serial), []byte{1})
+	inserted, err := p.cfg.Store.PutIfAbsentCtx(ctx, redeemedKey(anon.Serial), []byte{1})
 	if err != nil {
 		return nil, err
 	}
 	if !inserted {
 		return nil, ErrAlreadyRedeemed
 	}
-	lic, err := p.issue(item, signPub, encPub)
+	lic, err := p.issue(ctx, item, signPub, encPub)
 	if err != nil {
 		return nil, err
 	}

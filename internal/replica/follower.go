@@ -100,11 +100,15 @@ type Cursor struct {
 // Status is a point-in-time view of replication health, served by the
 // follower's /v1/replica/status.
 type Status struct {
-	State       string    `json:"state"` // init|snapshotting|tailing|error|promoted|stopped
-	Epoch       string    `json:"epoch,omitempty"`
-	Cursor      Cursor    `json:"cursor"`
-	CaughtUp    bool      `json:"caught_up"`
-	LagBytes    int64     `json:"lag_bytes"`
+	State    string `json:"state"` // init|snapshotting|tailing|error|promoted|stopped
+	Epoch    string `json:"epoch,omitempty"`
+	Cursor   Cursor `json:"cursor"`
+	CaughtUp bool   `json:"caught_up"`
+	LagBytes int64  `json:"lag_bytes"`
+	// LagSegments counts whole primary segments between the cursor and
+	// the primary's active segment (0 = tailing the active segment,
+	// -1 = unknown, e.g. before the first fetch).
+	LagSegments int64     `json:"lag_segments"`
 	LastContact time.Time `json:"last_contact,omitempty"`
 	LastError   string    `json:"last_error,omitempty"`
 	Records     int64     `json:"records_applied"`
@@ -113,11 +117,24 @@ type Status struct {
 	Promoted    bool      `json:"promoted"`
 }
 
+// Observer receives replication timing events for the observability
+// plane. Every field is optional; callbacks run inline on the tail
+// loop and must be fast and concurrency-safe.
+type Observer struct {
+	// FetchSeconds observes each primary chunk fetch (tail and snapshot).
+	FetchSeconds func(time.Duration)
+	// ApplySeconds observes each local batch-apply of fetched bytes.
+	ApplySeconds func(time.Duration)
+}
+
 // Follower tails a primary into its own local store and serves
 // read-only traffic from it.
 type Follower struct {
 	opts     Options
 	maxChunk atomic.Int64
+	// obsHook is the optional timing observer (SetObserver); atomic so
+	// the tail loop reads it lock-free.
+	obsHook atomic.Pointer[Observer]
 
 	mu      sync.RWMutex
 	store   *kvstore.Store
@@ -170,6 +187,7 @@ func Open(opts Options) (*Follower, error) {
 	}
 	f.maxChunk.Store(opts.MaxChunk)
 	f.status.State = "init"
+	f.status.LagSegments = -1
 
 	if opts.Dir == "" {
 		st, err := kvstore.OpenWith("", opts.KV)
@@ -320,6 +338,23 @@ func (f *Follower) logf(format string, args ...any) {
 	}
 }
 
+// SetObserver installs (or clears, with nil) the timing observer.
+// Intended to be called once, before Start.
+func (f *Follower) SetObserver(o *Observer) { f.obsHook.Store(o) }
+
+// fetchTimed wraps one Fetcher.Segment call with the observer's fetch
+// histogram.
+func (f *Follower) fetchTimed(id uint64, from, max int64, wantGen uint64, pinID string) (*Chunk, error) {
+	o := f.obsHook.Load()
+	if o == nil || o.FetchSeconds == nil {
+		return f.opts.Fetch.Segment(id, from, max, wantGen, pinID)
+	}
+	t0 := time.Now()
+	ch, err := f.opts.Fetch.Segment(id, from, max, wantGen, pinID)
+	o.FetchSeconds(time.Since(t0))
+	return ch, err
+}
+
 // Start launches the tail loop (idempotent).
 func (f *Follower) Start() {
 	f.startOnce.Do(func() { go f.run() })
@@ -458,7 +493,7 @@ func (f *Follower) step() (bool, error) {
 		// No trusted position: bootstrap via snapshot.
 		return false, kvstore.ErrSegmentGone
 	}
-	ch, err := f.opts.Fetch.Segment(cur.Seg, cur.Off, f.maxChunk.Load(), cur.Gen, "")
+	ch, err := f.fetchTimed(cur.Seg, cur.Off, f.maxChunk.Load(), cur.Gen, "")
 	if err != nil {
 		return false, err
 	}
@@ -516,6 +551,15 @@ func (f *Follower) commitCursor(cur Cursor, ch *Chunk) {
 		f.status.LagBytes = -1
 		f.status.CaughtUp = false
 	}
+	switch {
+	case ch == nil || ch.ActiveID == 0:
+		// Primary predates ActiveID reporting, or nothing fetched yet.
+		f.status.LagSegments = -1
+	case ch.ActiveID >= cur.Seg:
+		f.status.LagSegments = int64(ch.ActiveID - cur.Seg)
+	default:
+		f.status.LagSegments = 0
+	}
 	f.mu.Unlock()
 	f.persistCursor(cur)
 }
@@ -533,6 +577,10 @@ func (f *Follower) commitCursor(cur Cursor, ch *Chunk) {
 // rejection here would stall replication forever, since every retry
 // would rebuild the identical batch.
 func (f *Follower) applyBytes(st *kvstore.Store, data []byte) (int64, int64, error) {
+	if o := f.obsHook.Load(); o != nil && o.ApplySeconds != nil {
+		t0 := time.Now()
+		defer func() { o.ApplySeconds(time.Since(t0)) }()
+	}
 	var lastFlushed, prevEnd, flushedRecs, pendingRecs int64
 	batch := new(kvstore.Batch)
 	batchBytes := 0
@@ -692,7 +740,7 @@ func (f *Follower) fetchSegmentInto(st *kvstore.Store, m *Manifest, seg kvstore.
 	var pending []byte
 	sum := crc32.NewIEEE()
 	for off < seg.Bytes {
-		ch, err := f.opts.Fetch.Segment(seg.ID, off, f.maxChunk.Load(), seg.Gen, m.PinID)
+		ch, err := f.fetchTimed(seg.ID, off, f.maxChunk.Load(), seg.Gen, m.PinID)
 		if err != nil {
 			return err
 		}

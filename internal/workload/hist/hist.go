@@ -146,6 +146,36 @@ func (h *Hist) Merge(o *Hist) {
 // Count returns the number of recorded observations.
 func (h *Hist) Count() int64 { return h.count.Load() }
 
+// Sum returns the exact sum of all recorded values.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Bucket is one non-empty native slot in cumulative (Prometheus-style)
+// form: Count observations were ≤ Upper. Upper is the slot's inclusive
+// high bound, so re-binning a Buckets() dump loses nothing the
+// histogram had not already quantized away.
+type Bucket struct {
+	Upper int64 // inclusive upper bound of the slot
+	Count int64 // cumulative observations ≤ Upper
+}
+
+// Buckets snapshots the non-empty slots in ascending order with
+// cumulative counts — the exact shape a Prometheus histogram exposition
+// needs. The final bucket's Count equals the total at snapshot time.
+func (h *Hist) Buckets() []Bucket {
+	var out []Bucket
+	var cum int64
+	for s := 0; s < slots; s++ {
+		c := h.counts[s].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, high := slotBounds(s)
+		out = append(out, Bucket{Upper: high, Count: cum})
+	}
+	return out
+}
+
 // Max returns the exact largest recorded value (0 when empty).
 func (h *Hist) Max() int64 {
 	if h.count.Load() == 0 {

@@ -5,6 +5,8 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http/httptest"
 	"reflect"
 	"sync"
@@ -147,7 +149,12 @@ func newLoadHarness(t *testing.T, contents int) (Topology, *provider.Provider) {
 			t.Fatal(err)
 		}
 	}
-	srv := httptest.NewServer(httpapi.NewServer(prov).WithBank(bank))
+	// Retain EVERY request trace (threshold 0) into a quiet ring, so
+	// tests can inspect exactly what an operator's trace endpoint would
+	// retain under the least favourable (retain-everything) setting.
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := httptest.NewServer(httpapi.NewServer(prov).WithBank(bank).
+		WithTraceRetention(256, 0, quiet))
 	t.Cleanup(srv.Close)
 	primary := httpapi.NewClient(srv.URL, schnorr.Group768())
 	reader := httpapi.NewClient(srv.URL, schnorr.Group768())

@@ -14,6 +14,9 @@ package workload
 
 import (
 	"context"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -22,9 +25,11 @@ import (
 )
 
 // runPlaybackPairs executes K interleaved playback pairs and returns
-// the correlation count: how many pairs the provider-side attack
-// managed to connect from its own journal.
-func runPlaybackPairs(t *testing.T, k int, linkable bool) (correlated int, pairs []PlaybackPair) {
+// the correlation count — how many pairs the provider-side attack
+// managed to connect from its own journal — plus the executor and
+// topology so follow-on assertions can inspect the run's ground truth
+// and the live server's observability surface.
+func runPlaybackPairs(t *testing.T, k int, linkable bool) (correlated int, pairs []PlaybackPair, ex *Executor, topo Topology) {
 	t.Helper()
 	topo, prov := newLoadHarness(t, 1)
 	cfg := ScenarioConfig{
@@ -83,7 +88,7 @@ func runPlaybackPairs(t *testing.T, k int, linkable bool) (correlated int, pairs
 			correlated++
 		}
 	}
-	return correlated, pairs
+	return correlated, pairs, ex, topo
 }
 
 // TestPlaybackUnlinkability: with blinding, the provider cannot
@@ -91,7 +96,7 @@ func runPlaybackPairs(t *testing.T, k int, linkable bool) (correlated int, pairs
 // random-guess baseline.
 func TestPlaybackUnlinkability(t *testing.T) {
 	const k = 8
-	correlated, pairs := runPlaybackPairs(t, k, false)
+	correlated, pairs, _, _ := runPlaybackPairs(t, k, false)
 	// Random guessing links 1/K of pairs in expectation; the attack's
 	// rules (pseudonym reuse, blinded-hash matching) find nothing at
 	// all against fresh pseudonyms and properly blinded blobs.
@@ -101,12 +106,84 @@ func TestPlaybackUnlinkability(t *testing.T) {
 	}
 }
 
+// TestObservabilityCarriesNoIdentifiers extends the unlinkability
+// property to the telemetry plane: after a full playback run, the
+// Prometheus scrape and the retained request traces — the two artifacts
+// an operator (or anyone who compromises the monitoring pipeline) can
+// read — must contain none of the run's linkable identifiers: anonymous
+// license serials, blinded-blob encodings, bank account IDs, or the
+// smartcards' pseudonym public keys. The harness retains EVERY trace
+// (threshold 0), so this holds even under the least favourable
+// retention setting.
+func TestObservabilityCarriesNoIdentifiers(t *testing.T) {
+	const k = 8
+	_, pairs, ex, topo := runPlaybackPairs(t, k, false)
+
+	rawMetrics, err := topo.Primary.MetricsV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := topo.Primary.TracesV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces.Traces) == 0 {
+		t.Fatal("trace ring empty — retention misconfigured, assertions would be vacuous")
+	}
+	rawTraces, err := json.Marshal(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The run's ground-truth identifiers, in the encodings a leak would
+	// most plausibly use.
+	type secret struct{ kind, value string }
+	var secrets []secret
+	for _, p := range pairs {
+		secrets = append(secrets,
+			secret{"anonymous serial", p.AnonSerial},
+			secret{"blinded blob", p.BlindedHash})
+	}
+	g := topo.Primary.Group
+	for _, u := range ex.users {
+		secrets = append(secrets, secret{"bank account", u.account})
+		// Pseudonym public keys ARE the smartcard's identity as the
+		// provider sees it; check the first few indices the run used.
+		for idx := uint32(0); idx < 4; idx++ {
+			ps, err := u.card.Pseudonym(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			secrets = append(secrets,
+				secret{"pseudonym sign key", hex.EncodeToString(ps.SignPublic(g))},
+				secret{"pseudonym enc key", hex.EncodeToString(ps.EncPublic(g))})
+		}
+	}
+
+	for _, surface := range []struct {
+		name string
+		body string
+	}{
+		{"/v2/metrics", string(rawMetrics)},
+		{"/v2/debug/traces", string(rawTraces)},
+	} {
+		for _, s := range secrets {
+			if s.value == "" {
+				t.Fatalf("empty %s secret — harness ground truth broken", s.kind)
+			}
+			if strings.Contains(surface.body, s.value) {
+				t.Errorf("%s leaks a %s: %q", surface.name, s.kind, s.value)
+			}
+		}
+	}
+}
+
 // TestPlaybackLinkableControl: the same harness with blinding disabled
 // must link EVERY pair — the negative control proving the property
 // test has teeth.
 func TestPlaybackLinkableControl(t *testing.T) {
 	const k = 8
-	correlated, pairs := runPlaybackPairs(t, k, true)
+	correlated, pairs, _, _ := runPlaybackPairs(t, k, true)
 	if correlated != len(pairs) {
 		t.Errorf("linkable control: attack correlated %d/%d pairs, want all",
 			correlated, len(pairs))

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke timing-guard fuzz-smoke kv-crash replica-crash load-smoke examples fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-gate bench-smoke timing-guard fuzz-smoke kv-crash replica-crash load-smoke examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,16 @@ bench:
 BENCHTIME ?= 2s
 bench-json:
 	$(GO) test -run=NONE -bench='BenchmarkT[23]_' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+
+# Regression gate: rerun the T2_/T3_ families GATECOUNT times, collapse
+# each benchmark to its median, and fail if any T3 batch median is more
+# than 10% slower than the committed BENCH_PR8.json. Never rewrites the
+# baseline — refresh it deliberately with `make bench-json` on a quiet
+# box. Cross-box numbers are advisory: CI runs this continue-on-error.
+GATECOUNT ?= 3
+bench-gate:
+	$(GO) test -run=NONE -bench='BenchmarkT[23]_' -benchtime=$(BENCHTIME) -count=$(GATECOUNT) . | \
+		$(GO) run ./cmd/benchjson -gate BENCH_PR8.json -gate-match '^BenchmarkT3_.*Batch' -gate-tolerance 0.10
 
 # One iteration per benchmark: proves they compile and run.
 bench-smoke:

@@ -2,11 +2,20 @@
 // machine-readable JSON report: benchmark name → ns/op (plus iteration
 // counts and the box identification lines), so CI can archive per-PR
 // performance snapshots and tooling can diff them without scraping
-// bench text.
+// bench text. A benchmark that appears more than once on stdin (from
+// -count=N) is collapsed to its MEDIAN ns/op — the standard defence
+// against one noisy run polluting the snapshot.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'T2_|T3_' -benchtime 2s . | benchjson -o BENCH_PR8.json
+//
+// Gate mode diffs the current run against a committed baseline instead
+// of archiving it, failing (exit 1) when any matched benchmark's median
+// regressed past the tolerance. It never writes the baseline:
+//
+//	go test -run '^$' -bench T3_ -count 3 . | \
+//	    benchjson -gate BENCH_PR8.json -gate-match '^BenchmarkT3_.*Batch' -gate-tolerance 0.10
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,17 +43,26 @@ type Report struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// Result is one benchmark line.
+// Result is one benchmark's collapsed report: the median ns/op across
+// however many runs stdin carried, with Samples recording how many.
 type Result struct {
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	Samples    int     `json:"samples,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
 
-// parse reads `go test -bench` text and collects the report.
+type sample struct {
+	iters int64
+	ns    float64
+}
+
+// parse reads `go test -bench` text and collects the report, collapsing
+// repeated lines per benchmark (-count=N) to the median ns/op.
 func parse(r io.Reader) (Report, error) {
 	rep := Report{Benchmarks: make(map[string]Result)}
+	acc := make(map[string][]sample)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -73,13 +92,60 @@ func parse(r io.Reader) (Report, error) {
 		if err != nil {
 			continue
 		}
-		rep.Benchmarks[m[1]] = Result{Iterations: iters, NsPerOp: ns}
+		acc[m[1]] = append(acc[m[1]], sample{iters: iters, ns: ns})
+	}
+	for name, runs := range acc {
+		sort.Slice(runs, func(i, j int) bool { return runs[i].ns < runs[j].ns })
+		med := runs[(len(runs)-1)/2] // lower middle for even counts: the faster of the two
+		res := Result{Iterations: med.iters, NsPerOp: med.ns}
+		if len(runs) > 1 {
+			res.Samples = len(runs)
+			if len(runs)%2 == 0 {
+				res.NsPerOp = (runs[len(runs)/2-1].ns + runs[len(runs)/2].ns) / 2
+			}
+		}
+		rep.Benchmarks[name] = res
 	}
 	return rep, sc.Err()
 }
 
+// gate compares cur against base over the benchmarks matching re and
+// returns one line per median regression beyond tol (e.g. 0.10 = 10%).
+// A baseline benchmark missing from the current run is a finding too —
+// a silently deleted benchmark must not pass the gate. An error is
+// returned when the regexp matches nothing in the baseline: a vacuous
+// gate guards nothing.
+func gate(cur, base Report, re *regexp.Regexp, tol float64) (bad []string, matched int, err error) {
+	var names []string
+	for name := range base.Benchmarks {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, 0, fmt.Errorf("gate pattern %q matches no baseline benchmark", re)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from current run (baseline %.0f ns/op)", name, b.NsPerOp))
+			continue
+		}
+		if limit := b.NsPerOp * (1 + tol); c.NsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol))
+		}
+	}
+	return bad, len(names), nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	gateFile := flag.String("gate", "", "baseline JSON to gate against (exit 1 on regression; never written)")
+	gateMatch := flag.String("gate-match", "", "regexp selecting which baseline benchmarks the gate checks (default: all)")
+	gateTol := flag.Float64("gate-tolerance", 0.10, "allowed median slowdown vs baseline (0.10 = 10%)")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -89,17 +155,46 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		log.Fatal("benchjson: no benchmark lines found on stdin")
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		log.Fatalf("benchjson: encode: %v", err)
+	if *out != "" || *gateFile == "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("benchjson: encode: %v", err)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				log.Fatalf("benchjson: %v", err)
+			}
+			fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+		}
 	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
+	if *gateFile == "" {
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	raw, err := os.ReadFile(*gateFile)
+	if err != nil {
+		log.Fatalf("benchjson: baseline: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("benchjson: baseline %s: %v", *gateFile, err)
+	}
+	re, err := regexp.Compile(*gateMatch)
+	if err != nil {
+		log.Fatalf("benchjson: -gate-match: %v", err)
+	}
+	bad, matched, err := gate(rep, base, re, *gateTol)
+	if err != nil {
 		log.Fatalf("benchjson: %v", err)
 	}
-	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	if len(bad) > 0 {
+		for _, line := range bad {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION "+line)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: gate ok against %s (%d benchmarks within %.0f%%)\n",
+		*gateFile, matched, 100**gateTol)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -43,5 +44,74 @@ ok  	p2drm	13.218s
 		if got != w {
 			t.Fatalf("%s = %+v, want %+v", name, got, w)
 		}
+	}
+}
+
+// TestParseMedian: -count=N repeats each benchmark line; the report
+// must carry the median ns/op (odd: middle; even: mean of middles) so
+// one noisy run cannot move the snapshot.
+func TestParseMedian(t *testing.T) {
+	input := `BenchmarkT3_PurchaseBatch-4 	 100	 900 ns/op
+BenchmarkT3_PurchaseBatch-4 	 100	 5000 ns/op
+BenchmarkT3_PurchaseBatch-4 	 100	 1000 ns/op
+BenchmarkT3_ExchangeBatch-4 	 200	 400 ns/op
+BenchmarkT3_ExchangeBatch-4 	 200	 600 ns/op
+`
+	rep, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd := rep.Benchmarks["BenchmarkT3_PurchaseBatch"]
+	if odd.NsPerOp != 1000 || odd.Samples != 3 {
+		t.Fatalf("odd-count median = %+v, want 1000 ns/op over 3 samples", odd)
+	}
+	even := rep.Benchmarks["BenchmarkT3_ExchangeBatch"]
+	if even.NsPerOp != 500 || even.Samples != 2 {
+		t.Fatalf("even-count median = %+v, want 500 ns/op over 2 samples", even)
+	}
+	// A single run keeps its exact value and omits Samples.
+	single, err := parse(strings.NewReader("BenchmarkT3_Solo-4 	 10	 123 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.Benchmarks["BenchmarkT3_Solo"]; got.NsPerOp != 123 || got.Samples != 0 {
+		t.Fatalf("single run = %+v", got)
+	}
+}
+
+// TestGate: regressions past tolerance fail, within-tolerance pass,
+// deleted benchmarks fail, and a vacuous pattern errors.
+func TestGate(t *testing.T) {
+	base := Report{Benchmarks: map[string]Result{
+		"BenchmarkT3_PurchaseBatch": {NsPerOp: 1000},
+		"BenchmarkT3_ExchangeBatch": {NsPerOp: 2000},
+		"BenchmarkT2_Other":         {NsPerOp: 50},
+	}}
+	re := regexp.MustCompile(`^BenchmarkT3_.*Batch`)
+
+	cur := Report{Benchmarks: map[string]Result{
+		"BenchmarkT3_PurchaseBatch": {NsPerOp: 1050}, // +5%: inside 10%
+		"BenchmarkT3_ExchangeBatch": {NsPerOp: 2100}, // +5%
+		"BenchmarkT2_Other":         {NsPerOp: 5000}, // unmatched: ignored
+	}}
+	bad, matched, err := gate(cur, base, re, 0.10)
+	if err != nil || len(bad) != 0 || matched != 2 {
+		t.Fatalf("clean gate: bad=%v matched=%d err=%v", bad, matched, err)
+	}
+
+	cur.Benchmarks["BenchmarkT3_PurchaseBatch"] = Result{NsPerOp: 1200} // +20%
+	bad, _, err = gate(cur, base, re, 0.10)
+	if err != nil || len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkT3_PurchaseBatch") {
+		t.Fatalf("regression not flagged: bad=%v err=%v", bad, err)
+	}
+
+	delete(cur.Benchmarks, "BenchmarkT3_ExchangeBatch")
+	bad, _, err = gate(cur, base, re, 0.10)
+	if err != nil || len(bad) != 2 {
+		t.Fatalf("deleted benchmark not flagged: bad=%v err=%v", bad, err)
+	}
+
+	if _, _, err := gate(cur, base, regexp.MustCompile(`^BenchmarkT9_`), 0.10); err == nil {
+		t.Fatal("vacuous gate pattern did not error")
 	}
 }

@@ -37,21 +37,23 @@ func freePort(t *testing.T) int {
 	return port
 }
 
-// waitHTTP polls url until it answers 200 or the deadline passes.
-func waitHTTP(t *testing.T, url string, deadline time.Duration) {
+// waitReady polls the daemon's /v2/health until it answers 200 (ok or
+// degraded — both mean "can serve") or the deadline passes. Readiness
+// rides the health plane instead of guessing at a representative route.
+func waitReady(t *testing.T, baseURL string, deadline time.Duration) {
 	t.Helper()
 	end := time.Now().Add(deadline)
 	for time.Now().Before(end) {
-		resp, err := http.Get(url)
+		resp, err := http.Get(baseURL + "/v2/health")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
 				return
 			}
 		}
-		time.Sleep(100 * time.Millisecond)
+		time.Sleep(50 * time.Millisecond)
 	}
-	t.Fatalf("daemon at %s not ready after %s", url, deadline)
+	t.Fatalf("daemon at %s not healthy after %s", baseURL, deadline)
 }
 
 func startDaemon(t *testing.T, bin string, args ...string) {
@@ -100,6 +102,10 @@ var coreFamilies = []string{
 	"p2drm_ops_finished_total",
 	"p2drm_crypto_group_precomputed",
 	"p2drm_crypto_batch_verify_runs_total",
+	"p2drm_health_status",
+	"p2drm_health_transitions_total",
+	"p2drm_slo_availability_ratio",
+	"p2drm_slo_latency_burn_rate",
 }
 
 func TestLoadSmoke(t *testing.T) {
@@ -126,10 +132,10 @@ func TestLoadSmoke(t *testing.T) {
 	// fallback instead of actually replicating.
 	startDaemon(t, p2drmd, "-lab", "-state", filepath.Join(bin, "primary-state"),
 		"-addr", fmt.Sprintf("127.0.0.1:%d", primaryPort))
-	waitHTTP(t, primaryURL+"/v1/catalog", 30*time.Second)
+	waitReady(t, primaryURL, 30*time.Second)
 	startDaemon(t, p2drmd, "-lab", "-seed-demo=false", "-state", filepath.Join(bin, "replica-state"),
 		"-addr", fmt.Sprintf("127.0.0.1:%d", replicaPort), "-replica-of", primaryURL)
-	waitHTTP(t, replicaURL+"/v1/replica/status", 30*time.Second)
+	waitReady(t, replicaURL, 30*time.Second)
 
 	// Pre-run scrape: every core family must exist before any load —
 	// families register at construction, not first increment.
@@ -140,7 +146,7 @@ func TestLoadSmoke(t *testing.T) {
 		}
 	}
 	replicaMetrics := scrape(t, replicaURL)
-	for _, fam := range []string{"p2drm_replica_lag_bytes", "p2drm_replica_lag_segments", "p2drm_replica_records_applied_total"} {
+	for _, fam := range []string{"p2drm_replica_lag_bytes", "p2drm_replica_lag_segments", "p2drm_replica_lag_known", "p2drm_replica_records_applied_total"} {
 		if _, ok := replicaMetrics.Types[fam]; !ok {
 			t.Errorf("replica metric family %q missing from replica /v2/metrics", fam)
 		}
@@ -228,5 +234,100 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if full.ServerDelta == nil || full.ServerDelta.HTTPLatency == nil || full.ServerDelta.HTTPLatency.Count == 0 {
 		t.Error("report missing server-side latency delta")
+	}
+
+	// One capacity-sweep step against the live topology: the curve
+	// machinery (stepped run, merged client p99, post-step health
+	// verdict, JSON schema) end to end. A single low-rate step must not
+	// breach anything.
+	sweepOut := filepath.Join(bin, "sweep.json")
+	cmd = exec.Command(p2drmLoad,
+		"-lab", "-primary", primaryURL,
+		"-scenario", "mixed", "-sweep", "-sweep-steps", "1",
+		"-rps", "15", "-duration", "2s", "-users", "4", "-seed", "11",
+		"-slo-p99", "2s", "-out", sweepOut)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("p2drm-load -sweep failed: %v\n%s", err, out)
+	} else {
+		t.Logf("sweep:\n%s", out)
+	}
+	rawSweep, err := os.ReadFile(sweepOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sw struct {
+		Steps []struct {
+			Step        int     `json:"step"`
+			AchievedRPS float64 `json:"achieved_rps"`
+			Sent        int64   `json:"sent"`
+			P99         int64   `json:"p99_ns"`
+			Health      string  `json:"health"`
+			Breach      string  `json:"breach"`
+		} `json:"steps"`
+		StopReason  string  `json:"stop_reason"`
+		CapacityRPS float64 `json:"capacity_rps"`
+	}
+	if err := json.Unmarshal(rawSweep, &sw); err != nil {
+		t.Fatalf("sweep report not valid JSON: %v\n%s", err, rawSweep)
+	}
+	if len(sw.Steps) != 1 || sw.StopReason != "max-steps" {
+		t.Fatalf("sweep: want 1 clean step, got %s", rawSweep)
+	}
+	st := sw.Steps[0]
+	if st.Sent == 0 || st.AchievedRPS <= 0 || st.P99 <= 0 {
+		t.Errorf("sweep step empty: %+v", st)
+	}
+	if st.Health == "" || st.Health == "unavailable" || st.Health == "failing" {
+		t.Errorf("sweep step health = %q, want a live ok/degraded verdict", st.Health)
+	}
+	if sw.CapacityRPS <= 0 {
+		t.Errorf("sweep capacity = %v, want > 0", sw.CapacityRPS)
+	}
+	// CI archives the curve when asked to.
+	if dst := os.Getenv("P2DRM_SWEEP_OUT"); dst != "" {
+		if err := os.WriteFile(dst, rawSweep, 0o644); err != nil {
+			t.Errorf("archive sweep report: %v", err)
+		}
+	}
+
+	// Short soak: the per-interval latency series must tile the run —
+	// interval sent counts and histogram counts both sum to the totals.
+	soakOut := filepath.Join(bin, "soak.json")
+	cmd = exec.Command(p2drmLoad,
+		"-lab", "-primary", primaryURL,
+		"-scenario", "mixed", "-soak", "-soak-interval", "1s",
+		"-rps", "15", "-duration", "3s", "-users", "4", "-seed", "13",
+		"-out", soakOut)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("p2drm-load -soak failed: %v\n%s", err, out)
+	}
+	rawSoak, err := os.ReadFile(soakOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var soak struct {
+		Soak []struct {
+			Sent    int64 `json:"sent"`
+			Latency struct {
+				Count int64 `json:"count"`
+				P99   int64 `json:"p99_ns"`
+			} `json:"latency"`
+		} `json:"soak"`
+		Result *workload.LoadResult `json:"result"`
+	}
+	if err := json.Unmarshal(rawSoak, &soak); err != nil {
+		t.Fatalf("soak report not valid JSON: %v\n%s", err, rawSoak)
+	}
+	if len(soak.Soak) < 2 || soak.Result == nil {
+		t.Fatalf("soak: want ≥ 2 interval points, got %s", rawSoak)
+	}
+	var intervalSent, intervalDone int64
+	for _, sp := range soak.Soak {
+		intervalSent += sp.Sent
+		intervalDone += sp.Latency.Count
+	}
+	if intervalSent != soak.Result.Sent || intervalDone != soak.Result.Sent {
+		t.Errorf("soak intervals do not tile the run: sent %d done %d want %d",
+			intervalSent, intervalDone, soak.Result.Sent)
 	}
 }

@@ -154,6 +154,7 @@ func main() {
 		noncePool    = flag.Int("crypto-nonce-pool", 256, "Schnorr/KEM nonce pool capacity (0 disables pooling)")
 		poolFillers  = flag.Int("crypto-pool-fillers", 1, "background filler goroutines per crypto pool")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		sloLatency   = flag.Duration("slo-latency", 250*time.Millisecond, "per-request latency SLO target feeding /v2/health and the p2drm_slo_* families")
 	)
 	flag.Parse()
 
@@ -174,7 +175,7 @@ func main() {
 	auth := httpapi.Auth{UserToken: *userToken, AdminToken: *adminToken}
 
 	if *replicaOf != "" {
-		runReplica(*addr, *adminSocket, *stateDir, *replicaOf, *primaryToken, *replicaPoll, walOpts, auth)
+		runReplica(*addr, *adminSocket, *stateDir, *replicaOf, *primaryToken, *replicaPoll, *sloLatency, walOpts, auth)
 		return
 	}
 	slog.Info("starting",
@@ -293,10 +294,14 @@ valid until "2030-01-01T00:00:00Z";
 	// Feed the storage engines' timing hooks into the same registry
 	// /v2/metrics renders: fsync/commit-wait/compaction per store.
 	plane := handler.Obs()
+	plane.SLO.SetLatencyTarget(*sloLatency)
 	store.SetObserver(httpapi.StoreObserver(plane, "provider"))
 	spent.SetObserver(httpapi.StoreObserver(plane, "bank"))
 	if opsStore != nil {
 		opsStore.SetObserver(httpapi.StoreObserver(plane, "ops"))
+		// The ops store is wired outside WithStoreStats, so its WAL and
+		// compaction health probes need explicit registration.
+		httpapi.StoreHealth(plane, "ops", opsStore)
 	}
 	// Adopt operations a previous process left running (the registry is
 	// durable under <state>/ops): idempotent kinds re-run, the rest are
@@ -446,7 +451,7 @@ func serveAdminSocket(path string, handler http.Handler) (*http.Server, error) {
 // reconnect/backoff) and serve the read-only replica HTTP surface. No
 // keys are generated — a replica holds replicated state, not signing
 // capability; POST /v2/replica/promote opens the stores for writes.
-func runReplica(addr, adminSocket, stateDir, primaryURL, primaryToken string, poll time.Duration, walOpts kvstore.Options, auth httpapi.Auth) {
+func runReplica(addr, adminSocket, stateDir, primaryURL, primaryToken string, poll, sloLatency time.Duration, walOpts kvstore.Options, auth httpapi.Auth) {
 	slog.Info("replica mode", "primary", primaryURL, "poll", poll)
 	client := httpapi.NewClient(primaryURL, nil)
 	// The replication reads are guest-tier, but releasing a pin lease is
@@ -489,8 +494,13 @@ func runReplica(addr, adminSocket, stateDir, primaryURL, primaryToken string, po
 	handler := httpapi.NewReplicaServer(followers).WithOps(reg).WithAuth(auth)
 	// Feed fetch/apply timings into the follower server's registry.
 	plane := handler.Obs()
+	plane.SLO.SetLatencyTarget(sloLatency)
 	for name, f := range followers {
 		f.SetObserver(httpapi.FollowerObserver(plane, name))
+	}
+	if opsStore != nil {
+		opsStore.SetObserver(httpapi.StoreObserver(plane, "ops"))
+		httpapi.StoreHealth(plane, "ops", opsStore)
 	}
 	if resumed, aborted := handler.ResumeOps(); resumed+aborted > 0 {
 		slog.Info("adopted operations from previous run", "resumed", resumed, "aborted", aborted)

@@ -36,8 +36,12 @@ type Pool[T any] struct {
 // PoolStats is a point-in-time gauge snapshot of a pool, exported on the
 // daemon stats surface.
 type PoolStats struct {
-	Capacity int     `json:"capacity"`
-	Depth    int     `json:"depth"`
+	Capacity int `json:"capacity"`
+	Depth    int `json:"depth"`
+	// LowWater is the refill-hysteresis threshold: fillers wake when
+	// Depth drops below it. Depth persistently below LowWater means the
+	// fillers cannot keep up with demand (pool starvation).
+	LowWater int     `json:"low_water"`
 	Hits     uint64  `json:"hits"`
 	Misses   uint64  `json:"misses"`
 	Filled   uint64  `json:"filled"`
@@ -157,6 +161,7 @@ func (p *Pool[T]) Stats() PoolStats {
 	s := PoolStats{
 		Capacity: cap(p.ch),
 		Depth:    len(p.ch),
+		LowWater: p.low,
 		Hits:     p.hits.Load(),
 		Misses:   p.misses.Load(),
 		Filled:   p.filled.Load(),

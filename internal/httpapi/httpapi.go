@@ -105,6 +105,7 @@ func NewServer(p *provider.Provider) *Server {
 	s.registerV2()
 	if p != nil {
 		s.registerCryptoMetrics()
+		s.registerCryptoHealth()
 	}
 	return s
 }
@@ -124,6 +125,7 @@ func (s *Server) WithStoreStats(name string, st *kvstore.Store) *Server {
 	}
 	s.stores[name] = st
 	registerStoreMetrics(s.obs.Reg, name, st)
+	registerStoreHealth(s.obs.Health, name, st)
 	return s
 }
 

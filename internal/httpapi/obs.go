@@ -98,6 +98,13 @@ func (a *api) instrument(method, path string, tier Tier, env bool, h http.Handle
 		status := strconv.Itoa(code)
 		a.httpReqs.With(method, path, status).Inc()
 		a.httpLat.With(method, path, status).ObserveDuration(dur)
+		// The health report is meta-monitoring, not service traffic: a
+		// 503 from /v2/health is a verdict, and counting it as an SLO
+		// error would let readiness pollers keep the burn-rate window
+		// hot forever once the node turns failing.
+		if path != "/v2/health" {
+			a.obs.SLO.Observe(code, dur)
+		}
 		a.obs.Tracer.Finish(tr, code, dur)
 	}
 }
@@ -125,6 +132,7 @@ func (a *api) epTraces(r *http.Request) (any, *apiError) {
 func (a *api) registerObsRoutes() {
 	a.v2raw("GET", "/v2/metrics", TierGuest, KindStream, a.obs.Reg.Handler().ServeHTTP)
 	a.v2("GET", "/v2/debug/traces", TierAdmin, a.epTraces)
+	a.registerHealth()
 
 	reg := a.obs.Reg
 	depth := reg.GaugeVec("p2drm_ops_operations",
@@ -250,6 +258,7 @@ func registerFollowerMetrics(reg *obs.Registry, name string, f *replica.Follower
 	lagB := reg.GaugeVec("p2drm_replica_lag_bytes", "Bytes between the follower cursor and the primary durable horizon.", "store")
 	lagS := reg.GaugeVec("p2drm_replica_lag_segments", "Whole primary segments behind the active one (-1 = unknown).", "store")
 	caught := reg.GaugeVec("p2drm_replica_caught_up", "1 when the follower is tailing the durable horizon.", "store")
+	known := reg.GaugeVec("p2drm_replica_lag_known", "1 when lag has been measured against the primary; 0 while unknown (lag gauges read -1).", "store")
 	recs := reg.CounterVec("p2drm_replica_records_applied_total", "Log records applied to the local store.", "store")
 	bytes := reg.CounterVec("p2drm_replica_bytes_applied_total", "Log bytes applied to the local store.", "store")
 	resyncs := reg.CounterVec("p2drm_replica_resyncs_total", "Snapshot re-bootstraps (startup and fallback).", "store")
@@ -257,6 +266,12 @@ func registerFollowerMetrics(reg *obs.Registry, name string, f *replica.Follower
 	lagS.Func(func() float64 { return float64(f.Status().LagSegments) }, name)
 	caught.Func(func() float64 {
 		if f.Status().CaughtUp {
+			return 1
+		}
+		return 0
+	}, name)
+	known.Func(func() float64 {
+		if f.Status().LagSegments >= 0 {
 			return 1
 		}
 		return 0

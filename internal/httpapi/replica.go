@@ -252,6 +252,7 @@ func NewReplicaServer(followers map[string]*replica.Follower) *ReplicaServer {
 	rs.registerObsRoutes()
 	for name, f := range followers {
 		registerFollowerMetrics(rs.obs.Reg, name, f)
+		registerFollowerHealth(rs.obs.Health, name, f)
 	}
 	return rs
 }

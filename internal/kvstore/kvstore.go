@@ -745,6 +745,37 @@ func (s *Store) endFileSwap() {
 	s.gcMu.Unlock()
 }
 
+// Health reports the store's sticky WAL failure, if any: the append-
+// path error (write/flush/SyncAlways fsync) or, under group commit,
+// the sticky fsync error. nil means the durability machinery is
+// working; non-nil means every further mutation is being refused, and
+// health probes should report the store failing.
+func (s *Store) Health() error {
+	s.logMu.Lock()
+	err := s.walErr
+	s.logMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.gcPoisoned()
+}
+
+// PoisonWAL injects a sticky append-path failure, exactly as if a WAL
+// write or fsync had returned err. It exists for fault-injection tests
+// (health-probe and crash suites); production code never calls it.
+// A nil err is ignored, and an already-poisoned store keeps its first
+// error — matching the sticky semantics of real failures.
+func (s *Store) PoisonWAL(err error) {
+	if err == nil {
+		return
+	}
+	s.logMu.Lock()
+	if s.walErr == nil {
+		s.walErr = err
+	}
+	s.logMu.Unlock()
+}
+
 // gcPoisoned reports the sticky group-commit fsync error, if any. Safe
 // under logMu (lock order logMu → gcMu).
 func (s *Store) gcPoisoned() error {

@@ -1,0 +1,181 @@
+package obs
+
+// Component-probe health framework. Subsystems register named
+// CheckFuncs; every evaluation runs all of them, aggregates the worst
+// state, and logs a structured slog event (plus a counter tick) on any
+// state transition so degradation is visible in logs, not only on
+// scrape. The HTTP layer serves the aggregate at GET /v2/health: 200
+// while ok/degraded (load balancers keep routing), 503 once failing.
+//
+// Probes carry the same privacy contract as metrics: component names
+// run through the registration denylist, and Detail strings must stay
+// aggregate-only (ratios, depths, counts — never serials, accounts or
+// card identifiers).
+
+import (
+	"log/slog"
+	"sync"
+	"sync/atomic"
+)
+
+// HealthState is one component's (or the aggregate's) probe verdict.
+type HealthState string
+
+const (
+	// HealthOK: the component operates within its thresholds.
+	HealthOK HealthState = "ok"
+	// HealthDegraded: still serving, but outside a comfort threshold
+	// (lag, backlog, pool starvation). The daemon answers 200 so load
+	// balancers keep it in rotation, but operators should look.
+	HealthDegraded HealthState = "degraded"
+	// HealthFailing: the component cannot do its job (sticky WAL
+	// failure, replica in error). /v2/health answers 503.
+	HealthFailing HealthState = "failing"
+)
+
+// Severity orders states for aggregation and the status gauge:
+// 0 ok, 1 degraded, 2 failing.
+func (s HealthState) Severity() int {
+	switch s {
+	case HealthDegraded:
+		return 1
+	case HealthFailing:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Healthy reports whether the state maps to HTTP 200 (ok or degraded).
+func (s HealthState) Healthy() bool { return s != HealthFailing }
+
+func worseState(a, b HealthState) HealthState {
+	if b.Severity() > a.Severity() {
+		return b
+	}
+	return a
+}
+
+// Check is one probe's result. Detail is free text but must stay
+// aggregate-only — thresholds and counts, never per-user identity.
+type Check struct {
+	Status HealthState `json:"status"`
+	Detail string      `json:"detail,omitempty"`
+}
+
+// CheckFunc is a registered component probe. It runs on every health
+// evaluation (HTTP request or metrics scrape) and must be fast and
+// safe for concurrent use — snapshot reads, no I/O.
+type CheckFunc func() Check
+
+// HealthReport is one evaluation of every registered probe.
+type HealthReport struct {
+	Status     HealthState      `json:"status"`
+	Components map[string]Check `json:"components,omitempty"`
+}
+
+// Health is the probe registry. Register at wiring time, Eval on every
+// health request; evaluation detects per-component and overall state
+// transitions.
+type Health struct {
+	log atomic.Pointer[slog.Logger] // nil = slog.Default at emit time
+
+	transitions atomic.Int64
+
+	mu      sync.Mutex
+	order   []string // registration order, for stable evaluation
+	checks  map[string]CheckFunc
+	last    map[string]HealthState
+	overall HealthState
+}
+
+// NewHealth returns an empty probe registry.
+func NewHealth() *Health {
+	return &Health{
+		checks:  make(map[string]CheckFunc),
+		last:    make(map[string]HealthState),
+		overall: HealthOK,
+	}
+}
+
+// SetLogger routes transition events through l (nil restores
+// slog.Default at emit time).
+func (h *Health) SetLogger(l *slog.Logger) { h.log.Store(l) }
+
+// Register adds a named probe. Names pass the same denylist as metric
+// names (health detail is aggregate-only telemetry) and must be
+// unique; a new component starts in the ok state, so its first
+// non-ok evaluation logs a transition.
+func (h *Health) Register(name string, fn CheckFunc) {
+	checkName("health component", name)
+	if fn == nil {
+		panic("obs: nil health check for " + name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.checks[name]; dup {
+		panic("obs: duplicate health component " + name)
+	}
+	h.order = append(h.order, name)
+	h.checks[name] = fn
+	h.last[name] = HealthOK
+}
+
+// Transitions counts state changes (per component plus overall)
+// observed across all evaluations — the counter behind
+// p2drm_health_transitions_total.
+func (h *Health) Transitions() int64 { return h.transitions.Load() }
+
+// Eval runs every probe once and returns the aggregate report (worst
+// component wins). Transitions since the previous evaluation are
+// logged and counted. Safe for concurrent use; probes run under the
+// registry lock, so they must not call back into this Health.
+func (h *Health) Eval() HealthReport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rep := HealthReport{
+		Status:     HealthOK,
+		Components: make(map[string]Check, len(h.order)),
+	}
+	for _, name := range h.order {
+		c := h.checks[name]()
+		if c.Status == "" {
+			c.Status = HealthOK
+		}
+		rep.Components[name] = c
+		rep.Status = worseState(rep.Status, c.Status)
+		if prev := h.last[name]; prev != c.Status {
+			h.last[name] = c.Status
+			h.transitions.Add(1)
+			h.logTransition(name, prev, c.Status, c.Detail)
+		}
+	}
+	if rep.Status != h.overall {
+		prev := h.overall
+		h.overall = rep.Status
+		h.transitions.Add(1)
+		h.logTransition("overall", prev, rep.Status, "")
+	}
+	return rep
+}
+
+// logTransition emits the structured transition event: recoveries at
+// info, degradation at warn, failure at error.
+func (h *Health) logTransition(component string, from, to HealthState, detail string) {
+	lg := h.log.Load()
+	if lg == nil {
+		lg = slog.Default()
+	}
+	args := []any{"component", component, "from", string(from), "to", string(to)}
+	if detail != "" {
+		args = append(args, "detail", detail)
+	}
+	switch to {
+	case HealthFailing:
+		lg.Error("health transition", args...)
+	case HealthDegraded:
+		lg.Warn("health transition", args...)
+	default:
+		lg.Info("health transition", args...)
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+// Tests for the component-probe framework: aggregation order, state
+// transitions (logged and counted, per component plus overall), and
+// the registration contracts (denylist, duplicates, nil probes).
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestHealthAggregation(t *testing.T) {
+	h := NewHealth()
+	state := map[string]HealthState{"a": HealthOK, "b": HealthOK, "c": HealthOK}
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		h.Register(name, func() Check {
+			return Check{Status: state[name], Detail: "detail-" + name}
+		})
+	}
+
+	rep := h.Eval()
+	if rep.Status != HealthOK || len(rep.Components) != 3 {
+		t.Fatalf("all-ok eval: %+v", rep)
+	}
+	if h.Transitions() != 0 {
+		t.Fatalf("transitions after steady ok: %d", h.Transitions())
+	}
+
+	// Worst component wins: degraded beats ok, failing beats degraded.
+	state["b"] = HealthDegraded
+	if rep := h.Eval(); rep.Status != HealthDegraded {
+		t.Fatalf("degraded aggregate: %+v", rep)
+	}
+	state["c"] = HealthFailing
+	rep = h.Eval()
+	if rep.Status != HealthFailing {
+		t.Fatalf("failing aggregate: %+v", rep)
+	}
+	if rep.Components["b"].Detail != "detail-b" {
+		t.Fatalf("component detail lost: %+v", rep.Components["b"])
+	}
+	if rep.Status.Healthy() {
+		t.Fatal("failing reported healthy")
+	}
+	if !HealthDegraded.Healthy() || !HealthOK.Healthy() {
+		t.Fatal("ok/degraded must map to HTTP 200")
+	}
+
+	// Empty status normalizes to ok.
+	h.Register("d", func() Check { return Check{} })
+	if got := h.Eval().Components["d"].Status; got != HealthOK {
+		t.Fatalf("empty status = %q, want ok", got)
+	}
+}
+
+// TestHealthTransitions: every per-component state change plus every
+// overall change ticks the counter and emits exactly one structured
+// slog event at the severity of the new state.
+func TestHealthTransitions(t *testing.T) {
+	h := NewHealth()
+	var buf bytes.Buffer
+	h.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	st := HealthOK
+	h.Register("probe", func() Check { return Check{Status: st, Detail: "ratio 0.50"} })
+
+	h.Eval() // ok -> ok: no transition
+	if h.Transitions() != 0 {
+		t.Fatalf("transitions = %d after steady state", h.Transitions())
+	}
+
+	st = HealthFailing
+	h.Eval() // component ok->failing AND overall ok->failing
+	if h.Transitions() != 2 {
+		t.Fatalf("transitions = %d, want 2 (component + overall)", h.Transitions())
+	}
+	logged := buf.String()
+	if strings.Count(logged, "health transition") != 2 {
+		t.Fatalf("want 2 transition events, got log:\n%s", logged)
+	}
+	if !strings.Contains(logged, "level=ERROR") {
+		t.Errorf("failing transition not logged at error: %s", logged)
+	}
+	if !strings.Contains(logged, "component=probe") || !strings.Contains(logged, "to=failing") {
+		t.Errorf("transition event missing fields: %s", logged)
+	}
+	if !strings.Contains(logged, "detail=\"ratio 0.50\"") {
+		t.Errorf("component transition missing detail: %s", logged)
+	}
+
+	buf.Reset()
+	h.Eval() // steady failing: nothing new
+	if h.Transitions() != 2 || buf.Len() != 0 {
+		t.Fatalf("steady failing re-logged: n=%d log=%q", h.Transitions(), buf.String())
+	}
+
+	st = HealthOK
+	h.Eval() // recovery: two more transitions, at info
+	if h.Transitions() != 4 {
+		t.Fatalf("transitions = %d, want 4 after recovery", h.Transitions())
+	}
+	if !strings.Contains(buf.String(), "level=INFO") {
+		t.Errorf("recovery not logged at info: %s", buf.String())
+	}
+
+	st = HealthDegraded
+	buf.Reset()
+	h.Eval()
+	if !strings.Contains(buf.String(), "level=WARN") {
+		t.Errorf("degradation not logged at warn: %s", buf.String())
+	}
+}
+
+func TestHealthRegistrationContracts(t *testing.T) {
+	h := NewHealth()
+	h.Register("store:x:wal", func() Check { return Check{} }) // colons allowed
+
+	for name, reg := range map[string]func(){
+		"denylisted": func() { h.Register("serial_check", func() Check { return Check{} }) },
+		"duplicate":  func() { h.Register("store:x:wal", func() Check { return Check{} }) },
+		"nil probe":  func() { h.Register("ok_name", nil) },
+		"bad chars":  func() { h.Register("has space", func() Check { return Check{} }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			reg()
+		}()
+	}
+}

@@ -175,15 +175,25 @@ func (t *Tracer) Slow() []TraceRecord {
 	return out
 }
 
-// Plane bundles the registry and tracer one server exposes; httpapi
-// builds one per server and p2drmd hangs engine observers off it.
+// Plane bundles the registry, tracer, health probes, and SLO tracker
+// one server exposes; httpapi builds one per server and p2drmd hangs
+// engine observers off it.
 type Plane struct {
 	Reg    *Registry
 	Tracer *Tracer
+	Health *Health
+	SLO    *SLO
 }
 
-// NewPlane returns a plane with an empty registry and a 64-slot slow
-// ring at a 250ms threshold.
+// NewPlane returns a plane with an empty registry, a 64-slot slow ring
+// at a 250ms threshold, an empty health-probe registry, and an SLO
+// tracker at the default objectives (99.9% availability, 99% of
+// requests under 250ms, 5m/1h windows).
 func NewPlane() *Plane {
-	return &Plane{Reg: NewRegistry(), Tracer: NewTracer(64, 250*time.Millisecond, nil)}
+	return &Plane{
+		Reg:    NewRegistry(),
+		Tracer: NewTracer(64, 250*time.Millisecond, nil),
+		Health: NewHealth(),
+		SLO:    NewSLO(SLOConfig{}),
+	}
 }

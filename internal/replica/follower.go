@@ -104,7 +104,10 @@ type Status struct {
 	Epoch    string `json:"epoch,omitempty"`
 	Cursor   Cursor `json:"cursor"`
 	CaughtUp bool   `json:"caught_up"`
-	LagBytes int64  `json:"lag_bytes"`
+	// LagBytes is the byte distance to the primary's durable horizon
+	// within the current segment (-1 = unknown, e.g. before the first
+	// fetch or right after crossing into a new segment).
+	LagBytes int64 `json:"lag_bytes"`
 	// LagSegments counts whole primary segments between the cursor and
 	// the primary's active segment (0 = tailing the active segment,
 	// -1 = unknown, e.g. before the first fetch).
@@ -187,7 +190,10 @@ func Open(opts Options) (*Follower, error) {
 	}
 	f.maxChunk.Store(opts.MaxChunk)
 	f.status.State = "init"
+	// Lag is unknown (-1) until the first primary contact; 0 would be
+	// indistinguishable from "caught up" for health probes and scrapes.
 	f.status.LagSegments = -1
+	f.status.LagBytes = -1
 
 	if opts.Dir == "" {
 		st, err := kvstore.OpenWith("", opts.KV)

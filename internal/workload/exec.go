@@ -382,7 +382,12 @@ func (e *Executor) Op(spec OpSpec) Op {
 func (e *Executor) RunScenario(ctx context.Context, s *Scenario, cfg ScenarioConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
 	trace := s.Trace(cfg)
-	lc := LoadConfig{Phases: s.Schedule(cfg), MaxInFlight: cfg.MaxInFlight}
+	lc := LoadConfig{
+		Phases:      s.Schedule(cfg),
+		MaxInFlight: cfg.MaxInFlight,
+		SampleEvery: cfg.SampleEvery,
+		OnSample:    cfg.OnSample,
+	}
 	return RunLoad(ctx, lc, func(i int) (Op, bool) {
 		if i >= len(trace) {
 			return Op{}, false

@@ -143,6 +143,62 @@ func (h *Hist) Merge(o *Hist) {
 	}
 }
 
+// Clone returns an independent copy of the histogram's current state.
+// Safe against concurrent Records; the copy is a consistent-enough
+// snapshot (slots are read once each) for interval deltas.
+func (h *Hist) Clone() *Hist {
+	c := New()
+	c.Merge(h)
+	return c
+}
+
+// Sub returns cur minus prev slot-by-slot: the histogram of
+// observations recorded between two snapshots of the same underlying
+// stream — the per-interval view a soak run reports. prev must be an
+// earlier snapshot of cur's stream (monotone slots); nil prev returns
+// a clone of cur. Min/max of the interval are approximated from the
+// surviving slots (the atomically tracked exact min/max span the whole
+// stream, not the interval).
+func Sub(cur, prev *Hist) *Hist {
+	if cur == nil {
+		return New()
+	}
+	if prev == nil {
+		return cur.Clone()
+	}
+	d := New()
+	var count, sum int64
+	minSlot, maxSlot := -1, -1
+	for i := range cur.counts {
+		n := cur.counts[i].Load() - prev.counts[i].Load()
+		if n <= 0 {
+			continue
+		}
+		d.counts[i].Store(n)
+		count += n
+		sum += n * slotValue(i)
+		if minSlot < 0 {
+			minSlot = i
+		}
+		maxSlot = i
+	}
+	d.count.Store(count)
+	// The exact interval sum is recoverable from the totals even though
+	// per-slot sums are not tracked; fall back to the slot estimate only
+	// if the totals ran backwards (not snapshots of one stream).
+	if exact := cur.sum.Load() - prev.sum.Load(); exact >= 0 && count > 0 {
+		sum = exact
+	}
+	d.sum.Store(sum)
+	if count > 0 {
+		_, high := slotBounds(maxSlot)
+		low, _ := slotBounds(minSlot)
+		d.max.Store(high)
+		d.min.Store(low)
+	}
+	return d
+}
+
 // Count returns the number of recorded observations.
 func (h *Hist) Count() int64 { return h.count.Load() }
 

@@ -237,3 +237,65 @@ func BenchmarkRecord(b *testing.B) {
 		}
 	})
 }
+
+// TestCloneAndSub: Clone is an independent snapshot, and Sub recovers
+// exactly the observations recorded between two snapshots — the
+// per-interval series a soak run emits.
+func TestCloneAndSub(t *testing.T) {
+	h := New()
+	for i := 0; i < 1000; i++ {
+		h.RecordValue(int64(i) * 1000)
+	}
+	snap := h.Clone()
+	if snap.Count() != 1000 || snap.Sum() != h.Sum() || snap.Max() != h.Max() {
+		t.Fatalf("clone: count=%d sum=%d", snap.Count(), snap.Sum())
+	}
+	// The clone must not follow the original.
+	h.RecordValue(5_000_000)
+	if snap.Count() != 1000 {
+		t.Fatal("clone tracked the original")
+	}
+
+	// Record a second batch with a distinct range, then diff.
+	for i := 0; i < 500; i++ {
+		h.RecordValue(10_000_000 + int64(i)*1000)
+	}
+	cur := h.Clone()
+	d := Sub(cur, snap)
+	if d.Count() != 501 { // the 5ms outlier + 500 batch-two values
+		t.Fatalf("interval count = %d, want 501", d.Count())
+	}
+	if got, want := d.Sum(), cur.Sum()-snap.Sum(); got != want {
+		t.Errorf("interval sum = %d, want exact delta %d", got, want)
+	}
+	// The interval quantiles see ONLY batch two: p50 ≈ 10.25ms, far from
+	// the full stream's p50 (≈333µs). Tolerate bucket quantization.
+	p50 := d.Quantile(0.5)
+	if p50 < 9_000_000 {
+		t.Errorf("interval p50 = %d leaked batch one", p50)
+	}
+	if d.Min() > 5_100_000 || d.Min() < 4_900_000 {
+		t.Errorf("interval min = %d, want ~5ms outlier", d.Min())
+	}
+	if d.Max() < 10_000_000 {
+		t.Errorf("interval max = %d", d.Max())
+	}
+
+	// Degenerate intervals.
+	if z := Sub(cur, cur.Clone()); z.Count() != 0 || z.Sum() != 0 || z.Quantile(0.99) != 0 {
+		t.Errorf("self-delta not empty: count=%d", z.Count())
+	}
+	if c := Sub(cur, nil); c.Count() != cur.Count() {
+		t.Errorf("nil prev: count=%d", c.Count())
+	}
+	if e := Sub(nil, nil); e.Count() != 0 {
+		t.Errorf("nil cur: count=%d", e.Count())
+	}
+
+	// Merging interval deltas reassembles the stream totals.
+	first := Sub(snap, nil)
+	first.Merge(d)
+	if first.Count() != cur.Count() || first.Sum() != cur.Sum() {
+		t.Errorf("deltas don't reassemble: count=%d want %d", first.Count(), cur.Count())
+	}
+}

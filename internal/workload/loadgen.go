@@ -50,6 +50,27 @@ type LoadConfig struct {
 	// beyond the bound are shed, not queued — queuing would turn the
 	// generator back into a closed loop.
 	MaxInFlight int
+	// SampleEvery, when > 0 and OnSample is set, streams a cumulative
+	// SamplePoint to OnSample at this interval while the run is live,
+	// plus one final point after the last request completes. Soak runs
+	// diff consecutive points (hist.Sub) into per-interval histograms.
+	SampleEvery time.Duration
+	// OnSample receives the periodic snapshots. Calls are sequential
+	// (never concurrent with each other), but arrive from a sampler
+	// goroutine while requests are still in flight.
+	OnSample func(SamplePoint)
+}
+
+// SamplePoint is one cumulative mid-run snapshot: totals since the run
+// started plus a merged latency histogram across all op kinds. Hist is
+// a fresh copy owned by the receiver — retaining it and diffing against
+// the next point's Hist yields the interval-local view.
+type SamplePoint struct {
+	Elapsed time.Duration
+	Sent    int64
+	Errors  int64
+	Shed    int64
+	Hist    *hist.Hist
 }
 
 // maxErrorKinds caps the per-kind error-tally map so a pathological
@@ -153,9 +174,42 @@ func RunLoad(ctx context.Context, cfg LoadConfig, next func(i int) (Op, bool)) (
 
 	sem := make(chan struct{}, maxInFlight)
 	var wg sync.WaitGroup
-	var sent, shed int64
+	var sent, shed atomic.Int64
 
 	start := time.Now()
+	samplePoint := func() SamplePoint {
+		sp := SamplePoint{
+			Elapsed: time.Since(start),
+			Sent:    sent.Load(),
+			Shed:    shed.Load(),
+			Hist:    hist.New(),
+		}
+		mu.Lock()
+		for _, ks := range stats {
+			sp.Errors += ks.errs.Load()
+			sp.Hist.Merge(ks.hist)
+		}
+		mu.Unlock()
+		return sp
+	}
+	sampleStop := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	if cfg.SampleEvery > 0 && cfg.OnSample != nil {
+		sampleWG.Add(1)
+		go func() {
+			defer sampleWG.Done()
+			tk := time.NewTicker(cfg.SampleEvery)
+			defer tk.Stop()
+			for {
+				select {
+				case <-sampleStop:
+					return
+				case <-tk.C:
+					cfg.OnSample(samplePoint())
+				}
+			}
+		}()
+	}
 	i := 0
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
@@ -190,11 +244,11 @@ pacing:
 			default:
 				// Open loop: a saturated in-flight window sheds the
 				// arrival instead of stalling the schedule.
-				shed++
+				shed.Add(1)
 				ks.shed.Add(1)
 				continue
 			}
-			sent++
+			sent.Add(1)
 			ks.sent.Add(1)
 			wg.Add(1)
 			go func(op Op, ks *kindStats, scheduled time.Time) {
@@ -209,12 +263,19 @@ pacing:
 		}
 	}
 	wg.Wait()
+	if cfg.SampleEvery > 0 && cfg.OnSample != nil {
+		// Join the sampler first so the closing point (covering every
+		// completed request) is the last OnSample call, in order.
+		close(sampleStop)
+		sampleWG.Wait()
+		cfg.OnSample(samplePoint())
+	}
 	elapsed := time.Since(start)
 
 	res := &LoadResult{
 		Duration: elapsed,
-		Sent:     sent,
-		Shed:     shed,
+		Sent:     sent.Load(),
+		Shed:     shed.Load(),
 		Ops:      make(map[string]OpSummary, len(stats)),
 		hists:    make(map[OpKind]*hist.Hist, len(stats)),
 	}
@@ -227,7 +288,7 @@ pacing:
 		res.TargetRPS /= totalDur.Seconds() // time-weighted mean target
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
-		res.AchievedRPS = float64(sent) / sec
+		res.AchievedRPS = float64(res.Sent) / sec
 	}
 	mu.Lock()
 	defer mu.Unlock()

@@ -166,6 +166,65 @@ func TestRunLoadTraceExhaustion(t *testing.T) {
 	}
 }
 
+// TestRunLoadSampling: with SampleEvery set, OnSample receives ordered
+// cumulative snapshots and a final point whose totals match the result
+// exactly; diffing consecutive points yields the interval view.
+func TestRunLoadSampling(t *testing.T) {
+	var fail atomic.Int64
+	next := func(i int) (Op, bool) {
+		return Op{Kind: "op", Do: func(context.Context) error {
+			if fail.Add(1)%10 == 0 {
+				return errors.New("boom")
+			}
+			return nil
+		}}, true
+	}
+	var points []SamplePoint
+	cfg := LoadConfig{
+		Phases:      []Phase{{Duration: 300 * time.Millisecond, RPS: 500}},
+		SampleEvery: 50 * time.Millisecond,
+		OnSample:    func(sp SamplePoint) { points = append(points, sp) },
+	}
+	res, err := RunLoad(context.Background(), cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("got %d sample points, want ≥ 3 (incl. final)", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		p, q := points[i-1], points[i]
+		if q.Elapsed < p.Elapsed || q.Sent < p.Sent || q.Errors < p.Errors ||
+			q.Shed < p.Shed || q.Hist.Count() < p.Hist.Count() {
+			t.Fatalf("sample %d not monotone: %+v -> %+v", i, p, q)
+		}
+	}
+	final := points[len(points)-1]
+	if final.Sent != res.Sent || final.Errors != res.Errors || final.Shed != res.Shed {
+		t.Errorf("final point %+v disagrees with result sent=%d errors=%d shed=%d",
+			final, res.Sent, res.Errors, res.Shed)
+	}
+	if final.Hist.Count() != res.Sent {
+		t.Errorf("final histogram count = %d, want %d", final.Hist.Count(), res.Sent)
+	}
+	// Interval view: consecutive deltas re-merge to the full stream.
+	total := int64(0)
+	var prev *SamplePoint
+	for i := range points {
+		d := func() int64 {
+			if prev == nil {
+				return points[i].Hist.Count()
+			}
+			return points[i].Hist.Count() - prev.Hist.Count()
+		}()
+		total += d
+		prev = &points[i]
+	}
+	if total != res.Sent {
+		t.Errorf("interval deltas sum to %d, want %d", total, res.Sent)
+	}
+}
+
 // TestRunLoadCancelReturnsPartial: cancelling mid-run is a normal stop;
 // the partial result must still come back without error.
 func TestRunLoadCancelReturnsPartial(t *testing.T) {

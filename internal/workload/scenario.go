@@ -51,6 +51,10 @@ type ScenarioConfig struct {
 	ReadFraction float64
 	// MaxInFlight bounds concurrent requests (see LoadConfig).
 	MaxInFlight int
+	// SampleEvery/OnSample stream cumulative mid-run snapshots — see
+	// LoadConfig; soak runs diff consecutive points into intervals.
+	SampleEvery time.Duration
+	OnSample    func(SamplePoint)
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
